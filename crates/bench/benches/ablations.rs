@@ -1,0 +1,162 @@
+//! Ablation benches: design choices DESIGN.md calls out.
+//!
+//! * prefetch window depth (how much run-ahead "hides latency"),
+//! * dynamic SLI vs static distributions,
+//! * two-level cache hierarchies,
+//! * cache geometry around the Hakura-Gupta point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sortmid::{dynamic, work, CacheKind, Distribution, Machine, MachineConfig};
+use sortmid_bench::{run_machine, stream};
+use sortmid_cache::CacheGeometry;
+use sortmid_scene::Benchmark;
+use std::hint::black_box;
+
+fn bench_prefetch(c: &mut Criterion) {
+    let s = stream(Benchmark::Massive32_11255);
+    let mut group = c.benchmark_group("ablations/prefetch");
+    group.sample_size(10);
+    for window in [Some(1usize), Some(32), None] {
+        let label = window.map_or("unbounded".to_string(), |w| w.to_string());
+        group.bench_function(format!("window-{label}"), |b| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::builder();
+                cfg.processors(16)
+                    .distribution(Distribution::block(16))
+                    .cache(CacheKind::PaperL1)
+                    .bus_ratio(1.0);
+                cfg.prefetch_window(window);
+                black_box(Machine::new(cfg.build().unwrap()).run(&s))
+            });
+        });
+    }
+    group.finish();
+
+    println!("\nPrefetch-window ablation (32massive11255, 16p, block-16, 1x bus):");
+    for window in [Some(1usize), Some(4), Some(32), None] {
+        let mut cfg = MachineConfig::builder();
+        cfg.processors(16)
+            .distribution(Distribution::block(16))
+            .cache(CacheKind::PaperL1)
+            .bus_ratio(1.0)
+            .prefetch_window(window);
+        let r = Machine::new(cfg.build().unwrap()).run(&s);
+        println!(
+            "  window {:>9}: {} cycles, {} stalls",
+            window.map_or("unbounded".to_string(), |w| w.to_string()),
+            r.total_cycles(),
+            r.total_stalls()
+        );
+    }
+}
+
+fn bench_dynamic_sli(c: &mut Criterion) {
+    let s = stream(Benchmark::Room3);
+    let mut group = c.benchmark_group("ablations/dynamic-sli");
+    group.sample_size(10);
+    group.bench_function("profile+build+run/16p", |b| {
+        b.iter(|| {
+            let dist = dynamic::balanced_sli_for(&s, 16, 4);
+            black_box(run_machine(&s, 16, dist, CacheKind::PaperL1, Some(1.0), 10_000))
+        });
+    });
+    group.finish();
+
+    let procs = 16;
+    let band = Distribution::sli((s.screen().height() / (4 * procs)).max(1));
+    let dynamic_dist = dynamic::balanced_sli_for(&s, procs, 4);
+    println!("\nDynamic-SLI ablation (room3, {procs}p):");
+    println!("  static bands : {:.1}% imbalance", work::pixel_imbalance(&s, &band, procs));
+    println!("  dynamic bands: {:.1}% imbalance", work::pixel_imbalance(&s, &dynamic_dist, procs));
+}
+
+fn bench_l2(c: &mut Criterion) {
+    let s = stream(Benchmark::TeapotFull);
+    let mut group = c.benchmark_group("ablations/l2");
+    group.sample_size(10);
+    group.bench_function("two-level/16p", |b| {
+        b.iter(|| {
+            black_box(run_machine(
+                &s,
+                16,
+                Distribution::block(16),
+                CacheKind::TwoLevel(CacheGeometry::paper_l1(), CacheGeometry::paper_l2()),
+                None,
+                10_000,
+            ))
+        });
+    });
+    group.finish();
+
+    let l1 = run_machine(&s, 16, Distribution::block(16), CacheKind::PaperL1, None, 10_000);
+    let l2 = run_machine(
+        &s,
+        16,
+        Distribution::block(16),
+        CacheKind::TwoLevel(CacheGeometry::paper_l1(), CacheGeometry::paper_l2()),
+        None,
+        10_000,
+    );
+    println!(
+        "\nL2 ablation (teapot.full, 16p): L1-only t/f {:.3} vs L1+L2 t/f {:.3}",
+        l1.texel_to_fragment(),
+        l2.texel_to_fragment()
+    );
+}
+
+fn bench_cache_geometry(c: &mut Criterion) {
+    let s = stream(Benchmark::Massive32_11255);
+    let mut group = c.benchmark_group("ablations/cache-geometry");
+    group.sample_size(10);
+    for (label, size_kb, ways) in [("4KB-1way", 4u32, 1u32), ("16KB-4way", 16, 4), ("64KB-8way", 64, 8)] {
+        group.bench_function(label, |b| {
+            let g = CacheGeometry::new(size_kb * 1024, ways, 64).unwrap();
+            b.iter(|| {
+                black_box(run_machine(
+                    &s,
+                    16,
+                    Distribution::block(16),
+                    CacheKind::SetAssoc(g),
+                    None,
+                    10_000,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_last(c: &mut Criterion) {
+    use sortmid::sortlast::{run_sort_last, TriangleAssignment};
+
+    let s = stream(Benchmark::Massive32_11255);
+    let mut group = c.benchmark_group("ablations/sort-last");
+    group.sample_size(10);
+    let config = {
+        let mut b = MachineConfig::builder();
+        b.processors(16).cache(CacheKind::PaperL1).bus_ratio(1.0);
+        b.build().unwrap()
+    };
+    group.bench_function("round-robin/16p", |b| {
+        b.iter(|| black_box(run_sort_last(&s, &config, TriangleAssignment::RoundRobin)));
+    });
+    group.finish();
+
+    let sm = run_machine(&s, 16, Distribution::block(16), CacheKind::PaperL1, Some(1.0), 10_000);
+    let sl = run_sort_last(&s, &config, TriangleAssignment::RoundRobin);
+    println!(
+        "\nSort-middle vs sort-last (16p, bench scale): {} vs {} cycles (texture stage only)",
+        sm.total_cycles(),
+        sl.total_cycles()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_prefetch,
+    bench_dynamic_sli,
+    bench_l2,
+    bench_cache_geometry,
+    bench_sort_last
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 5 bench: load-balance analysis and perfect-cache speedups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sortmid::{work, CacheKind, Distribution};
+use sortmid_bench::{run_machine, stream};
+use sortmid_scene::Benchmark;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let s = stream(Benchmark::Massive32_11255);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+
+    group.bench_function("imbalance/block-16/64p", |b| {
+        b.iter(|| black_box(work::pixel_imbalance(&s, &Distribution::block(16), 64)));
+    });
+    group.bench_function("imbalance/sli-4/64p", |b| {
+        b.iter(|| black_box(work::pixel_imbalance(&s, &Distribution::sli(4), 64)));
+    });
+    group.bench_function("speedup/perfect/block-16/64p", |b| {
+        b.iter(|| {
+            black_box(run_machine(
+                &s,
+                64,
+                Distribution::block(16),
+                CacheKind::Perfect,
+                Some(1.0),
+                10_000,
+            ))
+        });
+    });
+    group.finish();
+
+    // One-shot artefact: the imbalance series of Figure 5 at bench scale.
+    println!("\nFigure 5 imbalance (32massive11255, 64 processors):");
+    for w in [4u32, 8, 16, 32, 64, 128] {
+        println!(
+            "  block-{w:<3} {:>8.1}%",
+            work::pixel_imbalance(&s, &Distribution::block(w), 64)
+        );
+    }
+    for l in [1u32, 2, 4, 8, 16, 32] {
+        println!(
+            "  sli-{l:<5} {:>8.1}%",
+            work::pixel_imbalance(&s, &Distribution::sli(l), 64)
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 6 bench: texel-to-fragment ratio under infinite bus bandwidth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sortmid::{CacheKind, Distribution};
+use sortmid_bench::{run_machine, stream};
+use sortmid_scene::Benchmark;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let teapot = stream(Benchmark::TeapotFull);
+    let massive = stream(Benchmark::Massive32_11255);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+
+    group.bench_function("locality/teapot/block-16/16p", |b| {
+        b.iter(|| {
+            black_box(run_machine(
+                &teapot,
+                16,
+                Distribution::block(16),
+                CacheKind::PaperL1,
+                None,
+                10_000,
+            ))
+        });
+    });
+    group.bench_function("locality/32massive/sli-2/16p", |b| {
+        b.iter(|| {
+            black_box(run_machine(
+                &massive,
+                16,
+                Distribution::sli(2),
+                CacheKind::PaperL1,
+                None,
+                10_000,
+            ))
+        });
+    });
+    group.finish();
+
+    println!("\nFigure 6 texel/fragment at 16 processors (bench scale):");
+    for (name, s) in [("teapot.full", &teapot), ("32massive11255", &massive)] {
+        for dist in [Distribution::block(16), Distribution::sli(2)] {
+            let r = run_machine(s, 16, dist.clone(), CacheKind::PaperL1, None, 10_000);
+            println!("  {name:<16} {:<9} {:.3}", dist.label(), r.texel_to_fragment());
+        }
+        let r1 = run_machine(s, 1, Distribution::block(16), CacheKind::PaperL1, None, 10_000);
+        println!("  {name:<16} 1-proc    {:.3}", r1.texel_to_fragment());
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

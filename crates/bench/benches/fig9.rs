@@ -1,0 +1,32 @@
+//! Figure 9 bench: benchmark image rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sortmid_bench::scene;
+use sortmid_scene::{render, Benchmark};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for b in [Benchmark::TeapotFull, Benchmark::Room3, Benchmark::Quake] {
+        let s = scene(b);
+        group.bench_function(format!("render/{}", b.name()), |bencher| {
+            bencher.iter(|| black_box(render::render_color(&s)));
+        });
+    }
+    group.finish();
+
+    // Write the images once so the bench run leaves the artefact behind.
+    let out = std::path::Path::new("target/fig9-bench");
+    std::fs::create_dir_all(out).expect("create out dir");
+    for b in [Benchmark::TeapotFull, Benchmark::Room3, Benchmark::Quake] {
+        let s = scene(b);
+        let img = render::render_color(&s);
+        let path = out.join(format!("{}.ppm", b.name().replace('.', "_")));
+        img.write_ppm(&path).expect("write ppm");
+        println!("wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Microbenchmarks of the simulator's hot kernels: cache probes, fragment
+//! timing, rasterization, footprint resolution and owner computation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sortmid::Distribution;
+use sortmid_bench::stream;
+use sortmid_cache::{CacheGeometry, LineCache, SetAssocCache};
+use sortmid_memsys::{BusConfig, EngineTiming};
+use sortmid_scene::{Benchmark, SceneBuilder};
+use sortmid_texture::{TextureDesc, TextureRegistry, TrilinearSampler};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/cache");
+    let accesses: Vec<u32> = {
+        // Pseudo-random walk over 1024 lines with locality runs.
+        let mut v = Vec::with_capacity(100_000);
+        let mut x = 12345u32;
+        let mut line = 0u32;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            if x.is_multiple_of(8) {
+                line = (x >> 8) % 1024;
+            }
+            v.push(line);
+        }
+        v
+    };
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    group.bench_function("set_assoc_16k_4way", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(CacheGeometry::paper_l1());
+            for &l in &accesses {
+                black_box(cache.access_line(l));
+            }
+            cache.stats().misses()
+        });
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/engine");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("fragment_timing", |b| {
+        b.iter(|| {
+            let mut e = EngineTiming::new(BusConfig::ratio(1.0), Some(32));
+            e.start_triangle(0);
+            for i in 0..100_000u32 {
+                e.fragment(if i % 7 == 0 { 1 } else { 0 });
+            }
+            e.finish_time()
+        });
+    });
+    group.finish();
+}
+
+fn bench_raster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/raster");
+    group.sample_size(10);
+    let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.12).build();
+    group.bench_function("rasterize_quake", |b| {
+        b.iter(|| black_box(scene.rasterize()).fragment_count());
+    });
+    group.finish();
+}
+
+fn bench_footprint(c: &mut Criterion) {
+    let mut reg = TextureRegistry::new();
+    let id = reg.register(TextureDesc::new(256, 256).unwrap()).unwrap();
+    let sampler = TrilinearSampler::new(&reg);
+    let mut group = c.benchmark_group("primitives/footprint");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("trilinear_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u32 {
+                let u = (i % 251) as f32;
+                let v = (i % 241) as f32;
+                let fp = sampler.footprint(id, u, v, 1.3);
+                acc = acc.wrapping_add(fp[0].index() as u64);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_owner(c: &mut Criterion) {
+    let s = stream(Benchmark::Massive32_11255);
+    let mut group = c.benchmark_group("primitives/distribution");
+    group.throughput(Throughput::Elements(s.fragment_count()));
+    for dist in [Distribution::block(16), Distribution::sli(4)] {
+        group.bench_function(format!("owner/{}", dist.label()), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for f in s.fragments() {
+                    acc += dist.owner(f.x as i32, f.y as i32, 64) as u64;
+                }
+                acc
+            });
+        });
+    }
+    group.bench_function("overlap_mask/block-16", |b| {
+        let d = Distribution::block(16);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for t in s.triangles() {
+                acc = acc.wrapping_add(d.overlap_mask(&t.bbox, 64).count_ones());
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let s = stream(Benchmark::Quake);
+    let mut group = c.benchmark_group("primitives/trace-io");
+    group.throughput(Throughput::Elements(s.fragment_count()));
+    group.bench_function("write_stream", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(42 * s.fragment_count() as usize);
+            sortmid_raster::write_stream(&mut buf, &s).expect("in-memory write");
+            buf.len()
+        });
+    });
+    let mut encoded = Vec::new();
+    sortmid_raster::write_stream(&mut encoded, &s).expect("in-memory write");
+    group.bench_function("read_stream", |b| {
+        b.iter(|| {
+            sortmid_raster::read_stream(encoded.as_slice())
+                .expect("round trip")
+                .fragment_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_engine,
+    bench_raster,
+    bench_footprint,
+    bench_owner,
+    bench_trace_io
+);
+criterion_main!(benches);

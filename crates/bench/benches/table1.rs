@@ -1,0 +1,44 @@
+//! Table 1 bench: scene generation + characteristic measurement.
+//!
+//! Regenerates the Table 1 pipeline (generate → rasterize → measure) for a
+//! representative subset of the benchmarks and reports the measured
+//! statistics alongside the timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sortmid_bench::{scene, BENCH_SCALE};
+use sortmid_scene::{Benchmark, SceneStats};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for b in [Benchmark::Quake, Benchmark::Massive32_11255, Benchmark::Room3] {
+        group.bench_function(b.name(), |bencher| {
+            bencher.iter(|| {
+                let s = scene(black_box(b));
+                black_box(SceneStats::measure(&s))
+            });
+        });
+    }
+    group.finish();
+
+    // Print the table rows once so `cargo bench` output shows the artefact.
+    println!("\nTable 1 (measured at scale {BENCH_SCALE}, density columns are scale-invariant):");
+    for b in Benchmark::ALL {
+        let stats = SceneStats::measure(&scene(b));
+        let (_, _, _, depth, _, _, mb, utf) = b.paper_row();
+        println!(
+            "  {:<16} depth {:.2} (paper {:.1})  uniq-t/f {:.3} (paper {:.2})  used-MB-extrapolated {:.2} (paper {:.1})",
+            b.name(),
+            stats.depth_complexity,
+            depth,
+            stats.unique_texel_per_screen_pixel,
+            utf,
+            stats.texture_used_mbytes() / (BENCH_SCALE * BENCH_SCALE),
+            mb,
+        );
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

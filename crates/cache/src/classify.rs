@@ -1,0 +1,229 @@
+//! Compulsory / capacity / conflict miss classification.
+//!
+//! Classification follows the standard "three C" methodology:
+//!
+//! * **compulsory** — the line was never referenced before (misses in any
+//!   cache);
+//! * **capacity** — a fully-associative LRU cache with the same total number
+//!   of lines would also miss;
+//! * **conflict** — only the set-associative cache misses (associativity
+//!   artefact).
+//!
+//! The multiprocessor locality loss the paper studies shows up as extra
+//! *capacity + conflict* misses per node: each node touches the same number
+//! of compulsory lines but reuses them less.
+
+use crate::geometry::CacheGeometry;
+use crate::set_assoc::SetAssocCache;
+use crate::stats::{CacheStats, MissBreakdown};
+use crate::LineCache;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A fully-associative LRU cache used as the capacity-miss oracle.
+///
+/// Implemented as a hash map plus a lazily-compacted recency queue so each
+/// access is O(1) amortised.
+#[derive(Debug, Clone)]
+struct FullyAssocLru {
+    capacity_lines: usize,
+    /// line -> latest sequence number.
+    resident: HashMap<u32, u64>,
+    /// (sequence, line) in access order; stale entries are skipped on evict.
+    queue: VecDeque<(u64, u32)>,
+    next_seq: u64,
+}
+
+impl FullyAssocLru {
+    fn new(capacity_lines: usize) -> Self {
+        FullyAssocLru {
+            capacity_lines,
+            resident: HashMap::new(),
+            queue: VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Returns `true` on a hit.
+    fn access(&mut self, line: u32) -> bool {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let hit = self.resident.insert(line, seq).is_some();
+        self.queue.push_back((seq, line));
+        if self.resident.len() > self.capacity_lines {
+            // Evict the true LRU: pop queue entries until one is current.
+            while let Some((s, l)) = self.queue.pop_front() {
+                if self.resident.get(&l) == Some(&s) {
+                    self.resident.remove(&l);
+                    break;
+                }
+            }
+        }
+        // Opportunistic compaction keeps the queue linear in capacity.
+        if self.queue.len() > 8 * self.capacity_lines.max(16) {
+            let resident = &self.resident;
+            self.queue.retain(|(s, l)| resident.get(l) == Some(s));
+        }
+        hit
+    }
+
+    fn reset(&mut self) {
+        self.resident.clear();
+        self.queue.clear();
+        self.next_seq = 0;
+    }
+}
+
+/// A set-associative cache that additionally classifies every miss.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_cache::{CacheGeometry, ClassifyingCache, LineCache};
+///
+/// let mut c = ClassifyingCache::new(CacheGeometry::paper_l1());
+/// c.access_line(1);
+/// c.access_line(1);
+/// let b = c.breakdown();
+/// assert_eq!(b.compulsory, 1);
+/// assert_eq!(b.total(), c.stats().misses());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassifyingCache {
+    inner: SetAssocCache,
+    oracle: FullyAssocLru,
+    seen: HashSet<u32>,
+    breakdown: MissBreakdown,
+}
+
+impl ClassifyingCache {
+    /// Creates a classifying cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        ClassifyingCache {
+            inner: SetAssocCache::new(geometry),
+            oracle: FullyAssocLru::new(geometry.total_lines() as usize),
+            seen: HashSet::new(),
+            breakdown: MissBreakdown::default(),
+        }
+    }
+
+    /// The per-kind miss breakdown so far.
+    pub fn breakdown(&self) -> MissBreakdown {
+        self.breakdown
+    }
+
+    /// The underlying geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.inner.geometry()
+    }
+}
+
+impl LineCache for ClassifyingCache {
+    fn access_line(&mut self, line: u32) -> bool {
+        let hit = self.inner.access_line(line);
+        let oracle_hit = self.oracle.access(line);
+        let first = self.seen.insert(line);
+        if !hit {
+            if first {
+                self.breakdown.compulsory += 1;
+            } else if !oracle_hit {
+                self.breakdown.capacity += 1;
+            } else {
+                self.breakdown.conflict += 1;
+            }
+        }
+        hit
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.inner.stats()
+    }
+
+    fn breakdown(&self) -> Option<MissBreakdown> {
+        Some(self.breakdown)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.oracle.reset();
+        self.seen.clear();
+        self.breakdown = MissBreakdown::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ClassifyingCache {
+        // 4 sets x 2 ways = 8 lines.
+        ClassifyingCache::new(CacheGeometry::new(512, 2, 64).unwrap())
+    }
+
+    #[test]
+    fn first_touch_is_compulsory() {
+        let mut c = tiny();
+        for line in 0..5 {
+            c.access_line(line);
+        }
+        let b = c.breakdown();
+        assert_eq!(b.compulsory, 5);
+        assert_eq!(b.capacity, 0);
+        assert_eq!(b.conflict, 0);
+    }
+
+    #[test]
+    fn conflict_misses_when_set_thrashes_within_capacity() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (2 ways) but total footprint (3)
+        // fits the 8-line capacity: re-misses are conflict misses.
+        for _ in 0..4 {
+            for line in [0, 4, 8] {
+                c.access_line(line);
+            }
+        }
+        let b = c.breakdown();
+        assert_eq!(b.compulsory, 3);
+        assert_eq!(b.capacity, 0);
+        assert!(b.conflict > 0, "expected conflict misses: {b}");
+        assert_eq!(b.total(), c.stats().misses());
+    }
+
+    #[test]
+    fn capacity_misses_when_working_set_exceeds_cache() {
+        let mut c = tiny();
+        // 16 lines cycled > 8-line capacity: fully-assoc LRU also misses.
+        for _ in 0..3 {
+            for line in 0..16 {
+                c.access_line(line);
+            }
+        }
+        let b = c.breakdown();
+        assert_eq!(b.compulsory, 16);
+        assert!(b.capacity > 0, "expected capacity misses: {b}");
+        assert_eq!(b.total(), c.stats().misses());
+    }
+
+    #[test]
+    fn breakdown_always_partitions_misses() {
+        let mut c = tiny();
+        // Pseudo-random-ish walk.
+        let mut x = 1u32;
+        for _ in 0..500 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            c.access_line((x >> 16) % 24);
+        }
+        assert_eq!(c.breakdown().total(), c.stats().misses());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access_line(1);
+        c.reset();
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.breakdown().total(), 0);
+        // After reset the same line is compulsory again.
+        c.access_line(1);
+        assert_eq!(c.breakdown().compulsory, 1);
+    }
+}

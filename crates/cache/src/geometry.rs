@@ -1,0 +1,195 @@
+//! Cache geometry (size, associativity, line size) with validation.
+
+use std::fmt;
+
+/// Geometry of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_cache::CacheGeometry;
+///
+/// let g = CacheGeometry::paper_l1();
+/// assert_eq!(g.size_bytes(), 16 * 1024);
+/// assert_eq!(g.ways(), 4);
+/// assert_eq!(g.sets(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u32,
+    ways: u32,
+    line_bytes: u32,
+}
+
+/// Errors from [`CacheGeometry::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheGeometryError {
+    /// A parameter was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// `size / (ways * line)` came out below one set.
+    TooSmall,
+}
+
+impl fmt::Display for CacheGeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheGeometryError::NotPowerOfTwo { field, value } => {
+                write!(f, "cache {field} = {value} is not a positive power of two")
+            }
+            CacheGeometryError::TooSmall => write!(f, "cache smaller than one set"),
+        }
+    }
+}
+
+impl std::error::Error for CacheGeometryError {}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// All parameters must be positive powers of two and the size must hold
+    /// at least one full set (`ways * line_bytes`).
+    pub fn new(size_bytes: u32, ways: u32, line_bytes: u32) -> Result<Self, CacheGeometryError> {
+        for (field, value) in [
+            ("size_bytes", size_bytes),
+            ("ways", ways),
+            ("line_bytes", line_bytes),
+        ] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(CacheGeometryError::NotPowerOfTwo { field, value });
+            }
+        }
+        if size_bytes < ways * line_bytes {
+            return Err(CacheGeometryError::TooSmall);
+        }
+        Ok(CacheGeometry {
+            size_bytes,
+            ways,
+            line_bytes,
+        })
+    }
+
+    /// The paper's L1: 16 KB, 4-way, 64-byte lines.
+    pub fn paper_l1() -> Self {
+        CacheGeometry {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// A Cox-style L2: 2 MB, 8-way, 64-byte lines.
+    pub fn paper_l2() -> Self {
+        CacheGeometry {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Total number of lines.
+    pub fn total_lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// The set index of a line address.
+    pub fn set_of(&self, line: u32) -> u32 {
+        line & (self.sets() - 1)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}-way/{}B",
+            self.size_bytes / 1024,
+            self.ways,
+            self.line_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_dimensions() {
+        let g = CacheGeometry::paper_l1();
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.total_lines(), 256);
+        assert_eq!(g.line_bytes(), 64);
+        assert_eq!(g.to_string(), "16KB/4-way/64B");
+    }
+
+    #[test]
+    fn paper_l2_dimensions() {
+        let g = CacheGeometry::paper_l2();
+        assert_eq!(g.total_lines(), 32 * 1024);
+        assert_eq!(g.ways(), 8);
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        assert!(matches!(
+            CacheGeometry::new(1000, 4, 64),
+            Err(CacheGeometryError::NotPowerOfTwo { field: "size_bytes", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1024, 3, 64),
+            Err(CacheGeometryError::NotPowerOfTwo { field: "ways", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1024, 4, 0),
+            Err(CacheGeometryError::NotPowerOfTwo { field: "line_bytes", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_too_small() {
+        assert_eq!(CacheGeometry::new(128, 4, 64), Err(CacheGeometryError::TooSmall));
+    }
+
+    #[test]
+    fn set_mapping_is_modular() {
+        let g = CacheGeometry::paper_l1();
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(63), 63);
+        assert_eq!(g.set_of(64), 0);
+        assert_eq!(g.set_of(130), 2);
+    }
+
+    #[test]
+    fn direct_mapped_is_allowed() {
+        let g = CacheGeometry::new(4096, 1, 64).unwrap();
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.total_lines(), 64);
+    }
+}

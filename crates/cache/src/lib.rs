@@ -1,0 +1,84 @@
+//! Texture-cache simulation for the `sortmid` machine.
+//!
+//! The paper equips every texture-mapping node with a **16 KB, 4-way
+//! set-associative cache with 64-byte lines** (one 4×4 texel block per
+//! line), the configuration Hakura & Gupta showed to be effective, and
+//! treats cache efficiency purely as *bandwidth reduction*: prefetching
+//! hides latency, so what matters is how many lines are fetched from the
+//! external texture memory per fragment drawn.
+//!
+//! This crate provides the cache models the machine plugs in:
+//!
+//! * [`geometry::CacheGeometry`] — size/associativity/line-size with
+//!   validation.
+//! * [`set_assoc::SetAssocCache`] — the real LRU cache simulator.
+//! * [`perfect::PerfectCache`] — the paper's "perfect cache" (always hits;
+//!   not even compulsory misses), used to isolate load balancing.
+//! * [`classify::ClassifyingCache`] — wraps the set-associative simulator
+//!   with compulsory/capacity/conflict miss classification.
+//! * [`hierarchy::TwoLevelCache`] — an optional L2 between the L1 and
+//!   texture memory (the paper's future-work question).
+//! * [`stats::CacheStats`] — hit/miss accounting and the texel-to-fragment
+//!   arithmetic.
+//!
+//! All models operate on **line addresses** (global texel index / 16); the
+//! rasterizer hands the machine 8 texel addresses per fragment and the node
+//! probes the cache once per texel access, exactly like the 8-reads-per-cycle
+//! port of the paper's engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use sortmid_cache::{CacheGeometry, LineCache, SetAssocCache};
+//!
+//! let mut cache = SetAssocCache::new(CacheGeometry::paper_l1());
+//! assert!(!cache.access_line(42)); // cold miss
+//! assert!(cache.access_line(42)); // now resident
+//! assert_eq!(cache.stats().misses(), 1);
+//! ```
+
+pub mod classify;
+pub mod geometry;
+pub mod hierarchy;
+pub mod perfect;
+pub mod set_assoc;
+pub mod stats;
+pub mod victim;
+
+pub use classify::ClassifyingCache;
+pub use geometry::{CacheGeometry, CacheGeometryError};
+pub use hierarchy::TwoLevelCache;
+pub use perfect::PerfectCache;
+pub use set_assoc::SetAssocCache;
+pub use stats::CacheStats;
+pub use victim::VictimCache;
+
+/// A line-granular cache simulator.
+///
+/// `access_line` returns `true` on a hit. Misses are assumed to allocate
+/// (fetch the full line); eviction policy is up to the implementation.
+///
+/// This trait is object-safe: the machine stores per-node caches as
+/// `Box<dyn LineCache>`.
+pub trait LineCache {
+    /// Simulates one access to `line`; returns `true` on a hit.
+    fn access_line(&mut self, line: u32) -> bool;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &CacheStats;
+
+    /// Lines fetched from *external* texture memory so far (for a
+    /// single-level cache this equals `stats().misses()`).
+    fn external_fetches(&self) -> u64 {
+        self.stats().misses()
+    }
+
+    /// Per-kind miss decomposition, when the model tracks it
+    /// ([`ClassifyingCache`] does; the others return `None`).
+    fn breakdown(&self) -> Option<stats::MissBreakdown> {
+        None
+    }
+
+    /// Clears contents and statistics.
+    fn reset(&mut self);
+}

@@ -1,0 +1,220 @@
+//! The set-associative LRU cache simulator.
+
+use crate::geometry::CacheGeometry;
+use crate::stats::CacheStats;
+use crate::LineCache;
+
+/// Sentinel tag meaning "way is empty".
+const EMPTY: u32 = u32::MAX;
+
+/// A set-associative cache with true-LRU replacement, simulated at line
+/// granularity.
+///
+/// Ways of a set are stored in recency order (index 0 = most recent), so a
+/// hit is a short scan plus a rotate — fast for the small associativities
+/// texture caches use.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_cache::{CacheGeometry, LineCache, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheGeometry::paper_l1());
+/// c.access_line(7);
+/// assert!(c.access_line(7));
+/// assert_eq!(c.stats().hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    /// `sets * ways` tags, each set's ways contiguous in recency order.
+    tags: Vec<u32>,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        SetAssocCache {
+            geometry,
+            tags: vec![EMPTY; (geometry.sets() * geometry.ways()) as usize],
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// True when `line` is currently resident (does not update LRU or
+    /// statistics).
+    pub fn probe(&self, line: u32) -> bool {
+        debug_assert_ne!(line, EMPTY, "line address clashes with the empty sentinel");
+        let ways = self.geometry.ways() as usize;
+        let base = self.geometry.set_of(line) as usize * ways;
+        self.tags[base..base + ways].contains(&line)
+    }
+
+    /// Number of resident lines (for tests; O(capacity)).
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
+    }
+}
+
+impl LineCache for SetAssocCache {
+    fn access_line(&mut self, line: u32) -> bool {
+        debug_assert_ne!(line, EMPTY, "line address clashes with the empty sentinel");
+        let ways = self.geometry.ways() as usize;
+        let base = self.geometry.set_of(line) as usize * ways;
+        let set = &mut self.tags[base..base + ways];
+        let hit = match set.iter().position(|&t| t == line) {
+            Some(pos) => {
+                // Move to front (most recently used).
+                set[..=pos].rotate_right(1);
+                true
+            }
+            None => {
+                // Evict LRU (the last slot) by shifting everything down.
+                set.rotate_right(1);
+                set[0] = line;
+                false
+            }
+        };
+        self.stats.record(hit);
+        hit
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset(&mut self) {
+        self.tags.fill(EMPTY);
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+    use proptest::prelude::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        SetAssocCache::new(CacheGeometry::new(512, 2, 64).unwrap())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access_line(0));
+        assert!(c.access_line(0));
+        assert_eq!(c.stats().accesses(), 2);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(); // set 0 holds lines {0, 4, 8, ...} with 2 ways
+        c.access_line(0);
+        c.access_line(4); // set 0 now [4, 0]
+        c.access_line(0); // touch 0 -> [0, 4]
+        c.access_line(8); // evicts 4 -> [8, 0]
+        assert!(c.probe(0));
+        assert!(c.probe(8));
+        assert!(!c.probe(4));
+        assert!(c.access_line(0), "0 must have survived");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // Fill set 0 far beyond capacity; set 1 must be untouched.
+        for i in 0..16 {
+            c.access_line(i * 4);
+        }
+        c.access_line(1);
+        assert!(c.probe(1));
+        assert!(c.access_line(1));
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = tiny();
+        c.access_line(3);
+        c.reset();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(!c.probe(3));
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_remisses() {
+        // 256-line paper cache: a 64-line working set maps 1 line per set.
+        let mut c = SetAssocCache::new(CacheGeometry::paper_l1());
+        for round in 0..4 {
+            for line in 0..64 {
+                let hit = c.access_line(line);
+                assert_eq!(hit, round > 0, "round {round} line {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn thrashing_set_always_misses() {
+        let mut c = tiny(); // 2 ways
+        // Three lines in one set, round-robin: classic LRU thrash.
+        for _ in 0..10 {
+            for line in [0, 4, 8] {
+                c.access_line(line);
+            }
+        }
+        // After warmup every access misses.
+        let before = c.stats().misses();
+        for line in [0, 4, 8] {
+            assert!(!c.access_line(line));
+        }
+        assert_eq!(c.stats().misses(), before + 3);
+    }
+
+    proptest! {
+        /// Residency never exceeds capacity and a just-accessed line is
+        /// always resident.
+        #[test]
+        fn prop_capacity_and_mru(lines in proptest::collection::vec(0u32..64, 1..200)) {
+            let mut c = tiny();
+            for &l in &lines {
+                c.access_line(l);
+                prop_assert!(c.probe(l));
+                prop_assert!(c.resident_lines() <= 8);
+            }
+        }
+
+        /// The W most recent distinct lines of one set are all resident
+        /// (true-LRU inclusion property).
+        #[test]
+        fn prop_lru_inclusion(seq in proptest::collection::vec(0u32..6, 1..100)) {
+            let mut c = tiny(); // 2 ways
+            // Map everything into set 0 so recency is the only factor.
+            let seq: Vec<u32> = seq.iter().map(|&x| x * 4).collect();
+            for (i, &l) in seq.iter().enumerate() {
+                c.access_line(l);
+                // Find the last 2 distinct lines ending at i.
+                let mut distinct = Vec::new();
+                for &p in seq[..=i].iter().rev() {
+                    if !distinct.contains(&p) {
+                        distinct.push(p);
+                    }
+                    if distinct.len() == 2 {
+                        break;
+                    }
+                }
+                for &d in &distinct {
+                    prop_assert!(c.probe(d), "line {d} should be resident after step {i}");
+                }
+            }
+        }
+    }
+}

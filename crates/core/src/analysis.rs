@@ -1,0 +1,184 @@
+//! Analytical models of primitive overlap and setup overhead.
+//!
+//! The paper leans on Molnar's sorting classification and on Chen et
+//! al.'s *Models of the impact of overlap in bucket rendering* (its
+//! reference \[2\], the source of the 25-pixels-per-triangle setup figure).
+//! This module implements the standard overlap model so the simulator's
+//! measured routing can be sanity-checked against theory, and so users can
+//! predict setup overhead without running a simulation.
+
+use crate::distribution::Distribution;
+use sortmid_raster::FragmentStream;
+
+/// Chen et al.'s expected overlap factor: a triangle whose bounding box is
+/// `bw × bh` pixels, placed uniformly at random on a grid of `tw × th`
+/// tiles, lands in
+/// `(bw/tw + 1) · (bh/th + 1)` tiles on average.
+///
+/// # Panics
+///
+/// Panics if a tile dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid::analysis::expected_overlap;
+///
+/// // A point triangle touches exactly one tile...
+/// assert!((expected_overlap(0.0, 0.0, 16, 16) - 1.0).abs() < 1e-12);
+/// // ...a tile-sized one straddles four on average.
+/// assert!((expected_overlap(16.0, 16.0, 16, 16) - 4.0).abs() < 1e-12);
+/// ```
+pub fn expected_overlap(bbox_w: f64, bbox_h: f64, tile_w: u32, tile_h: u32) -> f64 {
+    assert!(tile_w > 0 && tile_h > 0, "tile dimensions must be positive");
+    (bbox_w / tile_w as f64 + 1.0) * (bbox_h / tile_h as f64 + 1.0)
+}
+
+/// Expected overlap of a stream under a distribution, from the analytic
+/// model: averages [`expected_overlap`] over the live triangles' bounding
+/// boxes, capping at the processor count (a triangle cannot be routed to
+/// more nodes than exist).
+pub fn model_overlap(stream: &FragmentStream, dist: &Distribution, procs: u32) -> f64 {
+    let (tile_w, tile_h) = match dist {
+        Distribution::Block { width } | Distribution::BlockRaster { width, .. } => (*width, *width),
+        Distribution::Tile { width, height } => (*width, *height),
+        // An SLI group spans the full screen width: horizontal overlap 1.
+        Distribution::Sli { lines } => (u32::MAX, *lines),
+        Distribution::DynamicSli { boundaries } => {
+            // Use the mean group height.
+            let height = *boundaries.last().expect("non-empty") as f64;
+            let mean = (height / boundaries.len() as f64).max(1.0) as u32;
+            (u32::MAX, mean)
+        }
+    };
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for tri in stream.triangles() {
+        if tri.is_culled() {
+            continue;
+        }
+        let o = if tile_w == u32::MAX {
+            expected_overlap(0.0, tri.bbox.height() as f64, 1, tile_h)
+        } else {
+            expected_overlap(tri.bbox.width() as f64, tri.bbox.height() as f64, tile_w, tile_h)
+        };
+        total += o.min(procs as f64);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// *Measured* mean overlap: the average number of nodes each live triangle
+/// is actually routed to under `dist` (exact, from the overlap masks).
+pub fn measured_overlap(stream: &FragmentStream, dist: &Distribution, procs: u32) -> f64 {
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for tri in stream.triangles() {
+        if tri.is_culled() {
+            continue;
+        }
+        total += dist.overlap_mask(&tri.bbox, procs).count_ones() as u64;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+/// Fraction of total engine work that is pure setup floor (cycles spent
+/// below the 25-pixel threshold). High values mean the machine is
+/// triangle-bound, the failure mode of tiny tiles in Figure 5's speedup
+/// panels.
+pub fn setup_overhead_fraction(
+    stream: &FragmentStream,
+    dist: &Distribution,
+    procs: u32,
+    setup_cycles: u64,
+) -> f64 {
+    let work = crate::work::engine_work(stream, dist, procs, setup_cycles);
+    let pixels = crate::work::pixel_work(stream, dist, procs);
+    let total_work: u64 = work.iter().sum();
+    let total_pixels: u64 = pixels.iter().sum();
+    if total_work == 0 {
+        0.0
+    } else {
+        (total_work - total_pixels) as f64 / total_work as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortmid_scene::{Benchmark, SceneBuilder};
+
+    fn stream() -> FragmentStream {
+        SceneBuilder::benchmark(Benchmark::Massive11255)
+            .scale(0.15)
+            .build()
+            .rasterize()
+    }
+
+    #[test]
+    fn expected_overlap_grows_with_bbox_and_shrinks_with_tiles() {
+        let small = expected_overlap(8.0, 8.0, 32, 32);
+        let big = expected_overlap(64.0, 64.0, 32, 32);
+        assert!(big > small);
+        let fine = expected_overlap(32.0, 32.0, 8, 8);
+        let coarse = expected_overlap(32.0, 32.0, 64, 64);
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    fn model_tracks_measured_overlap() {
+        let s = stream();
+        for dist in [Distribution::block(16), Distribution::block(64), Distribution::sli(4)] {
+            let model = model_overlap(&s, &dist, 64);
+            let measured = measured_overlap(&s, &dist, 64);
+            assert!(measured >= 1.0);
+            // The analytic model is exact in expectation for uniformly
+            // placed bboxes; generated scenes cluster, so allow 40 %.
+            let err = (model - measured).abs() / measured;
+            assert!(
+                err < 0.4,
+                "{dist}: model {model:.2} vs measured {measured:.2} (err {err:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_overlap_monotone_in_fineness() {
+        let s = stream();
+        let coarse = measured_overlap(&s, &Distribution::block(64), 64);
+        let fine = measured_overlap(&s, &Distribution::block(8), 64);
+        assert!(fine > coarse);
+        let sli_fine = measured_overlap(&s, &Distribution::sli(1), 64);
+        let sli_coarse = measured_overlap(&s, &Distribution::sli(16), 64);
+        assert!(sli_fine > sli_coarse);
+    }
+
+    #[test]
+    fn setup_overhead_explodes_for_tiny_tiles() {
+        let s = stream();
+        let tiny = setup_overhead_fraction(&s, &Distribution::block(2), 64, 25);
+        let good = setup_overhead_fraction(&s, &Distribution::block(16), 64, 25);
+        assert!(tiny > good, "tiny {tiny:.3} vs good {good:.3}");
+        assert!((0.0..=1.0).contains(&tiny));
+        // With a zero setup floor there is no overhead at all.
+        assert_eq!(setup_overhead_fraction(&s, &Distribution::block(2), 64, 0), 0.0);
+    }
+
+    #[test]
+    fn sli_model_ignores_horizontal_extent() {
+        let s = stream();
+        // SLI overlap depends only on bbox height; the model must not
+        // multiply in a horizontal term.
+        let m = model_overlap(&s, &Distribution::sli(1000), 64);
+        assert!(m < 1.5, "huge groups -> overlap near 1, got {m}");
+    }
+}

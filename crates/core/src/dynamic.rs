@@ -1,0 +1,164 @@
+//! Dynamic tile adjustment — the paper's future-work extension.
+//!
+//! The paper concludes that "a scalable machine using SLI would have a good
+//! performance only if it is able to change dynamically the size of the
+//! block". This module builds that machine: given a measured per-scanline
+//! work profile (from a previous frame, in a real system), it chooses
+//! scanline-group boundaries that equalise pixel work instead of line
+//! count, yielding a [`Distribution::DynamicSli`].
+
+use crate::distribution::Distribution;
+use sortmid_raster::FragmentStream;
+
+/// Per-scanline fragment counts of a stream.
+pub fn scanline_profile(stream: &FragmentStream) -> Vec<u64> {
+    let height = stream.screen().height() as usize;
+    let mut profile = vec![0u64; height];
+    for frag in stream.fragments() {
+        profile[frag.y as usize] += 1;
+    }
+    profile
+}
+
+/// Builds a dynamic SLI distribution with `groups` groups of (work-)equal
+/// size from a scanline work profile.
+///
+/// Group boundaries are chosen greedily so that each group carries roughly
+/// `total / groups` fragments. Boundaries always advance at least one line,
+/// so at most `height` groups are possible.
+///
+/// # Panics
+///
+/// Panics if `groups` is zero or the profile is empty.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid::dynamic::{balanced_sli, scanline_profile};
+/// use sortmid_scene::{Benchmark, SceneBuilder};
+///
+/// let stream = SceneBuilder::benchmark(Benchmark::Room3).scale(0.1).build().rasterize();
+/// let profile = scanline_profile(&stream);
+/// let dist = balanced_sli(&profile, 16);
+/// assert_eq!(dist.label(), "dyn-sli");
+/// ```
+pub fn balanced_sli(profile: &[u64], groups: u32) -> Distribution {
+    assert!(groups > 0, "need at least one group");
+    assert!(!profile.is_empty(), "profile must cover the screen");
+    let total: u64 = profile.iter().sum();
+    let per_group = (total as f64 / groups as f64).max(1.0);
+    let mut boundaries: Vec<u32> = Vec::with_capacity(groups as usize);
+    let mut acc = 0.0;
+    for (y, &w) in profile.iter().enumerate() {
+        acc += w as f64;
+        // Never consume the last line here: the closing boundary below must
+        // stay strictly greater than every greedy one.
+        if acc >= per_group && boundaries.len() + 1 < groups as usize && y + 1 < profile.len() {
+            boundaries.push(y as u32 + 1);
+            acc = 0.0;
+        }
+    }
+    boundaries.push(profile.len() as u32);
+    Distribution::dynamic_sli(boundaries)
+}
+
+/// Convenience: profile `stream` and build a balanced dynamic SLI with
+/// `groups_per_proc * procs` groups (more groups = finer interleave).
+pub fn balanced_sli_for(stream: &FragmentStream, procs: u32, groups_per_proc: u32) -> Distribution {
+    let profile = scanline_profile(stream);
+    balanced_sli(&profile, (procs * groups_per_proc).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::pixel_imbalance;
+    use sortmid_scene::{Benchmark, SceneBuilder};
+
+    fn stream() -> FragmentStream {
+        SceneBuilder::benchmark(Benchmark::Room3)
+            .scale(0.12)
+            .build()
+            .rasterize()
+    }
+
+    #[test]
+    fn profile_sums_to_fragments() {
+        let s = stream();
+        let p = scanline_profile(&s);
+        assert_eq!(p.len(), s.screen().height() as usize);
+        assert_eq!(p.iter().sum::<u64>(), s.fragment_count());
+    }
+
+    #[test]
+    fn balanced_boundaries_are_valid_and_cover() {
+        let s = stream();
+        let profile = scanline_profile(&s);
+        let d = balanced_sli(&profile, 8);
+        if let Distribution::DynamicSli { boundaries } = &d {
+            assert!(boundaries.len() <= 8);
+            assert_eq!(*boundaries.last().unwrap(), s.screen().height());
+            assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        } else {
+            panic!("expected dynamic SLI");
+        }
+    }
+
+    #[test]
+    fn dynamic_beats_static_sli_on_clustered_scenes() {
+        // The whole point of the extension: with few, large groups, static
+        // SLI suffers from clustering that work-balanced boundaries fix.
+        let s = stream();
+        let procs = 8;
+        let height = s.screen().height();
+        let static_lines = (height / procs).max(1); // one group per proc
+        let static_imb = pixel_imbalance(&s, &Distribution::sli(static_lines), procs);
+        let dynamic = balanced_sli_for(&s, procs, 1);
+        let dynamic_imb = pixel_imbalance(&s, &dynamic, procs);
+        assert!(
+            dynamic_imb < static_imb,
+            "dynamic {dynamic_imb:.1}% should beat static {static_imb:.1}%"
+        );
+    }
+
+    #[test]
+    fn boundaries_stay_strictly_increasing_under_skewed_profiles() {
+        // A profile whose mass sits entirely on the last line used to make
+        // the greedy pass emit the closing boundary twice.
+        let mut profile = vec![0u64; 50];
+        profile[49] = 1000;
+        let d = balanced_sli(&profile, 8);
+        if let Distribution::DynamicSli { boundaries } = &d {
+            assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(*boundaries.last().unwrap(), 50);
+        } else {
+            panic!("expected dynamic SLI");
+        }
+        // Mass on the first line: one greedy boundary right after it.
+        let mut front = vec![0u64; 50];
+        front[0] = 1000;
+        let d = balanced_sli(&front, 4);
+        if let Distribution::DynamicSli { boundaries } = &d {
+            assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        } else {
+            panic!("expected dynamic SLI");
+        }
+    }
+
+    #[test]
+    fn uniform_profile_gives_even_groups() {
+        let profile = vec![10u64; 100];
+        let d = balanced_sli(&profile, 4);
+        if let Distribution::DynamicSli { boundaries } = &d {
+            assert_eq!(boundaries.as_slice(), &[25, 50, 75, 100]);
+        } else {
+            panic!("expected dynamic SLI");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_panics() {
+        balanced_sli(&[1, 2, 3], 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! One texture-mapping node: engine timing + cache + triangle FIFO.
+
+use crate::config::MachineConfig;
+use crate::report::NodeReport;
+use sortmid_cache::{CacheStats, LineCache};
+use sortmid_memsys::{Cycle, EngineTiming, TriangleFifo};
+use sortmid_raster::Fragment;
+
+/// The simulation state of one node.
+pub(crate) struct Node {
+    engine: EngineTiming,
+    cache: Box<dyn LineCache + Send>,
+    fifo: TriangleFifo,
+    setup_cycles: Cycle,
+    pixel_work: u64,
+    triangles_routed: u64,
+    triangles_discarded: u64,
+}
+
+impl Node {
+    /// Builds a node from the machine configuration.
+    pub(crate) fn new(config: &MachineConfig) -> Self {
+        let engine = match config.dram {
+            Some(dram) => EngineTiming::with_dram(config.bus, config.prefetch_window, dram),
+            None => EngineTiming::new(config.bus, config.prefetch_window),
+        };
+        Node {
+            engine,
+            cache: config.cache.build(),
+            fifo: TriangleFifo::new(config.triangle_buffer),
+            setup_cycles: config.setup_cycles,
+            pixel_work: 0,
+            triangles_routed: 0,
+            triangles_discarded: 0,
+        }
+    }
+
+    /// The earliest cycle the geometry stage may send this node another
+    /// triangle (FIFO backpressure).
+    pub(crate) fn earliest_send(&self) -> Cycle {
+        self.fifo.earliest_send()
+    }
+
+    /// Processes one routed triangle: `arrival` is its send time, `frags`
+    /// the fragments this node owns (possibly empty — the setup floor still
+    /// applies). Returns the cycle the engine dequeued it.
+    pub(crate) fn process_triangle(&mut self, arrival: Cycle, frags: &[&Fragment]) -> Cycle {
+        let start = self.engine.start_triangle(arrival);
+        self.fifo.record_start(start);
+        self.triangles_routed += 1;
+        for frag in frags {
+            let mut miss_lines = [0u32; 8];
+            let mut misses = 0usize;
+            for texel in &frag.texels {
+                let line = texel.line();
+                if !self.cache.access_line(line) {
+                    miss_lines[misses] = line;
+                    misses += 1;
+                }
+            }
+            self.engine.fragment_lines(&miss_lines[..misses]);
+        }
+        self.pixel_work += frags.len() as u64;
+        self.engine.finish_triangle(self.setup_cycles);
+        start
+    }
+
+    /// Accepts a broadcast triangle whose bounding box misses this node's
+    /// region: the clipping hardware discards it for free, but it occupied
+    /// a FIFO slot until the engine reached it — that occupancy is the
+    /// whole point of Section 8's buffering study.
+    pub(crate) fn discard_triangle(&mut self, arrival: Cycle) {
+        let start = self.engine.engine_free().max(arrival);
+        self.fifo.record_start(start);
+        self.triangles_discarded += 1;
+    }
+
+    /// The cycle this node's last pixel fully completes.
+    pub(crate) fn finish_time(&self) -> Cycle {
+        self.engine.finish_time()
+    }
+
+    /// Prepares the node for the next frame of a sequence: timing, FIFO
+    /// and counters restart, but the **cache keeps its contents** — that
+    /// retention is exactly what the inter-frame locality study measures.
+    pub(crate) fn start_new_frame(&mut self) {
+        self.engine.reset();
+        self.fifo.reset();
+        self.pixel_work = 0;
+        self.triangles_routed = 0;
+        self.triangles_discarded = 0;
+    }
+
+    /// Snapshot of the cumulative cache counters, for per-frame deltas in
+    /// sequence runs.
+    pub(crate) fn cache_snapshot(&self) -> (CacheStats, u64) {
+        (*self.cache.stats(), self.cache.external_fetches())
+    }
+
+    /// Like [`report`](Self::report) but with cache statistics expressed
+    /// relative to an earlier [`cache_snapshot`](Self::cache_snapshot)
+    /// (the per-frame view in a warm-cache sequence).
+    pub(crate) fn report_since(&self, snapshot: &(CacheStats, u64)) -> NodeReport {
+        let mut report = self.report();
+        report.cache = self.cache.stats().delta_since(&snapshot.0);
+        report.external_fetches = self.cache.external_fetches() - snapshot.1;
+        report
+    }
+
+    /// Snapshot of this node's counters for the report.
+    pub(crate) fn report(&self) -> NodeReport {
+        NodeReport {
+            pixels: self.pixel_work,
+            triangles: self.triangles_routed,
+            discarded: self.triangles_discarded,
+            finish: self.engine.finish_time(),
+            busy_cycles: self.engine.busy_cycles(),
+            stall_cycles: self.engine.stall_cycles(),
+            bus_busy_cycles: self.engine.bus_busy_cycles(),
+            miss_breakdown: self.cache.breakdown(),
+            cache: cache_stats_copy(self.cache.stats()),
+            external_fetches: self.cache.external_fetches(),
+        }
+    }
+}
+
+fn cache_stats_copy(stats: &CacheStats) -> CacheStats {
+    *stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheKind;
+    use crate::distribution::Distribution;
+    use sortmid_texture::{TextureDesc, TextureRegistry};
+
+    fn config(cache: CacheKind) -> MachineConfig {
+        MachineConfig::builder()
+            .processors(1)
+            .distribution(Distribution::block(16))
+            .cache(cache)
+            .build()
+            .unwrap()
+    }
+
+    fn fragment(reg: &TextureRegistry, u: i32, v: i32) -> Fragment {
+        let id = reg.ids().next().unwrap();
+        let a = reg.texel_addr(id, 0, u, v);
+        Fragment {
+            x: 0,
+            y: 0,
+            texels: [a; 8],
+        }
+    }
+
+    #[test]
+    fn node_counts_work_and_setup_floor() {
+        let mut reg = TextureRegistry::new();
+        reg.register(TextureDesc::new(64, 64).unwrap()).unwrap();
+        let mut node = Node::new(&config(CacheKind::Perfect));
+        let f = fragment(&reg, 0, 0);
+        let frags: Vec<&Fragment> = vec![&f; 5];
+        node.process_triangle(0, &frags);
+        // 5 pixels < 25-cycle floor.
+        assert_eq!(node.finish_time(), 25);
+        assert_eq!(node.report().pixels, 5);
+        assert_eq!(node.report().triangles, 1);
+    }
+
+    #[test]
+    fn cache_misses_feed_the_bus() {
+        let mut reg = TextureRegistry::new();
+        reg.register(TextureDesc::new(256, 256).unwrap()).unwrap();
+        let id = reg.ids().next().unwrap();
+        let mut node = Node::new(&config(CacheKind::PaperL1));
+        // 64 fragments in distinct 4x4 blocks: one compulsory miss each.
+        let frags: Vec<Fragment> = (0..64)
+            .map(|i| {
+                let a = reg.texel_addr(id, 0, (i % 16) * 4, (i / 16) * 4);
+                Fragment { x: 0, y: 0, texels: [a; 8] }
+            })
+            .collect();
+        let refs: Vec<&Fragment> = frags.iter().collect();
+        node.process_triangle(0, &refs);
+        let rep = node.report();
+        assert_eq!(rep.cache.misses(), 64);
+        assert_eq!(rep.external_fetches, 64);
+        // 64 fills at 16 cycles on a ratio-1 bus dominate the 64 scans.
+        assert!(rep.finish > 64 * 16);
+    }
+
+    #[test]
+    fn empty_triangle_still_costs_setup() {
+        let mut node = Node::new(&config(CacheKind::Perfect));
+        node.process_triangle(0, &[]);
+        node.process_triangle(0, &[]);
+        assert_eq!(node.finish_time(), 50);
+        assert_eq!(node.report().pixels, 0);
+        assert_eq!(node.report().triangles, 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Run results: machine time, per-node counters and derived metrics.
+
+use sortmid_cache::stats::MissBreakdown;
+use sortmid_cache::CacheStats;
+use sortmid_memsys::Cycle;
+use sortmid_util::stats::imbalance_percent;
+use std::fmt;
+
+/// Counters of one node after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeReport {
+    /// Fragments this node drew.
+    pub pixels: u64,
+    /// Triangles routed to this node (each paid the setup floor).
+    pub triangles: u64,
+    /// Broadcast triangles this node's clipper discarded (they occupied a
+    /// FIFO slot but cost no engine time).
+    pub discarded: u64,
+    /// Cycle the node's last pixel fully completed.
+    pub finish: Cycle,
+    /// Cycles the engine spent scanning or in the setup floor.
+    pub busy_cycles: u64,
+    /// Cycles the engine stalled on the saturated bus.
+    pub stall_cycles: u64,
+    /// Cycles this node's texture bus spent transferring lines.
+    pub bus_busy_cycles: u64,
+    /// L1 access statistics.
+    pub cache: CacheStats,
+    /// Per-kind miss decomposition (only with
+    /// [`CacheKind::Classifying`](crate::CacheKind::Classifying)).
+    pub miss_breakdown: Option<MissBreakdown>,
+    /// Lines fetched from external texture memory.
+    pub external_fetches: u64,
+}
+
+/// The result of one machine run.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid::{Machine, MachineConfig};
+/// use sortmid_scene::{Benchmark, SceneBuilder};
+///
+/// let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.1).build();
+/// let stream = scene.rasterize();
+/// let report = Machine::new(MachineConfig::uniprocessor()).run(&stream);
+/// assert_eq!(report.fragments(), stream.fragment_count());
+/// assert!(report.total_cycles() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    summary: String,
+    total_cycles: Cycle,
+    nodes: Vec<NodeReport>,
+    fragments: u64,
+    triangles: u64,
+    triangles_routed: u64,
+}
+
+impl RunReport {
+    pub(crate) fn new(
+        summary: String,
+        total_cycles: Cycle,
+        nodes: Vec<NodeReport>,
+        fragments: u64,
+        triangles: u64,
+        triangles_routed: u64,
+    ) -> Self {
+        RunReport {
+            summary,
+            total_cycles,
+            nodes,
+            fragments,
+            triangles,
+            triangles_routed,
+        }
+    }
+
+    /// The configuration summary this report belongs to.
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+
+    /// Machine time: the cycle the slowest node finished.
+    pub fn total_cycles(&self) -> Cycle {
+        self.total_cycles
+    }
+
+    /// Per-node counters.
+    pub fn nodes(&self) -> &[NodeReport] {
+        &self.nodes
+    }
+
+    /// Total fragments drawn.
+    pub fn fragments(&self) -> u64 {
+        self.fragments
+    }
+
+    /// Triangles in the stream (including culled).
+    pub fn triangles(&self) -> u64 {
+        self.triangles
+    }
+
+    /// Sum over triangles of the number of nodes each was routed to — the
+    /// primitive-overlap factor of Molnar's analysis.
+    pub fn triangles_routed(&self) -> u64 {
+        self.triangles_routed
+    }
+
+    /// Mean number of nodes a (non-culled) triangle was routed to.
+    pub fn overlap_factor(&self) -> f64 {
+        if self.triangles == 0 {
+            0.0
+        } else {
+            self.triangles_routed as f64 / self.triangles as f64
+        }
+    }
+
+    /// Speedup against a (typically single-processor) baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run took zero cycles.
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        assert!(self.total_cycles > 0, "run took zero cycles");
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// The paper's Figure 5 metric over *pixel work*: percent by which the
+    /// busiest node exceeds the average.
+    pub fn pixel_imbalance_percent(&self) -> f64 {
+        let work: Vec<f64> = self.nodes.iter().map(|n| n.pixels as f64).collect();
+        imbalance_percent(&work)
+    }
+
+    /// Imbalance over full engine-busy cycles (includes setup floors).
+    pub fn busy_imbalance_percent(&self) -> f64 {
+        let work: Vec<f64> = self.nodes.iter().map(|n| n.busy_cycles as f64).collect();
+        imbalance_percent(&work)
+    }
+
+    /// The paper's Figure 6 metric: texels fetched from external memory per
+    /// fragment drawn (16 texels per fetched line).
+    pub fn texel_to_fragment(&self) -> f64 {
+        if self.fragments == 0 {
+            return 0.0;
+        }
+        let texels: u64 = self.nodes.iter().map(|n| n.external_fetches * 16).sum();
+        texels as f64 / self.fragments as f64
+    }
+
+    /// Aggregate L1 statistics over all nodes.
+    pub fn cache_totals(&self) -> CacheStats {
+        let mut total = CacheStats::new();
+        for n in &self.nodes {
+            total.merge(&n.cache);
+        }
+        total
+    }
+
+    /// Total engine stall cycles across nodes (bus saturation indicator).
+    pub fn total_stalls(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stall_cycles).sum()
+    }
+
+    /// Aggregate miss decomposition over nodes, when every node tracked it.
+    pub fn miss_breakdown(&self) -> Option<MissBreakdown> {
+        let mut total = MissBreakdown::default();
+        for n in &self.nodes {
+            let b = n.miss_breakdown?;
+            total.compulsory += b.compulsory;
+            total.capacity += b.capacity;
+            total.conflict += b.conflict;
+        }
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(total)
+        }
+    }
+
+    /// Mean texture-bus utilisation across nodes: bus-busy cycles divided
+    /// by machine time. Near 1.0 on a node means the memory system, not
+    /// the engine, bounds it (the paper's bandwidth saturation).
+    pub fn bus_utilization(&self) -> f64 {
+        if self.total_cycles == 0 || self.nodes.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.nodes.iter().map(|n| n.bus_busy_cycles).sum();
+        busy as f64 / (self.total_cycles as f64 * self.nodes.len() as f64)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles, {} fragments, t/f {:.2}, imbalance {:.1}%",
+            self.summary,
+            self.total_cycles,
+            self.fragments,
+            self.texel_to_fragment(),
+            self.pixel_imbalance_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(pixels: u64, fetches: u64) -> NodeReport {
+        NodeReport {
+            pixels,
+            triangles: 1,
+            discarded: 0,
+            finish: pixels,
+            busy_cycles: pixels,
+            stall_cycles: 0,
+            bus_busy_cycles: fetches * 16,
+            cache: CacheStats::new(),
+            miss_breakdown: None,
+            external_fetches: fetches,
+        }
+    }
+
+    fn report(nodes: Vec<NodeReport>, cycles: u64) -> RunReport {
+        let fragments = nodes.iter().map(|n| n.pixels).sum();
+        RunReport::new("test".into(), cycles, nodes, fragments, 10, 15)
+    }
+
+    #[test]
+    fn speedup_and_imbalance() {
+        let base = report(vec![node(1000, 0)], 1000);
+        let par = report(vec![node(300, 0), node(200, 0), node(250, 0), node(250, 0)], 300);
+        assert!((par.speedup_vs(&base) - 1000.0 / 300.0).abs() < 1e-9);
+        // busiest 300 vs mean 250 -> 20 %
+        assert!((par.pixel_imbalance_percent() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn texel_to_fragment_accounts_lines() {
+        let r = report(vec![node(100, 10), node(100, 0)], 100);
+        // 10 lines * 16 texels / 200 fragments = 0.8
+        assert!((r.texel_to_fragment() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_factor() {
+        let r = report(vec![node(10, 0)], 10);
+        assert!((r.overlap_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_utilization_averages_over_nodes() {
+        // Two nodes over 100 cycles: one fetched 5 lines (80 busy cycles),
+        // the other none -> mean utilisation 0.4.
+        let r = report(vec![node(100, 5), node(100, 0)], 100);
+        assert!((r.bus_utilization() - 0.4).abs() < 1e-9);
+        let idle = RunReport::new("idle".into(), 0, vec![], 0, 0, 0);
+        assert_eq!(idle.bus_utilization(), 0.0);
+    }
+
+    #[test]
+    fn empty_run_has_zero_ratios() {
+        let r = RunReport::new("empty".into(), 1, vec![], 0, 0, 0);
+        assert_eq!(r.texel_to_fragment(), 0.0);
+        assert_eq!(r.overlap_factor(), 0.0);
+        assert_eq!(r.pixel_imbalance_percent(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = report(vec![node(10, 1)], 42);
+        let s = r.to_string();
+        assert!(s.contains("42 cycles"));
+        assert!(s.contains("t/f"));
+    }
+}

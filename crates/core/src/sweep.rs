@@ -1,0 +1,263 @@
+//! Parallel parameter sweeps over one fragment stream.
+//!
+//! The experiment harness evaluates dozens of machine configurations per
+//! scene. Each run only *reads* the stream, so sweeps parallelise trivially
+//! across host threads (the simulated machines stay deterministic — host
+//! parallelism only reorders independent runs).
+
+use crate::config::{CacheKind, MachineConfig};
+use crate::distribution::Distribution;
+use crate::machine::Machine;
+use crate::report::RunReport;
+use sortmid_raster::FragmentStream;
+
+/// Builds the cartesian product of machine-parameter axes — the shape of
+/// every figure sweep in the paper.
+///
+/// Axes left unset stay at the default machine's single value.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid::{Distribution, SweepGrid};
+///
+/// let configs = SweepGrid::new()
+///     .processors([4, 16, 64])
+///     .distributions([Distribution::block(16), Distribution::sli(4)])
+///     .build();
+/// assert_eq!(configs.len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    processors: Vec<u32>,
+    distributions: Vec<Distribution>,
+    caches: Vec<CacheKind>,
+    bus_ratios: Vec<Option<f64>>,
+    buffers: Vec<usize>,
+}
+
+impl SweepGrid {
+    /// Starts a grid with every axis at the paper's default single value.
+    pub fn new() -> Self {
+        SweepGrid {
+            processors: vec![1],
+            distributions: vec![Distribution::block(16)],
+            caches: vec![CacheKind::PaperL1],
+            bus_ratios: vec![Some(1.0)],
+            buffers: vec![10_000],
+        }
+    }
+
+    /// Sets the processor-count axis.
+    pub fn processors(mut self, values: impl IntoIterator<Item = u32>) -> Self {
+        self.processors = values.into_iter().collect();
+        self
+    }
+
+    /// Sets the distribution axis.
+    pub fn distributions(mut self, values: impl IntoIterator<Item = Distribution>) -> Self {
+        self.distributions = values.into_iter().collect();
+        self
+    }
+
+    /// Sets the cache axis.
+    pub fn caches(mut self, values: impl IntoIterator<Item = CacheKind>) -> Self {
+        self.caches = values.into_iter().collect();
+        self
+    }
+
+    /// Sets the bus axis (`None` = infinite bandwidth).
+    pub fn bus_ratios(mut self, values: impl IntoIterator<Item = Option<f64>>) -> Self {
+        self.bus_ratios = values.into_iter().collect();
+        self
+    }
+
+    /// Sets the triangle-buffer axis.
+    pub fn buffers(mut self, values: impl IntoIterator<Item = usize>) -> Self {
+        self.buffers = values.into_iter().collect();
+        self
+    }
+
+    /// Materialises the cartesian product, in row-major axis order
+    /// (processors outermost, buffers innermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any combination is invalid (e.g. zero processors) — grid
+    /// axes are expected to hold valid values.
+    pub fn build(&self) -> Vec<MachineConfig> {
+        let mut out = Vec::with_capacity(
+            self.processors.len()
+                * self.distributions.len()
+                * self.caches.len()
+                * self.bus_ratios.len()
+                * self.buffers.len(),
+        );
+        for &procs in &self.processors {
+            for dist in &self.distributions {
+                for &cache in &self.caches {
+                    for &ratio in &self.bus_ratios {
+                        for &buffer in &self.buffers {
+                            let mut b = MachineConfig::builder();
+                            b.processors(procs)
+                                .distribution(dist.clone())
+                                .cache(cache)
+                                .triangle_buffer(buffer);
+                            match ratio {
+                                Some(r) => b.bus_ratio(r),
+                                None => b.infinite_bus(),
+                            };
+                            out.push(b.build().expect("grid axes hold valid values"));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs every configuration against `stream`, in parallel across host
+/// threads, preserving input order in the output.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid::{run_sweep, Distribution, MachineConfig};
+/// use sortmid_scene::{Benchmark, SceneBuilder};
+///
+/// let stream = SceneBuilder::benchmark(Benchmark::Quake).scale(0.1).build().rasterize();
+/// let configs: Vec<_> = [4u32, 16]
+///     .iter()
+///     .map(|&p| {
+///         MachineConfig::builder()
+///             .processors(p)
+///             .distribution(Distribution::block(16))
+///             .build()
+///             .unwrap()
+///     })
+///     .collect();
+/// let reports = run_sweep(&stream, &configs);
+/// assert_eq!(reports.len(), 2);
+/// ```
+pub fn run_sweep(stream: &FragmentStream, configs: &[MachineConfig]) -> Vec<RunReport> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(configs.len().max(1));
+    if threads <= 1 || configs.len() <= 1 {
+        return configs
+            .iter()
+            .map(|c| Machine::new(c.clone()).run(stream))
+            .collect();
+    }
+    let mut out: Vec<Option<RunReport>> = vec![None; configs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out_cells: Vec<std::sync::Mutex<&mut Option<RunReport>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let report = Machine::new(configs[i].clone()).run(stream);
+                **out_cells[i].lock().expect("no poisoning") = Some(report);
+            });
+        }
+    });
+    drop(out_cells);
+    out.into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheKind;
+    use crate::distribution::Distribution;
+    use sortmid_scene::{Benchmark, SceneBuilder};
+
+    #[test]
+    fn sweep_matches_sequential_runs() {
+        let stream = SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.1)
+            .build()
+            .rasterize();
+        let configs: Vec<MachineConfig> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&p| {
+                MachineConfig::builder()
+                    .processors(p)
+                    .distribution(Distribution::block(16))
+                    .cache(CacheKind::PaperL1)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let parallel = run_sweep(&stream, &configs);
+        for (config, report) in configs.iter().zip(&parallel) {
+            let sequential = Machine::new(config.clone()).run(&stream);
+            assert_eq!(report.total_cycles(), sequential.total_cycles());
+            assert_eq!(report.texel_to_fragment(), sequential.texel_to_fragment());
+        }
+    }
+
+    #[test]
+    fn grid_is_the_cartesian_product() {
+        let configs = SweepGrid::new()
+            .processors([4, 16])
+            .distributions([Distribution::block(8), Distribution::block(16), Distribution::sli(2)])
+            .buffers([100, 10_000])
+            .build();
+        assert_eq!(configs.len(), 12);
+        // Row-major: processors outermost.
+        assert_eq!(configs[0].processors, 4);
+        assert_eq!(configs[11].processors, 16);
+        assert_eq!(configs[0].triangle_buffer, 100);
+        assert_eq!(configs[1].triangle_buffer, 10_000);
+    }
+
+    #[test]
+    fn grid_defaults_are_the_paper_machine() {
+        let configs = SweepGrid::default().build();
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].processors, 1);
+        assert_eq!(configs[0].bus.line_cost(), 16);
+    }
+
+    #[test]
+    fn grid_infinite_bus_axis() {
+        let configs = SweepGrid::new().bus_ratios([Some(2.0), None]).build();
+        assert_eq!(configs.len(), 2);
+        assert_eq!(configs[0].bus.line_cost(), 8);
+        assert!(configs[1].bus.is_infinite());
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let stream = SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.1)
+            .build()
+            .rasterize();
+        assert!(run_sweep(&stream, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_config_sweep() {
+        let stream = SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.1)
+            .build()
+            .rasterize();
+        let configs = vec![MachineConfig::uniprocessor()];
+        assert_eq!(run_sweep(&stream, &configs).len(), 1);
+    }
+}

@@ -1,0 +1,634 @@
+//! Ablations and extensions beyond the paper's figures.
+//!
+//! * [`prefetch_window`] — how deep the Igehy-style fragment FIFO must be
+//!   before "latency is hidden" actually holds (the paper assumes it).
+//! * [`cache_geometry`] — sensitivity of the texel-to-fragment ratio to
+//!   cache size and associativity around the Hakura-Gupta 16 KB/4-way
+//!   point.
+//! * [`dynamic_sli`] — the paper's future-work machine: per-frame
+//!   work-balanced scanline groups vs static SLI and block.
+//! * [`l2_cache`] — the paper's closing question: what a second cache level
+//!   buys each node.
+
+use crate::common::{machine, PreparedScene};
+use sortmid::{dynamic, work, CacheKind, Distribution, Machine};
+use sortmid_cache::CacheGeometry;
+use sortmid_scene::Benchmark;
+use sortmid_util::table::{fmt_f, Table};
+
+/// Sweep of the prefetch window on a bus-bound configuration.
+pub fn prefetch_window(scale: f64) -> Table {
+    let scene = PreparedScene::new(Benchmark::Massive32_11255, scale);
+    let mut t = Table::new(&["window", "cycles", "stall cycles", "slowdown vs unbounded"]);
+    let mut config = machine(
+        16,
+        Distribution::block(16),
+        CacheKind::PaperL1,
+        Some(1.0),
+        10_000,
+    );
+    config.prefetch_window = None;
+    let unbounded = Machine::new(config.clone()).run(&scene.stream);
+    for window in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        config.prefetch_window = Some(window);
+        let r = Machine::new(config.clone()).run(&scene.stream);
+        t.row_owned(vec![
+            window.to_string(),
+            r.total_cycles().to_string(),
+            r.total_stalls().to_string(),
+            fmt_f(r.total_cycles() as f64 / unbounded.total_cycles() as f64, 3),
+        ]);
+    }
+    t.row_owned(vec![
+        "unbounded".to_string(),
+        unbounded.total_cycles().to_string(),
+        unbounded.total_stalls().to_string(),
+        fmt_f(1.0, 3),
+    ]);
+    t
+}
+
+/// Texel-to-fragment ratio across cache sizes and associativities
+/// (16 processors, block-16, infinite bus).
+pub fn cache_geometry(scale: f64) -> Table {
+    let scene = PreparedScene::new(Benchmark::Massive32_11255, scale);
+    let mut t = Table::new(&["size KB", "1-way", "2-way", "4-way", "8-way"]);
+    for size_kb in [4u32, 8, 16, 32, 64] {
+        let mut row = vec![size_kb.to_string()];
+        for ways in [1u32, 2, 4, 8] {
+            let geometry = CacheGeometry::new(size_kb * 1024, ways, 64).expect("valid");
+            let r = Machine::new(machine(
+                16,
+                Distribution::block(16),
+                CacheKind::SetAssoc(geometry),
+                None,
+                10_000,
+            ))
+            .run(&scene.stream);
+            row.push(fmt_f(r.texel_to_fragment(), 3));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Victim buffer vs associativity: can a direct-mapped L1 with a few
+/// victim slots stand in for the 4-way Hakura-Gupta design on texture
+/// streams? (16 processors, block-16, infinite bus.)
+pub fn victim_buffer(scale: f64) -> Table {
+    use sortmid::Machine;
+
+    let scene = PreparedScene::new(Benchmark::Massive32_11255, scale);
+    let dm = CacheGeometry::new(16 * 1024, 1, 64).expect("valid");
+    let configs: Vec<(&str, CacheKind)> = vec![
+        ("16KB direct-mapped", CacheKind::SetAssoc(dm)),
+        ("16KB DM + 4 victims", CacheKind::Victim(dm, 4)),
+        ("16KB DM + 16 victims", CacheKind::Victim(dm, 16)),
+        ("16KB 2-way", CacheKind::SetAssoc(CacheGeometry::new(16 * 1024, 2, 64).expect("valid"))),
+        ("16KB 4-way (paper)", CacheKind::PaperL1),
+    ];
+    let mut t = Table::new(&["cache", "texel/frag"]);
+    for (label, cache) in configs {
+        let r = Machine::new(machine(16, Distribution::block(16), cache, None, 10_000))
+            .run(&scene.stream);
+        t.row_owned(vec![label.to_string(), fmt_f(r.texel_to_fragment(), 3)]);
+    }
+    t
+}
+
+/// Dynamic-SLI vs the static schemes: imbalance and speedup per processor
+/// count on a clustered scene.
+pub fn dynamic_sli(scale: f64) -> Table {
+    let scene = PreparedScene::new(Benchmark::Room3, scale);
+    let mut t = Table::new(&[
+        "procs",
+        "static sli imb%",
+        "dyn sli imb%",
+        "block-16 imb%",
+        "static sli speedup",
+        "dyn sli speedup",
+        "block-16 speedup",
+    ]);
+    let baseline = Machine::new(machine(
+        1,
+        Distribution::block(16),
+        CacheKind::PaperL1,
+        Some(1.0),
+        10_000,
+    ))
+    .run(&scene.stream);
+    for procs in [4u32, 16, 64] {
+        // The static comparator: one equal-height band group per processor
+        // interleaved in round robin — the configuration dynamic adjustment
+        // replaces. (Fine static interleave like sli-4 is the *other* cure,
+        // with the locality cost Figure 6 quantifies.)
+        let lines = (scene.stream.screen().height() / (4 * procs)).max(1);
+        let static_dist = Distribution::sli(lines);
+        let dyn_dist = dynamic::balanced_sli_for(&scene.stream, procs, 4);
+        let block = Distribution::block(16);
+        let mut row = vec![procs.to_string()];
+        for d in [&static_dist, &dyn_dist, &block] {
+            row.push(fmt_f(work::pixel_imbalance(&scene.stream, d, procs), 1));
+        }
+        for d in [&static_dist, &dyn_dist, &block] {
+            let r = Machine::new(machine(
+                procs,
+                d.clone(),
+                CacheKind::PaperL1,
+                Some(1.0),
+                10_000,
+            ))
+            .run(&scene.stream);
+            row.push(fmt_f(r.speedup_vs(&baseline), 2));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Skewed vs raster-order block interleave: why [`Distribution::Block`]
+/// assigns tile `(tx, ty)` to `(tx + ceil(sqrt(P))·ty) mod P` instead of
+/// naive raster round robin (which degenerates into vertical stripes when
+/// the per-row tile count divides the processor count).
+pub fn block_skew(scale: f64) -> Table {
+    let scene = PreparedScene::new(Benchmark::Room3, scale);
+    let screen_w = scene.stream.screen().width();
+    let mut t = Table::new(&[
+        "procs",
+        "width",
+        "raster imb%",
+        "skewed imb%",
+        "raster speedup",
+        "skewed speedup",
+    ]);
+    let baseline = Machine::new(machine(
+        1,
+        Distribution::block(16),
+        CacheKind::PaperL1,
+        Some(1.0),
+        10_000,
+    ))
+    .run(&scene.stream);
+    for procs in [4u32, 16] {
+        // The raster interleave only stripes when the per-row tile count is
+        // a multiple of the processor count — the situation a full-screen
+        // power-of-two design hits constantly. Pick a width that triggers
+        // it on this screen.
+        let width = (8..=32)
+            .find(|w| screen_w.div_ceil(*w) % procs == 0)
+            .unwrap_or(16);
+        let raster = Distribution::block_raster(width, screen_w);
+        let skewed = Distribution::block(width);
+        let mut row = vec![procs.to_string(), width.to_string()];
+        for d in [&raster, &skewed] {
+            row.push(fmt_f(work::pixel_imbalance(&scene.stream, d, procs), 1));
+        }
+        for d in [&raster, &skewed] {
+            let r = Machine::new(machine(procs, d.clone(), CacheKind::PaperL1, Some(1.0), 10_000))
+                .run(&scene.stream);
+            row.push(fmt_f(r.speedup_vs(&baseline), 2));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Single-level vs two-level cache hierarchies: external texel traffic.
+pub fn l2_cache(scale: f64) -> Table {
+    let mut t = Table::new(&["benchmark", "procs", "L1-only t/f", "L1+L2 t/f", "reduction"]);
+    for b in [Benchmark::Massive32_11255, Benchmark::TeapotFull] {
+        let scene = PreparedScene::new(b, scale);
+        for procs in [1u32, 16, 64] {
+            let l1 = Machine::new(machine(
+                procs,
+                Distribution::block(16),
+                CacheKind::PaperL1,
+                None,
+                10_000,
+            ))
+            .run(&scene.stream);
+            let l2 = Machine::new(machine(
+                procs,
+                Distribution::block(16),
+                CacheKind::TwoLevel(CacheGeometry::paper_l1(), CacheGeometry::paper_l2()),
+                None,
+                10_000,
+            ))
+            .run(&scene.stream);
+            let a = l1.texel_to_fragment();
+            let bb = l2.texel_to_fragment();
+            t.row_owned(vec![
+                b.name().to_string(),
+                procs.to_string(),
+                fmt_f(a, 3),
+                fmt_f(bb, 3),
+                fmt_f(if a > 0.0 { 1.0 - bb / a } else { 0.0 }, 3),
+            ]);
+        }
+    }
+    t
+}
+
+/// Raster vs Morton block linearisation of texture memory: the block
+/// *order* does not change which lines exist (4×4 blocking fixes that),
+/// but it changes where neighbouring blocks land — which shows up in
+/// set-conflict behaviour and, with the SDRAM model, in row locality.
+pub fn block_order(scale: f64) -> Table {
+    use sortmid::Machine;
+    use sortmid_memsys::{BusConfig, DramConfig};
+    use sortmid_scene::Scene;
+    use sortmid_texture::{BlockOrder, TextureRegistry};
+
+    let base = PreparedScene::new(Benchmark::Massive32_11255, scale);
+    // Re-lay the same textures out in Morton order and re-resolve the
+    // fragment footprints against the new address map.
+    let mut morton_reg = TextureRegistry::with_block_order(BlockOrder::Morton);
+    for id in base.scene.registry().ids() {
+        morton_reg
+            .register(base.scene.registry().desc(id))
+            .expect("same textures fit");
+    }
+    let morton_scene = Scene::from_parts(
+        format!("{}+morton", base.scene.name()),
+        base.scene.screen(),
+        base.scene.triangles().to_vec(),
+        morton_reg,
+    );
+    let morton_stream = morton_scene.rasterize();
+
+    let mut t = Table::new(&[
+        "layout",
+        "conflict misses",
+        "total misses",
+        "sdram cycles",
+        "dram slowdown vs flat",
+    ]);
+    for (label, stream) in [("raster", &base.stream), ("morton", &morton_stream)] {
+        let classified = Machine::new(machine(
+            16,
+            Distribution::block(16),
+            CacheKind::Classifying(CacheGeometry::paper_l1()),
+            None,
+            10_000,
+        ))
+        .run(stream);
+        let breakdown = classified.miss_breakdown().expect("classifying cache");
+        let flat = Machine::new(machine(
+            16,
+            Distribution::block(16),
+            CacheKind::PaperL1,
+            Some(1.0),
+            10_000,
+        ))
+        .run(stream);
+        let mut cfg = machine(16, Distribution::block(16), CacheKind::PaperL1, Some(1.0), 10_000);
+        cfg.dram = Some(DramConfig::sdram_like(BusConfig::ratio(1.0)));
+        let paged = Machine::new(cfg).run(stream);
+        t.row_owned(vec![
+            label.to_string(),
+            breakdown.conflict.to_string(),
+            classified.cache_totals().misses().to_string(),
+            paged.total_cycles().to_string(),
+            fmt_f(paged.total_cycles() as f64 / flat.total_cycles() as f64, 3),
+        ]);
+    }
+    t
+}
+
+/// SDRAM page-mode vs the paper's flat bandwidth bus: how much does the
+/// flat-bus abstraction hide? Blocked texture layout keeps consecutive
+/// fills in the same DRAM row, so the penalty should be modest — and grow
+/// as blocks shrink and fetches scatter.
+pub fn dram_page_mode(scale: f64) -> Table {
+    use sortmid::Machine;
+    use sortmid_memsys::{BusConfig, DramConfig};
+
+    let scene = PreparedScene::new(Benchmark::Massive32_11255, scale);
+    let mut t = Table::new(&["width", "flat cycles", "sdram cycles", "slowdown"]);
+    for width in [4u32, 16, 64] {
+        let flat = Machine::new(machine(
+            16,
+            Distribution::block(width),
+            CacheKind::PaperL1,
+            Some(1.0),
+            10_000,
+        ))
+        .run(&scene.stream);
+        let mut cfg = machine(
+            16,
+            Distribution::block(width),
+            CacheKind::PaperL1,
+            Some(1.0),
+            10_000,
+        );
+        cfg.dram = Some(DramConfig::sdram_like(BusConfig::ratio(1.0)));
+        let paged = Machine::new(cfg).run(&scene.stream);
+        t.row_owned(vec![
+            width.to_string(),
+            flat.total_cycles().to_string(),
+            paged.total_cycles().to_string(),
+            fmt_f(paged.total_cycles() as f64 / flat.total_cycles() as f64, 3),
+        ]);
+    }
+    t
+}
+
+/// Tile *shape* at constant tile *area*: is the square the right aspect
+/// ratio, or only the right size? ("Different tile shapes might be used in
+/// such machines.") 256-pixel tiles from 64×4 to 4×64, 64 processors.
+pub fn tile_shape(scale: f64) -> Table {
+    use sortmid::Machine;
+
+    let scene = PreparedScene::new(Benchmark::Massive32_11255, scale);
+    let mut t = Table::new(&["shape", "imbalance %", "texel/frag", "speedup"]);
+    let baseline = Machine::new(machine(
+        1,
+        Distribution::block(16),
+        CacheKind::PaperL1,
+        Some(1.0),
+        10_000,
+    ))
+    .run(&scene.stream);
+    for (w, h) in [(64u32, 4u32), (32, 8), (16, 16), (8, 32), (4, 64)] {
+        let dist = Distribution::tile(w, h);
+        let imb = work::pixel_imbalance(&scene.stream, &dist, 64);
+        let r = Machine::new(machine(64, dist, CacheKind::PaperL1, Some(1.0), 10_000))
+            .run(&scene.stream);
+        t.row_owned(vec![
+            format!("{w}x{h}"),
+            fmt_f(imb, 1),
+            fmt_f(r.texel_to_fragment(), 3),
+            fmt_f(r.speedup_vs(&baseline), 2),
+        ]);
+    }
+    t
+}
+
+/// Where do the extra multiprocessor misses come from? Classifies every
+/// miss (compulsory / capacity / conflict) as the machine grows; the
+/// paper's locality loss (Figure 2's shared cache lines) shows up as extra
+/// compulsory-per-node *and* reduced reuse, not as conflict artefacts.
+pub fn miss_classification(scale: f64) -> Table {
+    use sortmid::Machine;
+
+    let scene = PreparedScene::new(Benchmark::Massive32_11255, scale);
+    let mut t = Table::new(&[
+        "procs",
+        "misses/frag",
+        "compulsory",
+        "capacity",
+        "conflict",
+    ]);
+    for procs in [1u32, 4, 16, 64] {
+        let r = Machine::new(machine(
+            procs,
+            Distribution::block(16),
+            CacheKind::Classifying(CacheGeometry::paper_l1()),
+            None,
+            10_000,
+        ))
+        .run(&scene.stream);
+        let b = r.miss_breakdown().expect("classifying cache tracks kinds");
+        let frags = r.fragments() as f64;
+        t.row_owned(vec![
+            procs.to_string(),
+            fmt_f(r.cache_totals().misses() as f64 / frags, 4),
+            fmt_f(b.compulsory as f64 / frags, 4),
+            fmt_f(b.capacity as f64 / frags, 4),
+            fmt_f(b.conflict as f64 / frags, 4),
+        ]);
+    }
+    t
+}
+
+/// Sort-middle vs sort-last: the architectural comparison behind the
+/// paper's motivation (its references \[13\]/\[14\] studied texture caches in a
+/// sort-last machine). Same node model everywhere; sort-last deals whole
+/// triangles (round-robin or in object-sized runs) and pays no overlap,
+/// sort-middle splits the screen and pays setup on every overlapped node.
+pub fn architectures(scale: f64) -> Table {
+    use sortmid::sortlast::{run_sort_last, TriangleAssignment};
+    use sortmid::Machine;
+
+    let scene = PreparedScene::new(Benchmark::Massive32_11255, scale);
+    let mut t = Table::new(&[
+        "procs",
+        "sort-middle speedup",
+        "t/f",
+        "sort-last rr speedup",
+        "t/f",
+        "sort-last chunked speedup",
+        "t/f",
+    ]);
+    let base_cfg = machine(1, Distribution::block(16), CacheKind::PaperL1, Some(1.0), 10_000);
+    let baseline = Machine::new(base_cfg).run(&scene.stream);
+    for procs in [4u32, 16, 64] {
+        let cfg = machine(procs, Distribution::block(16), CacheKind::PaperL1, Some(1.0), 10_000);
+        let sm = Machine::new(cfg.clone()).run(&scene.stream);
+        let rr = run_sort_last(&scene.stream, &cfg, TriangleAssignment::RoundRobin);
+        let ch = run_sort_last(&scene.stream, &cfg, TriangleAssignment::Chunked { chunk: 32 });
+        let mut row = vec![procs.to_string()];
+        for r in [&sm, &rr, &ch] {
+            row.push(fmt_f(r.speedup_vs(&baseline), 2));
+            row.push(fmt_f(r.texel_to_fragment(), 3));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Inter-frame locality of a per-node L2 under viewpoint translation — the
+/// paper's final paragraph: "if this translation was greater than the tile
+/// size, the L2 would reload different textures in the next frame and the
+/// efficiency would be reduced."
+///
+/// Frame 1 warms the caches; frame 2 is the same scene panned by `dx`
+/// pixels. Reported: frame-2 external texels per fragment for several pan
+/// distances, on single- and 16-processor machines.
+pub fn l2_interframe(scale: f64) -> Table {
+    use sortmid::Machine;
+
+    let scene = PreparedScene::new(Benchmark::TeapotFull, scale);
+    let mut t = Table::new(&["pan px", "1p frame2 t/f", "16p frame2 t/f", "16p retention"]);
+    let cache = CacheKind::TwoLevel(CacheGeometry::paper_l1(), CacheGeometry::paper_l2());
+    let run_pair = |procs: u32, dx: f32| {
+        let frame2 = scene.scene.translated_view(dx, 0.0).rasterize();
+        let machine = Machine::new(machine(
+            procs,
+            Distribution::block(16),
+            cache,
+            None,
+            10_000,
+        ));
+        let reports = machine.run_sequence(&[&scene.stream, &frame2]);
+        reports[1].texel_to_fragment()
+    };
+    let repeat_16 = run_pair(16, 0.0);
+    // Pan distances stay a fraction of the screen so the scene remains in
+    // view at any generator scale.
+    let width = scene.stream.screen().width() as f32;
+    for pan_frac in [0.0f32, 0.02, 0.1, 0.3] {
+        let pan = (width * pan_frac).round();
+        let one = run_pair(1, pan);
+        let sixteen = run_pair(16, pan);
+        t.row_owned(vec![
+            format!("{pan}"),
+            fmt_f(one, 3),
+            fmt_f(sixteen, 3),
+            fmt_f(if sixteen > 0.0 { repeat_16 / sixteen } else { 1.0 }, 3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_window_monotone() {
+        let t = prefetch_window(0.1);
+        let csv = t.to_csv();
+        let cycles: Vec<u64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        // Deeper windows never slow the machine down.
+        for w in cycles.windows(2) {
+            assert!(w[1] <= w[0], "deeper window should not be slower: {cycles:?}");
+        }
+    }
+
+    #[test]
+    fn bigger_caches_fetch_less() {
+        let t = cache_geometry(0.1);
+        let csv = t.to_csv();
+        let rows: Vec<Vec<f64>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').skip(1).map(|c| c.parse().unwrap()).collect())
+            .collect();
+        // 64KB 4-way fetches no more than 4KB 4-way.
+        assert!(rows.last().unwrap()[2] <= rows.first().unwrap()[2]);
+    }
+
+    #[test]
+    fn skewed_interleave_beats_raster() {
+        let t = block_skew(0.12);
+        let csv = t.to_csv();
+        // At some processor count the raster interleave must balance
+        // clearly worse than the skewed one.
+        let mut raster_worse = false;
+        for line in csv.lines().skip(1) {
+            let cells: Vec<f64> = line.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+            if cells[0] > 1.5 * cells[1] {
+                raster_worse = true;
+            }
+        }
+        assert!(raster_worse, "expected stripes to hurt somewhere:\n{csv}");
+    }
+
+    #[test]
+    fn victim_buffer_sits_between_dm_and_4way() {
+        let t = victim_buffer(0.1);
+        let csv = t.to_csv();
+        let vals: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        let (dm, dm_v16, four_way) = (vals[0], vals[2], vals[4]);
+        assert!(dm_v16 <= dm, "victims must not hurt: {dm_v16} vs {dm}");
+        assert!(four_way <= dm, "associativity helps: {four_way} vs {dm}");
+    }
+
+    #[test]
+    fn block_order_changes_addressing_not_compulsory_lines() {
+        let t = block_order(0.1);
+        let csv = t.to_csv();
+        let rows: Vec<Vec<f64>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').skip(1).map(|c| c.parse().unwrap()).collect())
+            .collect();
+        assert_eq!(rows.len(), 2);
+        // Both layouts see the same blocking, so total misses stay close.
+        let (raster_total, morton_total) = (rows[0][1], rows[1][1]);
+        let rel = (raster_total - morton_total).abs() / raster_total;
+        assert!(rel < 0.2, "layouts should miss similarly: {raster_total} vs {morton_total}");
+    }
+
+    #[test]
+    fn page_mode_costs_something_but_not_everything() {
+        let t = dram_page_mode(0.1);
+        let csv = t.to_csv();
+        for line in csv.lines().skip(1) {
+            let slowdown: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
+            assert!(
+                (1.0..1.8).contains(&slowdown),
+                "page-mode slowdown should be modest: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn miss_classification_partitions_and_grows() {
+        let t = miss_classification(0.1);
+        let csv = t.to_csv();
+        let rows: Vec<Vec<f64>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').skip(1).map(|c| c.parse().unwrap()).collect())
+            .collect();
+        for r in &rows {
+            // misses == compulsory + capacity + conflict (per fragment).
+            assert!((r[0] - (r[1] + r[2] + r[3])).abs() < 1e-3, "{r:?}");
+        }
+        // Total misses per fragment grow with the machine.
+        assert!(rows.last().unwrap()[0] > rows.first().unwrap()[0]);
+    }
+
+    #[test]
+    fn sort_last_trades_overlap_for_locality() {
+        let t = architectures(0.1);
+        assert_eq!(t.len(), 3);
+        let csv = t.to_csv();
+        // Every speedup is positive and bounded by the processor count.
+        for (line, procs) in csv.lines().skip(1).zip([4.0f64, 16.0, 64.0]) {
+            let cells: Vec<f64> = line.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+            for s in [cells[0], cells[2], cells[4]] {
+                assert!(s > 0.5 && s <= procs + 0.5, "speedup {s} at {procs}p");
+            }
+        }
+    }
+
+    #[test]
+    fn interframe_pan_degrades_l2_reuse() {
+        let t = l2_interframe(0.1);
+        let csv = t.to_csv();
+        let rows: Vec<Vec<f64>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').skip(1).map(|c| c.parse().unwrap()).collect())
+            .collect();
+        // A repeated frame (pan 0) refetches less than a far-panned one on
+        // the parallel machine.
+        let repeat = rows.first().unwrap()[1];
+        let panned = rows.last().unwrap()[1];
+        assert!(
+            panned > repeat,
+            "large pan ({panned:.3}) should refetch more than repeat ({repeat:.3})"
+        );
+    }
+
+    #[test]
+    fn l2_reduces_external_traffic() {
+        let t = l2_cache(0.1);
+        let csv = t.to_csv();
+        for line in csv.lines().skip(1) {
+            let reduction: f64 = line.split(',').nth(4).unwrap().parse().unwrap();
+            assert!(reduction >= -0.01, "L2 must not increase traffic: {line}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 6 — impact of the distribution scheme on texel locality.
+//!
+//! Texel-to-fragment ratio (texels fetched from external memory per
+//! fragment) vs processor count, with 16 KB caches and **infinite-bandwidth
+//! buses** (the paper: "we have simulated our architecture with 16KB caches
+//! and infinite bandwidth buses; we have then measured the average bandwidth
+//! required"). One column per block width / SLI group size.
+//!
+//! The paper plots `32massive11255` and `teapot.full` and notes the other
+//! scenes behave like one of the two; we emit every scene.
+
+use crate::common::{machine, PreparedScene, BLOCK_WIDTHS, PROC_CURVE, SLI_LINES};
+use sortmid::{CacheKind, Distribution, Machine};
+use sortmid_util::table::{fmt_f, Table};
+
+/// Texel-to-fragment ratio of one scene vs processor count; one column per
+/// parameter value.
+pub fn locality_table(scene: &PreparedScene, sli: bool) -> Table {
+    let params: &[u32] = if sli { &SLI_LINES } else { &BLOCK_WIDTHS };
+    let mut header = vec!["procs".to_string()];
+    header.extend(params.iter().map(|p| p.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for &procs in &PROC_CURVE {
+        let mut row = vec![procs.to_string()];
+        for &p in params {
+            let dist = if sli {
+                Distribution::sli(p)
+            } else {
+                Distribution::block(p)
+            };
+            let report =
+                Machine::new(machine(procs, dist, CacheKind::PaperL1, None, 10_000)).run(&scene.stream);
+            row.push(fmt_f(report.texel_to_fragment(), 3));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Runs Figure 6 for every benchmark at `scale`: returns
+/// `(scene name, block table, SLI table)` triples.
+pub fn run(scale: f64) -> Vec<(String, Table, Table)> {
+    PreparedScene::all(scale)
+        .iter()
+        .map(|s| {
+            (
+                s.benchmark.name().to_string(),
+                locality_table(s, false),
+                locality_table(s, true),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortmid_scene::Benchmark;
+
+    fn col(table: &Table, row: usize, col: usize) -> f64 {
+        table
+            .to_csv()
+            .lines()
+            .nth(row + 1)
+            .unwrap()
+            .split(',')
+            .nth(col)
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn ratio_grows_as_blocks_shrink() {
+        let s = PreparedScene::new(Benchmark::Massive32_11255, 0.12);
+        let t = locality_table(&s, false);
+        // Row for 16 procs (PROC_CURVE index 4), block-4 vs block-128.
+        let small = col(&t, 4, 1);
+        let big = col(&t, 4, BLOCK_WIDTHS.len());
+        assert!(
+            small > big,
+            "block-4 ratio {small} should exceed block-128 {big}"
+        );
+    }
+
+    #[test]
+    fn ratio_grows_with_processors_for_small_groups() {
+        let s = PreparedScene::new(Benchmark::TeapotFull, 0.12);
+        let t = locality_table(&s, true);
+        // SLI-2 column (index 2): 1 proc vs 64 procs.
+        let one = col(&t, 0, 2);
+        let many = col(&t, PROC_CURVE.len() - 1, 2);
+        assert!(
+            many > one,
+            "SLI-2 at 64p ({many}) should fetch more than at 1p ({one})"
+        );
+    }
+
+    #[test]
+    fn single_processor_ratio_is_parameter_independent() {
+        let s = PreparedScene::new(Benchmark::Quake, 0.1);
+        let t = locality_table(&s, false);
+        let first = col(&t, 0, 1);
+        for c in 2..=BLOCK_WIDTHS.len() {
+            let v = col(&t, 0, c);
+            assert!((v - first).abs() < 1e-6, "1-proc ratios must match: {v} vs {first}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 8 — speedup vs block width and triangle-buffer size.
+//!
+//! `truc640`, 64 processors, block distribution. Two panels: a perfect
+//! cache, and a 16 KB cache with a 2 texel/pixel bus. Rows are block
+//! widths, columns are triangle-buffer sizes. The paper's findings: ~500
+//! entries are needed to match the ideal buffer, small buffers shrink both
+//! the peak speedup and the best width, and the buffer matters *more* with
+//! a real cache.
+
+use crate::common::{machine, PreparedScene, BLOCK_WIDTHS_FULL, BUFFER_SIZES};
+use sortmid::{CacheKind, Distribution, Machine};
+use sortmid_scene::Benchmark;
+use sortmid_util::table::{fmt_f, Table};
+
+/// One panel: speedup for every block width (rows) × buffer size (columns).
+pub fn buffer_panel(scene: &PreparedScene, procs: u32, cache: CacheKind, bus_ratio: f64) -> Table {
+    let mut header = vec!["width".to_string()];
+    header.extend(BUFFER_SIZES.iter().map(|b| b.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+
+    let baseline = Machine::new(machine(
+        1,
+        Distribution::block(16),
+        cache,
+        Some(bus_ratio),
+        10_000,
+    ))
+    .run(&scene.stream);
+
+    for &width in &BLOCK_WIDTHS_FULL {
+        let mut row = vec![width.to_string()];
+        for &buffer in &BUFFER_SIZES {
+            let report = Machine::new(machine(
+                procs,
+                Distribution::block(width),
+                cache,
+                Some(bus_ratio),
+                buffer,
+            ))
+            .run(&scene.stream);
+            row.push(fmt_f(report.speedup_vs(&baseline), 2));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Runs both Figure 8 panels at `scale`: `(perfect-cache, 16KB + 2x bus)`.
+pub fn run(scale: f64) -> (Table, Table) {
+    let scene = PreparedScene::new(Benchmark::Truc640, scale);
+    let perfect = buffer_panel(&scene, 64, CacheKind::Perfect, 2.0);
+    let cached = buffer_panel(&scene, 64, CacheKind::PaperL1, 2.0);
+    (perfect, cached)
+}
+
+/// For each buffer size (column), the best speedup over widths and the
+/// width achieving it — the "best width shrinks with the buffer" effect.
+pub fn best_width_per_buffer(panel: &Table) -> Vec<(usize, u32, f64)> {
+    let csv = panel.to_csv();
+    let mut lines = csv.lines();
+    let buffers: Vec<usize> = lines
+        .next()
+        .expect("header")
+        .split(',')
+        .skip(1)
+        .map(|c| c.parse().expect("numeric buffer"))
+        .collect();
+    let rows: Vec<(u32, Vec<f64>)> = lines
+        .map(|l| {
+            let mut cells = l.split(',');
+            let width: u32 = cells.next().unwrap().parse().unwrap();
+            (width, cells.map(|c| c.parse().unwrap()).collect())
+        })
+        .collect();
+    buffers
+        .iter()
+        .enumerate()
+        .map(|(i, &buffer)| {
+            let (width, best) = rows
+                .iter()
+                .map(|(w, speedups)| (*w, speedups[i]))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty");
+            (buffer, width, best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_buffers_never_hurt() {
+        let scene = PreparedScene::new(Benchmark::Truc640, 0.1);
+        let t = buffer_panel(&scene, 16, CacheKind::Perfect, 2.0);
+        let csv = t.to_csv();
+        for line in csv.lines().skip(1) {
+            let cells: Vec<f64> = line.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+            for w in cells.windows(2) {
+                assert!(
+                    w[1] >= w[0] - 0.02,
+                    "speedup should not drop with a bigger buffer: {cells:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_width_extraction() {
+        let mut t = Table::new(&["width", "1", "500"]);
+        t.row(&["2", "1.5", "2.0"]);
+        t.row(&["16", "1.0", "5.0"]);
+        let best = best_width_per_buffer(&t);
+        assert_eq!(best, vec![(1, 2, 1.5), (500, 16, 5.0)]);
+    }
+
+    #[test]
+    fn tiny_buffer_reduces_peak() {
+        let scene = PreparedScene::new(Benchmark::Truc640, 0.1);
+        let t = buffer_panel(&scene, 16, CacheKind::PaperL1, 2.0);
+        let best = best_width_per_buffer(&t);
+        let tiny = best.first().unwrap().2;
+        let ideal = best.last().unwrap().2;
+        assert!(
+            tiny < ideal,
+            "1-entry buffer peak {tiny} should trail ideal {ideal}"
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! `sortmid-experiments` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! sortmid-experiments <command> [--scale S] [--ratio R] [--out DIR] [--csv]
+//!
+//! commands:
+//!   table1      Table 1  — benchmark scene characteristics
+//!   fig5        Figure 5 — load balancing (imbalance + perfect-cache speedups)
+//!   fig6        Figure 6 — texel-to-fragment ratio vs processors
+//!   fig7        Figure 7 — machine speedups (--ratio 1 or 2)
+//!   fig8        Figure 8 — block width x triangle-buffer size
+//!   fig9        Figure 9 — benchmark images (PPM, into --out)
+//!   ablations   prefetch window, cache geometry, block skew, dynamic SLI,
+//!               L2 (+ inter-frame pan), sort-last, miss classes, tile shape
+//!   seeds       headline conclusion across 5 generator seeds
+//!   all         every table/figure/ablation above in order
+//!
+//!   capture <benchmark>      generate a scene + fragment-stream trace (--out DIR)
+//!   replay <trace.smfs>      run one machine over a captured trace
+//!                            (--procs N --dist block-16|sli-4 --ratio R --buffer B)
+//! ```
+
+use sortmid_experiments::{ablations, fig5, fig6, fig7, fig8, fig9, seeds, table1};
+use sortmid_util::chart::{Chart, Series};
+use sortmid_util::table::Table;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    command: String,
+    target: Option<String>,
+    scale: f64,
+    ratio: f64,
+    out: PathBuf,
+    csv: bool,
+    procs: u32,
+    dist: String,
+    buffer: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    // Per-command default scales: load-balance geometry (fig5) needs a
+    // large screen to keep block-128 meaningful; cache sweeps are costlier.
+    let default_scale = match command.as_str() {
+        "fig5" => 1.0,
+        "seeds" => 0.3,
+        "table1" | "fig9" => 0.35,
+        _ => 0.3,
+    };
+    let mut opt = Options {
+        command,
+        target: None,
+        scale: default_scale,
+        ratio: 1.0,
+        out: PathBuf::from("target/fig9"),
+        csv: false,
+        procs: 16,
+        dist: "block-16".to_string(),
+        buffer: 10_000,
+    };
+    while let Some(flag) = args.next() {
+        if !flag.starts_with("--") && opt.target.is_none() {
+            opt.target = Some(flag);
+            continue;
+        }
+        match flag.as_str() {
+            "--procs" => {
+                let v = args.next().ok_or("--procs needs a value")?;
+                opt.procs = v.parse().map_err(|_| format!("bad procs '{v}'"))?;
+            }
+            "--dist" => {
+                opt.dist = args.next().ok_or("--dist needs a value")?;
+            }
+            "--buffer" => {
+                let v = args.next().ok_or("--buffer needs a value")?;
+                opt.buffer = v.parse().map_err(|_| format!("bad buffer '{v}'"))?;
+            }
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opt.scale = v.parse().map_err(|_| format!("bad scale '{v}'"))?;
+                if !(opt.scale > 0.0 && opt.scale <= 4.0) {
+                    return Err(format!("scale {v} outside (0, 4]"));
+                }
+            }
+            "--ratio" => {
+                let v = args.next().ok_or("--ratio needs a value")?;
+                opt.ratio = v.parse().map_err(|_| format!("bad ratio '{v}'"))?;
+            }
+            "--out" => {
+                opt.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--csv" => opt.csv = true,
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(opt)
+}
+
+fn usage() -> String {
+    "usage: sortmid-experiments <table1|fig5|fig6|fig7|fig8|fig9|ablations|seeds|all> \
+     [--scale S] [--ratio R] [--out DIR] [--csv]\n\
+     \x20      sortmid-experiments capture <benchmark> [--scale S] [--out DIR]\n\
+     \x20      sortmid-experiments replay <trace.smfs> [--procs N] [--dist D] \
+     [--ratio R] [--buffer B]"
+        .to_string()
+}
+
+fn capture(opt: &Options) -> Result<(), String> {
+    use sortmid_scene::{Benchmark, SceneBuilder};
+    let name = opt.target.as_deref().ok_or("capture needs a benchmark name")?;
+    let benchmark: Benchmark = name.parse().map_err(|e| format!("{e}"))?;
+    let scene = SceneBuilder::benchmark(benchmark).scale(opt.scale).build();
+    let stream = scene.rasterize();
+    std::fs::create_dir_all(&opt.out).map_err(|e| format!("create {}: {e}", opt.out.display()))?;
+    let stem = name.replace('.', "_");
+    let scene_path = opt.out.join(format!("{stem}.smsc"));
+    let stream_path = opt.out.join(format!("{stem}.smfs"));
+    let sf = std::fs::File::create(&scene_path).map_err(|e| format!("{e}"))?;
+    sortmid_scene::write_scene(std::io::BufWriter::new(sf), &scene).map_err(|e| format!("{e}"))?;
+    let tf = std::fs::File::create(&stream_path).map_err(|e| format!("{e}"))?;
+    sortmid_raster::write_stream(std::io::BufWriter::new(tf), &stream).map_err(|e| format!("{e}"))?;
+    println!(
+        "captured {name} at scale {}: {} ({} triangles) and {} ({} fragments)",
+        opt.scale,
+        scene_path.display(),
+        scene.triangles().len(),
+        stream_path.display(),
+        stream.fragment_count()
+    );
+    Ok(())
+}
+
+fn replay(opt: &Options) -> Result<(), String> {
+    use sortmid::{CacheKind, Distribution, Machine, MachineConfig};
+    let path = opt.target.as_deref().ok_or("replay needs a trace path")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let stream =
+        sortmid_raster::read_stream(std::io::BufReader::new(file)).map_err(|e| format!("{e}"))?;
+    let dist: Distribution = opt.dist.parse().map_err(|e| format!("{e}"))?;
+    let build = |procs: u32| {
+        MachineConfig::builder()
+            .processors(procs)
+            .distribution(dist.clone())
+            .cache(CacheKind::PaperL1)
+            .bus_ratio(opt.ratio)
+            .triangle_buffer(opt.buffer)
+            .build()
+            .map_err(|e| format!("{e}"))
+    };
+    let baseline = Machine::new(build(1)?).run(&stream);
+    let report = Machine::new(build(opt.procs)?).run(&stream);
+    println!("trace    : {path} ({} fragments, {} triangles)", stream.fragment_count(), stream.triangle_count());
+    println!("machine  : {}", report.summary());
+    println!("cycles   : {}", report.total_cycles());
+    println!("speedup  : {:.2}x vs 1 processor", report.speedup_vs(&baseline));
+    println!("texel/frag: {:.3}", report.texel_to_fragment());
+    println!("imbalance: {:.1}% (pixels), {:.1}% (busy cycles)", report.pixel_imbalance_percent(), report.busy_imbalance_percent());
+    println!("overlap  : {:.2} nodes/triangle", report.overlap_factor());
+    println!("stalls   : {} engine cycles on saturated buses", report.total_stalls());
+    Ok(())
+}
+
+/// Renders a "curves" table (first column = x, remaining columns = one
+/// series each) as an ASCII chart.
+fn chart_curves(table: &Table, series_prefix: &str) -> String {
+    let csv = table.to_csv();
+    let mut lines = csv.lines();
+    let header: Vec<String> = lines
+        .next()
+        .map(|h| h.split(',').skip(1).map(str::to_string).collect())
+        .unwrap_or_default();
+    let mut columns: Vec<Vec<(f64, f64)>> = vec![Vec::new(); header.len()];
+    for line in lines {
+        let mut cells = line.split(',');
+        let x: f64 = match cells.next().and_then(|c| c.parse().ok()) {
+            Some(x) => x,
+            None => continue,
+        };
+        for (col, cell) in cells.enumerate() {
+            if let Ok(y) = cell.parse::<f64>() {
+                columns[col].push((x, y));
+            }
+        }
+    }
+    let mut chart = Chart::new(56, 14);
+    for (name, points) in header.into_iter().zip(columns) {
+        chart = chart.series(Series::new(format!("{series_prefix}{name}"), points));
+    }
+    chart.render()
+}
+
+fn emit(title: &str, table: &Table, csv: bool) {
+    println!("== {title} ==");
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_ascii());
+    }
+    println!();
+}
+
+fn run(opt: &Options) -> Result<(), String> {
+    match opt.command.as_str() {
+        "capture" => return capture(opt),
+        "replay" => return replay(opt),
+        _ => {}
+    }
+    let wants = |name: &str| opt.command == name || opt.command == "all";
+    let mut matched = false;
+
+    if wants("table1") {
+        matched = true;
+        let rows = table1::run(opt.scale);
+        emit(
+            &format!("Table 1: benchmark scene characteristics (measured at scale {}, extrapolated)", opt.scale),
+            &table1::render(&rows),
+            opt.csv,
+        );
+    }
+    if wants("fig5") {
+        matched = true;
+        let (imb_block, imb_sli, sp_block, sp_sli) = fig5::run(opt.scale);
+        emit("Figure 5a: imbalance % per block width, 64 processors", &imb_block, opt.csv);
+        emit("Figure 5b: imbalance % per SLI group size, 64 processors", &imb_sli, opt.csv);
+        emit(
+            "Figure 5c: perfect-cache speedup vs processors, 32massive11255, block",
+            &sp_block,
+            opt.csv,
+        );
+        emit(
+            "Figure 5d: perfect-cache speedup vs processors, 32massive11255, SLI",
+            &sp_sli,
+            opt.csv,
+        );
+        if !opt.csv {
+            println!("speedup vs processors (block widths):");
+            print!("{}", chart_curves(&sp_block, "block-"));
+            println!("speedup vs processors (SLI groups):");
+            print!("{}", chart_curves(&sp_sli, "sli-"));
+        }
+    }
+    if wants("fig6") {
+        matched = true;
+        for (name, block, sli) in fig6::run(opt.scale) {
+            emit(&format!("Figure 6: texel/fragment vs processors, {name}, block"), &block, opt.csv);
+            emit(&format!("Figure 6: texel/fragment vs processors, {name}, SLI"), &sli, opt.csv);
+        }
+    }
+    if wants("fig7") {
+        matched = true;
+        for (title, panel) in fig7::run(opt.scale, opt.ratio) {
+            emit(&format!("Figure 7: speedup, {title}"), &panel, opt.csv);
+            let best = fig7::best_params(&panel);
+            let summary: Vec<String> = best
+                .iter()
+                .map(|(name, p, s)| format!("{name}: best={p} ({s:.2}x)"))
+                .collect();
+            println!("   best parameter per scene: {}", summary.join(", "));
+            println!();
+        }
+    }
+    if wants("fig8") {
+        matched = true;
+        let (perfect, cached) = fig8::run(opt.scale);
+        emit("Figure 8a: speedup, truc640, 64 procs, perfect cache (width x buffer)", &perfect, opt.csv);
+        for (buffer, width, best) in fig8::best_width_per_buffer(&perfect) {
+            println!("   buffer {buffer}: best width {width} ({best:.2}x)");
+        }
+        println!();
+        emit("Figure 8b: speedup, truc640, 64 procs, 16KB cache + 2 texel/pixel bus", &cached, opt.csv);
+        for (buffer, width, best) in fig8::best_width_per_buffer(&cached) {
+            println!("   buffer {buffer}: best width {width} ({best:.2}x)");
+        }
+        println!();
+    }
+    if wants("fig9") {
+        matched = true;
+        let paths = fig9::run(&opt.out, opt.scale).map_err(|e| format!("fig9: {e}"))?;
+        println!("== Figure 9: benchmark images ==");
+        for p in paths {
+            println!("   wrote {}", p.display());
+        }
+        println!();
+    }
+    if wants("ablations") {
+        matched = true;
+        emit("Ablation: prefetch window depth (32massive11255, 16p, block-16, 1x bus)", &ablations::prefetch_window(opt.scale), opt.csv);
+        emit("Ablation: cache geometry (texel/fragment, 32massive11255, 16p)", &ablations::cache_geometry(opt.scale), opt.csv);
+        emit("Ablation: skewed vs raster block interleave (room3)", &ablations::block_skew(opt.scale), opt.csv);
+        emit("Extension: dynamic SLI vs static (room3)", &ablations::dynamic_sli(opt.scale), opt.csv);
+        emit("Extension: L2 texture cache (texel/fragment)", &ablations::l2_cache(opt.scale), opt.csv);
+        emit("Extension: L2 inter-frame locality vs viewpoint pan (teapot.full)", &ablations::l2_interframe(opt.scale), opt.csv);
+        emit("Extension: sort-middle vs sort-last (32massive11255)", &ablations::architectures(opt.scale), opt.csv);
+        emit("Analysis: miss classification vs processor count (32massive11255, block-16)", &ablations::miss_classification(opt.scale), opt.csv);
+        emit("Analysis: tile shape at constant area (32massive11255, 64p, 256-px tiles)", &ablations::tile_shape(opt.scale), opt.csv);
+        emit("Analysis: SDRAM page-mode vs flat bus (32massive11255, 16p)", &ablations::dram_page_mode(opt.scale), opt.csv);
+        emit("Analysis: raster vs Morton texture block order (32massive11255, 16p)", &ablations::block_order(opt.scale), opt.csv);
+        emit("Analysis: victim buffer vs associativity (32massive11255, 16p)", &ablations::victim_buffer(opt.scale), opt.csv);
+    }
+    if wants("seeds") && opt.command != "all" {
+        matched = true;
+        let study = seeds::run(sortmid_scene::Benchmark::Truc640, opt.scale, 5);
+        emit(
+            "Robustness: headline conclusion across 5 generator seeds (truc640, 64p)",
+            &seeds::render(&study),
+            opt.csv,
+        );
+    }
+
+    if !matched {
+        return Err(format!("unknown command '{}'\n{}", opt.command, usage()));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(opt) => match run(&opt) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Table 1 — benchmark scene characteristics, paper vs measured.
+
+use sortmid_scene::{Benchmark, SceneBuilder, SceneStats};
+use sortmid_util::table::{fmt_count, fmt_f, Table};
+
+/// One scene's paper-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Measured stats (extrapolated to paper scale).
+    pub measured: SceneStats,
+    /// Distinct textures at paper scale (from the full-scale config, since
+    /// the scaled generator reduces the pool proportionally).
+    pub textures_full: u32,
+}
+
+/// Measures every benchmark at `scale` and extrapolates to paper scale.
+pub fn run(scale: f64) -> Vec<Table1Row> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let scene = SceneBuilder::benchmark(b).scale(scale).build();
+            let measured = SceneStats::measure(&scene).extrapolated(scale);
+            Table1Row {
+                benchmark: b,
+                measured,
+                textures_full: b.config().texture_count,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the paper's Table 1 with paper reference values.
+pub fn render(rows: &[Table1Row]) -> Table {
+    let mut t = Table::new(&[
+        "scene",
+        "screen",
+        "Mpix",
+        "(paper)",
+        "depth",
+        "(paper)",
+        "triangles",
+        "(paper)",
+        "textures",
+        "(paper)",
+        "used MB",
+        "(paper)",
+        "uniq t/f",
+        "(paper)",
+    ]);
+    for row in rows {
+        let (w, h, mpix, depth, tris, tex, mb, utf) = row.benchmark.paper_row();
+        let m = &row.measured;
+        t.row_owned(vec![
+            row.benchmark.name().to_string(),
+            format!("{w}x{h}"),
+            fmt_f(m.mpixels(), 1),
+            fmt_f(mpix, 1),
+            fmt_f(m.depth_complexity, 1),
+            fmt_f(depth, 1),
+            fmt_count(m.triangles as u64),
+            fmt_count(tris as u64),
+            row.textures_full.to_string(),
+            tex.to_string(),
+            fmt_f(m.texture_used_mbytes(), 2),
+            fmt_f(mb, 1),
+            fmt_f(m.unique_texel_per_screen_pixel, 2),
+            fmt_f(utf, 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_benchmarks_and_land_near_paper() {
+        let rows = run(0.15);
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            let (_, _, mpix, depth, _, _, _, _) = row.benchmark.paper_row();
+            let m = &row.measured;
+            // Loose sanity at tiny scale; the real run uses a bigger scale.
+            assert!(
+                (m.mpixels() - mpix).abs() / mpix < 0.5,
+                "{}: {} vs {}",
+                row.benchmark,
+                m.mpixels(),
+                mpix
+            );
+            assert!((m.depth_complexity - depth).abs() / depth < 0.4);
+        }
+    }
+
+    #[test]
+    fn render_emits_one_line_per_scene() {
+        let rows = run(0.1);
+        let table = render(&rows);
+        assert_eq!(table.len(), 7);
+        let ascii = table.to_ascii();
+        assert!(ascii.contains("room3"));
+        assert!(ascii.contains("32massive11255"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Screen-space geometry primitives for the `sortmid` simulator.
+//!
+//! Everything in the texture-mapping stage of a sort-middle machine operates
+//! on *screen-space* triangles: the geometry stage has already transformed,
+//! lit and projected them. This crate provides those primitives:
+//!
+//! * [`vec2::Vec2`] — a 2-D vector/point.
+//! * [`rect::Rect`] — axis-aligned integer rectangles (tiles, bounding
+//!   boxes, screens).
+//! * [`tri::Triangle`] — a screen-space triangle with per-vertex texture
+//!   coordinates and the edge-function machinery that the rasterizer and the
+//!   setup-cost model share.
+//!
+//! # Examples
+//!
+//! ```
+//! use sortmid_geom::tri::{Triangle, Vertex};
+//!
+//! let tri = Triangle::new(
+//!     0,
+//!     [
+//!         Vertex::new(0.0, 0.0, 0.0, 0.0),
+//!         Vertex::new(8.0, 0.0, 8.0, 0.0),
+//!         Vertex::new(0.0, 8.0, 0.0, 8.0),
+//!     ],
+//! );
+//! assert!(tri.signed_area() > 0.0);
+//! ```
+
+pub mod rect;
+pub mod tri;
+pub mod vec2;
+
+pub use rect::Rect;
+pub use tri::{Triangle, Vertex};
+pub use vec2::Vec2;

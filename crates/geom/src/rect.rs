@@ -1,0 +1,253 @@
+//! Axis-aligned integer rectangles: screens, tiles and bounding boxes.
+
+use std::fmt;
+
+/// A half-open axis-aligned rectangle of pixels: `x ∈ [x0, x1)`,
+/// `y ∈ [y0, y1)`.
+///
+/// The half-open convention means adjacent tiles partition the screen with
+/// no overlap and no gap, which the distribution property tests rely on.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_geom::Rect;
+///
+/// let screen = Rect::of_size(640, 480);
+/// let tile = Rect::new(16, 16, 32, 32);
+/// assert!(screen.contains_rect(&tile));
+/// assert_eq!(tile.area(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Inclusive left edge.
+    pub x0: i32,
+    /// Inclusive top edge.
+    pub y0: i32,
+    /// Exclusive right edge.
+    pub x1: i32,
+    /// Exclusive bottom edge.
+    pub y1: i32,
+}
+
+impl Rect {
+    /// An empty rectangle at the origin.
+    pub const EMPTY: Rect = Rect { x0: 0, y0: 0, x1: 0, y1: 0 };
+
+    /// Creates a rectangle; an inverted rectangle is normalised to empty.
+    pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
+        if x1 <= x0 || y1 <= y0 {
+            Rect { x0, y0, x1: x0, y1: y0 }
+        } else {
+            Rect { x0, y0, x1, y1 }
+        }
+    }
+
+    /// Creates a rectangle anchored at the origin with the given size.
+    pub fn of_size(width: u32, height: u32) -> Self {
+        Rect::new(0, 0, width as i32, height as i32)
+    }
+
+    /// Width in pixels (0 when empty).
+    pub fn width(&self) -> u32 {
+        (self.x1 - self.x0).max(0) as u32
+    }
+
+    /// Height in pixels (0 when empty).
+    pub fn height(&self) -> u32 {
+        (self.y1 - self.y0).max(0) as u32
+    }
+
+    /// Number of pixels covered.
+    pub fn area(&self) -> u64 {
+        self.width() as u64 * self.height() as u64
+    }
+
+    /// True when the rectangle covers no pixel.
+    pub fn is_empty(&self) -> bool {
+        self.x1 <= self.x0 || self.y1 <= self.y0
+    }
+
+    /// True when pixel `(x, y)` lies inside.
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// True when `other` lies entirely inside `self` (empty rectangles are
+    /// contained everywhere).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.x0 >= self.x0 && other.x1 <= self.x1 && other.y0 >= self.y0 && other.y1 <= self.y1)
+    }
+
+    /// Intersection (possibly empty).
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.x0.max(other.x0),
+            self.y0.max(other.y0),
+            self.x1.min(other.x1),
+            self.y1.min(other.y1),
+        )
+    }
+
+    /// True when the two rectangles share at least one pixel.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Smallest rectangle containing both (empty inputs are ignored).
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect::new(
+            self.x0.min(other.x0),
+            self.y0.min(other.y0),
+            self.x1.max(other.x1),
+            self.y1.max(other.y1),
+        )
+    }
+
+    /// Iterates over all pixels in row-major order.
+    pub fn pixels(&self) -> Pixels {
+        Pixels {
+            rect: *self,
+            x: self.x0,
+            y: self.y0,
+        }
+    }
+
+    /// The smallest rectangle of whole `w × h` tiles covering `self`,
+    /// expressed in tile coordinates (also half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is zero.
+    pub fn tile_cover(&self, w: u32, h: u32) -> Rect {
+        assert!(w > 0 && h > 0, "tile size must be positive");
+        if self.is_empty() {
+            return Rect::EMPTY;
+        }
+        Rect::new(
+            self.x0.div_euclid(w as i32),
+            self.y0.div_euclid(h as i32),
+            (self.x1 - 1).div_euclid(w as i32) + 1,
+            (self.y1 - 1).div_euclid(h as i32) + 1,
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})x[{}, {})", self.x0, self.x1, self.y0, self.y1)
+    }
+}
+
+/// Row-major pixel iterator produced by [`Rect::pixels`].
+#[derive(Debug, Clone)]
+pub struct Pixels {
+    rect: Rect,
+    x: i32,
+    y: i32,
+}
+
+impl Iterator for Pixels {
+    type Item = (i32, i32);
+
+    fn next(&mut self) -> Option<(i32, i32)> {
+        if self.rect.is_empty() || self.y >= self.rect.y1 {
+            return None;
+        }
+        let out = (self.x, self.y);
+        self.x += 1;
+        if self.x >= self.rect.x1 {
+            self.x = self.rect.x0;
+            self.y += 1;
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.rect.is_empty() || self.y >= self.rect.y1 {
+            return (0, Some(0));
+        }
+        let remaining = (self.rect.y1 - self.y - 1) as usize * self.rect.width() as usize
+            + (self.rect.x1 - self.x) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Pixels {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalises_inverted() {
+        let r = Rect::new(5, 5, 3, 9);
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0);
+    }
+
+    #[test]
+    fn containment_and_area() {
+        let r = Rect::new(2, 3, 10, 7);
+        assert_eq!(r.width(), 8);
+        assert_eq!(r.height(), 4);
+        assert_eq!(r.area(), 32);
+        assert!(r.contains(2, 3));
+        assert!(r.contains(9, 6));
+        assert!(!r.contains(10, 6));
+        assert!(!r.contains(9, 7));
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert_eq!(a.intersect(&b), Rect::new(5, 5, 10, 10));
+        assert_eq!(a.union(&b), Rect::new(0, 0, 15, 15));
+        assert!(a.overlaps(&b));
+        let c = Rect::new(20, 20, 30, 30);
+        assert!(!a.overlaps(&c));
+        assert!(a.intersect(&c).is_empty());
+        assert_eq!(a.union(&Rect::EMPTY), a);
+        assert_eq!(Rect::EMPTY.union(&a), a);
+    }
+
+    #[test]
+    fn pixel_iteration_is_row_major_and_exact() {
+        let r = Rect::new(1, 1, 3, 3);
+        let px: Vec<(i32, i32)> = r.pixels().collect();
+        assert_eq!(px, vec![(1, 1), (2, 1), (1, 2), (2, 2)]);
+        assert_eq!(r.pixels().len(), 4);
+        assert_eq!(Rect::EMPTY.pixels().count(), 0);
+    }
+
+    #[test]
+    fn tile_cover_rounds_outward() {
+        let r = Rect::new(3, 5, 17, 16);
+        let t = r.tile_cover(8, 8);
+        assert_eq!(t, Rect::new(0, 0, 3, 2));
+        // A rect exactly on tile boundaries covers exactly those tiles.
+        let r2 = Rect::new(8, 8, 16, 24);
+        assert_eq!(r2.tile_cover(8, 8), Rect::new(1, 1, 2, 3));
+        assert_eq!(Rect::EMPTY.tile_cover(8, 8), Rect::EMPTY);
+    }
+
+    #[test]
+    fn tile_cover_negative_coords() {
+        let r = Rect::new(-9, -1, 1, 1);
+        let t = r.tile_cover(8, 8);
+        assert_eq!(t, Rect::new(-2, -1, 1, 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Rect::new(0, 1, 2, 3)), "[0, 2)x[1, 3)");
+    }
+}

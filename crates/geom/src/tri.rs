@@ -1,0 +1,373 @@
+//! Screen-space textured triangles and their interpolation setup.
+
+use crate::rect::Rect;
+use crate::vec2::Vec2;
+use std::fmt;
+
+/// One triangle vertex: screen position in pixels plus texture coordinates
+/// in *texels of the texture's base mip level*.
+///
+/// Texture coordinates are kept in texels (not normalised) because the
+/// mip-level selection of the rasterizer works directly on texel-per-pixel
+/// derivatives, exactly as the texel-to-fragment accounting of the paper
+/// requires.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vertex {
+    /// Screen position (pixels).
+    pub pos: Vec2,
+    /// Texture coordinate (texels at mip level 0).
+    pub uv: Vec2,
+}
+
+impl Vertex {
+    /// Creates a vertex from raw components.
+    pub const fn new(x: f32, y: f32, u: f32, v: f32) -> Self {
+        Vertex {
+            pos: Vec2::new(x, y),
+            uv: Vec2::new(u, v),
+        }
+    }
+}
+
+/// A screen-space triangle bound to a texture.
+///
+/// The winding is normalised to counter-clockwise at construction so the
+/// rasterizer's edge functions are uniformly non-negative inside.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_geom::{Triangle, Vertex};
+///
+/// let t = Triangle::new(
+///     3,
+///     [
+///         Vertex::new(0.0, 0.0, 0.0, 0.0),
+///         Vertex::new(0.0, 4.0, 0.0, 4.0), // clockwise input...
+///         Vertex::new(4.0, 0.0, 4.0, 0.0),
+///     ],
+/// );
+/// assert!(t.signed_area() > 0.0); // ...normalised to CCW
+/// assert_eq!(t.texture(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    texture: u32,
+    vertices: [Vertex; 3],
+}
+
+impl Triangle {
+    /// Creates a triangle over texture `texture`, normalising winding to
+    /// counter-clockwise (in a y-down screen coordinate system this is the
+    /// orientation with positive [`signed_area`](Self::signed_area)).
+    pub fn new(texture: u32, mut vertices: [Vertex; 3]) -> Self {
+        let ab = vertices[1].pos - vertices[0].pos;
+        let ac = vertices[2].pos - vertices[0].pos;
+        if ab.cross(ac) < 0.0 {
+            vertices.swap(1, 2);
+        }
+        Triangle { texture, vertices }
+    }
+
+    /// The texture this triangle samples.
+    pub fn texture(&self) -> u32 {
+        self.texture
+    }
+
+    /// The three vertices, CCW.
+    pub fn vertices(&self) -> &[Vertex; 3] {
+        &self.vertices
+    }
+
+    /// Twice the signed area is the edge-function normaliser; this returns
+    /// the (positive, post-normalisation) signed area in pixels².
+    pub fn signed_area(&self) -> f32 {
+        let ab = self.vertices[1].pos - self.vertices[0].pos;
+        let ac = self.vertices[2].pos - self.vertices[0].pos;
+        0.5 * ab.cross(ac)
+    }
+
+    /// True for degenerate (zero-area) triangles, which rasterize to nothing.
+    pub fn is_degenerate(&self) -> bool {
+        self.signed_area().abs() < f32::EPSILON
+    }
+
+    /// The smallest half-open integer rectangle containing every pixel
+    /// *center* that can be covered (pixel `(x, y)` has center
+    /// `(x + 0.5, y + 0.5)`).
+    pub fn pixel_bbox(&self) -> Rect {
+        let mut lo = self.vertices[0].pos;
+        let mut hi = lo;
+        for v in &self.vertices[1..] {
+            lo = lo.min(v.pos);
+            hi = hi.max(v.pos);
+        }
+        // Pixel x is a candidate iff x + 0.5 ∈ [lo.x, hi.x] ⇔
+        // x ∈ [lo.x - 0.5, hi.x - 0.5]; round outward to integers.
+        Rect::new(
+            (lo.x - 0.5).ceil() as i32,
+            (lo.y - 0.5).ceil() as i32,
+            (hi.x - 0.5).floor() as i32 + 1,
+            (hi.y - 0.5).floor() as i32 + 1,
+        )
+    }
+
+    /// Affine texture-coordinate gradients
+    /// `(du/dx, du/dy, dv/dx, dv/dy)` in texels per pixel.
+    ///
+    /// Screen-space triangles use affine interpolation, so the gradients are
+    /// constant per triangle; the rasterizer derives the mip level from them
+    /// once per triangle.
+    ///
+    /// Returns `None` for degenerate triangles.
+    pub fn uv_gradients(&self) -> Option<UvGradients> {
+        let [a, b, c] = self.vertices;
+        let e1 = b.pos - a.pos;
+        let e2 = c.pos - a.pos;
+        let det = e1.cross(e2);
+        if det.abs() < f32::EPSILON {
+            return None;
+        }
+        let du1 = b.uv.x - a.uv.x;
+        let du2 = c.uv.x - a.uv.x;
+        let dv1 = b.uv.y - a.uv.y;
+        let dv2 = c.uv.y - a.uv.y;
+        let inv = 1.0 / det;
+        Some(UvGradients {
+            du_dx: (du1 * e2.y - du2 * e1.y) * inv,
+            du_dy: (du2 * e1.x - du1 * e2.x) * inv,
+            dv_dx: (dv1 * e2.y - dv2 * e1.y) * inv,
+            dv_dy: (dv2 * e1.x - dv1 * e2.x) * inv,
+        })
+    }
+
+    /// Interpolates the texture coordinate at an arbitrary screen point
+    /// (typically a pixel center) using the affine mapping.
+    ///
+    /// Returns `None` for degenerate triangles.
+    pub fn uv_at(&self, p: Vec2) -> Option<Vec2> {
+        let g = self.uv_gradients()?;
+        let a = self.vertices[0];
+        let d = p - a.pos;
+        Some(Vec2::new(
+            a.uv.x + g.du_dx * d.x + g.du_dy * d.y,
+            a.uv.y + g.dv_dx * d.x + g.dv_dy * d.y,
+        ))
+    }
+
+    /// Barycentric coordinates of `p` with respect to the triangle.
+    ///
+    /// Returns `None` for degenerate triangles. `p` is inside (or on an
+    /// edge) iff all three coordinates are ≥ 0.
+    pub fn barycentric(&self, p: Vec2) -> Option<[f32; 3]> {
+        let [a, b, c] = self.vertices;
+        let area2 = (b.pos - a.pos).cross(c.pos - a.pos);
+        if area2.abs() < f32::EPSILON {
+            return None;
+        }
+        let w0 = (c.pos - b.pos).cross(p - b.pos) / area2;
+        let w1 = (a.pos - c.pos).cross(p - c.pos) / area2;
+        let w2 = 1.0 - w0 - w1;
+        Some([w0, w1, w2])
+    }
+
+    /// Translates the triangle in screen space (texture coordinates are
+    /// unchanged).
+    pub fn translated(&self, delta: Vec2) -> Triangle {
+        let mut t = *self;
+        for v in &mut t.vertices {
+            v.pos += delta;
+        }
+        t
+    }
+
+    /// Scales the triangle's screen positions about the origin (texture
+    /// coordinates are unchanged, so scaling changes texel density).
+    pub fn scaled(&self, factor: f32) -> Triangle {
+        let mut t = *self;
+        for v in &mut t.vertices {
+            v.pos = v.pos * factor;
+        }
+        t
+    }
+}
+
+impl fmt::Display for Triangle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Triangle(tex={}, {} {} {})",
+            self.texture, self.vertices[0].pos, self.vertices[1].pos, self.vertices[2].pos
+        )
+    }
+}
+
+/// Constant affine texture-coordinate gradients of a triangle, in texels per
+/// pixel; produced by [`Triangle::uv_gradients`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UvGradients {
+    /// ∂u/∂x.
+    pub du_dx: f32,
+    /// ∂u/∂y.
+    pub du_dy: f32,
+    /// ∂v/∂x.
+    pub dv_dx: f32,
+    /// ∂v/∂y.
+    pub dv_dy: f32,
+}
+
+impl UvGradients {
+    /// The OpenGL scale factor ρ: the larger of the texel displacement per
+    /// horizontal or vertical pixel step.
+    pub fn rho(&self) -> f32 {
+        let rx = (self.du_dx * self.du_dx + self.dv_dx * self.dv_dx).sqrt();
+        let ry = (self.du_dy * self.du_dy + self.dv_dy * self.dv_dy).sqrt();
+        rx.max(ry)
+    }
+
+    /// The continuous mip level λ = log2(ρ), clamped at 0 (magnification
+    /// samples the base level).
+    pub fn lod(&self) -> f32 {
+        let rho = self.rho();
+        if rho <= 1.0 {
+            0.0
+        } else {
+            rho.log2()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_right() -> Triangle {
+        Triangle::new(
+            0,
+            [
+                Vertex::new(0.0, 0.0, 0.0, 0.0),
+                Vertex::new(8.0, 0.0, 16.0, 0.0),
+                Vertex::new(0.0, 8.0, 0.0, 16.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn winding_is_normalised() {
+        let ccw = unit_right();
+        let cw = Triangle::new(
+            0,
+            [
+                Vertex::new(0.0, 0.0, 0.0, 0.0),
+                Vertex::new(0.0, 8.0, 0.0, 16.0),
+                Vertex::new(8.0, 0.0, 16.0, 0.0),
+            ],
+        );
+        assert!(ccw.signed_area() > 0.0);
+        assert!(cw.signed_area() > 0.0);
+        assert_eq!(ccw.signed_area(), cw.signed_area());
+    }
+
+    #[test]
+    fn area_of_right_triangle() {
+        assert_eq!(unit_right().signed_area(), 32.0);
+        assert!(!unit_right().is_degenerate());
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let t = Triangle::new(
+            0,
+            [
+                Vertex::new(0.0, 0.0, 0.0, 0.0),
+                Vertex::new(4.0, 4.0, 0.0, 0.0),
+                Vertex::new(8.0, 8.0, 0.0, 0.0),
+            ],
+        );
+        assert!(t.is_degenerate());
+        assert!(t.uv_gradients().is_none());
+        assert!(t.uv_at(Vec2::new(1.0, 1.0)).is_none());
+        assert!(t.barycentric(Vec2::ZERO).is_none());
+    }
+
+    #[test]
+    fn pixel_bbox_covers_centers() {
+        let t = unit_right();
+        let bb = t.pixel_bbox();
+        assert_eq!(bb, Rect::new(0, 0, 8, 8));
+        // Pixel 7 has center 7.5 which is within [0, 8].
+        assert!(bb.contains(7, 0));
+        assert!(!bb.contains(8, 0));
+    }
+
+    #[test]
+    fn pixel_bbox_of_subpixel_triangle() {
+        let t = Triangle::new(
+            0,
+            [
+                Vertex::new(3.1, 3.1, 0.0, 0.0),
+                Vertex::new(3.3, 3.1, 1.0, 0.0),
+                Vertex::new(3.1, 3.3, 0.0, 1.0),
+            ],
+        );
+        // No pixel center inside [3.1, 3.3] -> empty candidate box.
+        assert!(t.pixel_bbox().is_empty());
+    }
+
+    #[test]
+    fn uv_gradients_of_identity_mapping() {
+        // uv = 2 * pos, so gradients are diag(2, 2).
+        let g = unit_right().uv_gradients().unwrap();
+        assert!((g.du_dx - 2.0).abs() < 1e-6);
+        assert!((g.dv_dy - 2.0).abs() < 1e-6);
+        assert!(g.du_dy.abs() < 1e-6);
+        assert!(g.dv_dx.abs() < 1e-6);
+        assert!((g.rho() - 2.0).abs() < 1e-6);
+        assert!((g.lod() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn magnified_lod_clamps_to_zero() {
+        let t = Triangle::new(
+            0,
+            [
+                Vertex::new(0.0, 0.0, 0.0, 0.0),
+                Vertex::new(100.0, 0.0, 10.0, 0.0),
+                Vertex::new(0.0, 100.0, 0.0, 10.0),
+            ],
+        );
+        assert_eq!(t.uv_gradients().unwrap().lod(), 0.0);
+    }
+
+    #[test]
+    fn uv_interpolation_matches_vertices() {
+        let t = unit_right();
+        for v in t.vertices() {
+            let uv = t.uv_at(v.pos).unwrap();
+            assert!((uv - v.uv).length() < 1e-4);
+        }
+        let mid = t.uv_at(Vec2::new(4.0, 0.0)).unwrap();
+        assert!((mid - Vec2::new(8.0, 0.0)).length() < 1e-4);
+    }
+
+    #[test]
+    fn barycentric_inside_outside() {
+        let t = unit_right();
+        let inside = t.barycentric(Vec2::new(1.0, 1.0)).unwrap();
+        assert!(inside.iter().all(|&w| w >= 0.0));
+        assert!((inside.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        let outside = t.barycentric(Vec2::new(10.0, 10.0)).unwrap();
+        assert!(outside.iter().any(|&w| w < 0.0));
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let t = unit_right().translated(Vec2::new(10.0, 20.0));
+        assert_eq!(t.vertices()[0].pos, Vec2::new(10.0, 20.0));
+        assert_eq!(t.vertices()[0].uv, Vec2::ZERO);
+        let s = unit_right().scaled(2.0);
+        assert_eq!(s.signed_area(), 128.0);
+        // Texel density halves when the triangle doubles on screen.
+        assert!((s.uv_gradients().unwrap().du_dx - 1.0).abs() < 1e-6);
+    }
+}

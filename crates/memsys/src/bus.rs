@@ -1,0 +1,123 @@
+//! The texture-memory bus, characterised by a texel-to-fragment ratio.
+//!
+//! Instead of fixing a bus width and a memory frequency, the paper fixes
+//! "the maximum texel to fragment ratio that the bus may transfer" so the
+//! results stay valid as clocks scale (Section 3.1). A ratio of `R` means
+//! the bus can deliver `R` texels per engine cycle; a 64-byte line fill
+//! (16 texels) therefore occupies the bus for `16 / R` cycles.
+
+use crate::Cycle;
+use std::fmt;
+
+/// Texels delivered per fetched cache line (a 4×4 block of 4-byte texels in
+/// a 64-byte line).
+pub const TEXELS_PER_LINE: u64 = 16;
+
+/// Bandwidth model of a node's private texture bus.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_memsys::bus::BusConfig;
+///
+/// assert_eq!(BusConfig::ratio(1.0).line_cost(), 16);
+/// assert_eq!(BusConfig::ratio(2.0).line_cost(), 8);
+/// assert_eq!(BusConfig::infinite().line_cost(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusConfig {
+    texels_per_cycle: f64,
+}
+
+impl BusConfig {
+    /// A bus able to deliver `texels_per_cycle` texels per engine cycle —
+    /// the paper's evaluated values are 1 and 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not positive and finite.
+    pub fn ratio(texels_per_cycle: f64) -> Self {
+        assert!(
+            texels_per_cycle > 0.0 && texels_per_cycle.is_finite(),
+            "bus ratio must be positive and finite"
+        );
+        BusConfig { texels_per_cycle }
+    }
+
+    /// An infinite-bandwidth bus: line fills are free. Used by the locality
+    /// study (Figure 6), where only miss *counts* matter.
+    pub fn infinite() -> Self {
+        BusConfig {
+            texels_per_cycle: f64::INFINITY,
+        }
+    }
+
+    /// The configured ratio (`inf` for [`BusConfig::infinite`]).
+    pub fn texels_per_cycle(&self) -> f64 {
+        self.texels_per_cycle
+    }
+
+    /// True for the infinite-bandwidth bus.
+    pub fn is_infinite(&self) -> bool {
+        self.texels_per_cycle.is_infinite()
+    }
+
+    /// Bus occupancy of one line fill, in cycles (rounded to the nearest
+    /// cycle; 0 for an infinite bus).
+    pub fn line_cost(&self) -> Cycle {
+        if self.is_infinite() {
+            0
+        } else {
+            (TEXELS_PER_LINE as f64 / self.texels_per_cycle).round().max(1.0) as Cycle
+        }
+    }
+}
+
+impl fmt::Display for BusConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "bus(inf)")
+        } else {
+            write!(f, "bus({} texel/cycle)", self.texels_per_cycle)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios() {
+        assert_eq!(BusConfig::ratio(1.0).line_cost(), 16);
+        assert_eq!(BusConfig::ratio(2.0).line_cost(), 8);
+        assert_eq!(BusConfig::ratio(4.0).line_cost(), 4);
+        assert_eq!(BusConfig::ratio(0.5).line_cost(), 32);
+    }
+
+    #[test]
+    fn line_cost_never_rounds_to_zero_for_finite_bus() {
+        // Even an absurdly fast finite bus occupies at least one cycle.
+        assert_eq!(BusConfig::ratio(1000.0).line_cost(), 1);
+    }
+
+    #[test]
+    fn infinite_bus() {
+        let b = BusConfig::infinite();
+        assert!(b.is_infinite());
+        assert_eq!(b.line_cost(), 0);
+        assert_eq!(b.to_string(), "bus(inf)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_ratio_panics() {
+        BusConfig::ratio(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nan_ratio_panics() {
+        BusConfig::ratio(f64::NAN);
+    }
+}

@@ -1,0 +1,112 @@
+//! The compact fragment-stream representation.
+
+use sortmid_geom::Rect;
+use sortmid_texture::{TexelAddr, TextureId, TEXELS_PER_FRAGMENT};
+
+/// One covered pixel and the 8 texel addresses its trilinear filter reads.
+///
+/// Fragments are 40 bytes; scenes of a few million fragments fit easily in
+/// memory, which is what lets the machine simulator replay one rasterization
+/// under dozens of distribution configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fragment {
+    /// Pixel x coordinate.
+    pub x: u16,
+    /// Pixel y coordinate.
+    pub y: u16,
+    /// The trilinear footprint: 4 texels on each of two mip levels.
+    pub texels: [TexelAddr; TEXELS_PER_FRAGMENT],
+}
+
+impl Fragment {
+    /// The number of *distinct cache lines* among the 8 texel reads
+    /// (between 1 and 8; typically 2 with 4×4 blocking).
+    pub fn distinct_lines(&self) -> u32 {
+        let mut lines = [0u32; TEXELS_PER_FRAGMENT];
+        let mut n = 0;
+        for t in &self.texels {
+            let l = t.line();
+            if !lines[..n].contains(&l) {
+                lines[n] = l;
+                n += 1;
+            }
+        }
+        n as u32
+    }
+}
+
+/// One triangle's entry in a [`FragmentStream`](crate::FragmentStream):
+/// which texture it samples, its screen-clipped bounding box (what the
+/// sort-middle network uses to route it) and the range of its fragments in
+/// the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriangleRecord {
+    /// The texture sampled.
+    pub texture: TextureId,
+    /// Pixel bounding box clipped to the screen; empty when the triangle
+    /// was culled (degenerate or fully off screen).
+    pub bbox: Rect,
+    /// First fragment index in the stream.
+    pub frag_start: u32,
+    /// One past the last fragment index.
+    pub frag_end: u32,
+}
+
+impl TriangleRecord {
+    /// Number of fragments this triangle produced.
+    pub fn fragment_count(&self) -> u32 {
+        self.frag_end - self.frag_start
+    }
+
+    /// True when the triangle was culled before setup (empty bbox).
+    pub fn is_culled(&self) -> bool {
+        self.bbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortmid_texture::{TextureDesc, TextureRegistry};
+
+    #[test]
+    fn distinct_lines_counts_blocks() {
+        let mut reg = TextureRegistry::new();
+        let id = reg.register(TextureDesc::new(64, 64).unwrap()).unwrap();
+        // All 8 texels inside one 4x4 block of level 0 -> 1 line.
+        let a = reg.texel_addr(id, 0, 0, 0);
+        let frag = Fragment {
+            x: 0,
+            y: 0,
+            texels: [a; 8],
+        };
+        assert_eq!(frag.distinct_lines(), 1);
+        // Footprint straddling two blocks -> 2 lines.
+        let b = reg.texel_addr(id, 0, 4, 0);
+        let frag2 = Fragment {
+            x: 0,
+            y: 0,
+            texels: [a, a, b, b, a, a, b, b],
+        };
+        assert_eq!(frag2.distinct_lines(), 2);
+    }
+
+    #[test]
+    fn record_counts() {
+        let r = TriangleRecord {
+            texture: TextureId(0),
+            bbox: Rect::new(0, 0, 4, 4),
+            frag_start: 10,
+            frag_end: 16,
+        };
+        assert_eq!(r.fragment_count(), 6);
+        assert!(!r.is_culled());
+        let culled = TriangleRecord {
+            texture: TextureId(0),
+            bbox: Rect::EMPTY,
+            frag_start: 16,
+            frag_end: 16,
+        };
+        assert!(culled.is_culled());
+    }
+}

@@ -1,0 +1,377 @@
+//! Triangle setup: edge functions, fill rule and scanline stepping.
+
+use sortmid_geom::{Rect, Triangle, Vec2};
+
+/// One edge function `e(x, y) = a·x + b·y + c`, positive on the interior
+/// side for a CCW triangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Edge {
+    a: f32,
+    b: f32,
+    c: f32,
+    /// Top-left edges accept `e == 0`; the others do not, so that two
+    /// triangles sharing an edge never both draw the boundary pixels.
+    top_left: bool,
+}
+
+impl Edge {
+    fn new(v0: Vec2, v1: Vec2) -> Self {
+        // e(p) = cross(v1 - v0, p - v0)
+        let a = v0.y - v1.y;
+        let b = v1.x - v0.x;
+        let c = -(a * v0.x + b * v0.y);
+        // Screen is y-down and the triangle is CCW (positive area): an edge
+        // is "top" when horizontal and pointing right, "left" when pointing
+        // down.
+        let top = v0.y == v1.y && v1.x > v0.x;
+        let left = v1.y > v0.y;
+        Edge {
+            a,
+            b,
+            c,
+            top_left: top || left,
+        }
+    }
+
+    fn eval(&self, x: f32, y: f32) -> f32 {
+        self.a * x + self.b * y + self.c
+    }
+
+    fn accepts(&self, value: f32) -> bool {
+        if self.top_left {
+            value >= 0.0
+        } else {
+            value > 0.0
+        }
+    }
+}
+
+/// The per-triangle setup the engine computes before scanning: edge
+/// functions, the screen-clipped pixel bounding box and the constant
+/// texture-coordinate interpolants.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_geom::{Rect, Triangle, Vertex};
+/// use sortmid_raster::TriangleSetup;
+///
+/// let tri = Triangle::new(
+///     0,
+///     [
+///         Vertex::new(0.0, 0.0, 0.0, 0.0),
+///         Vertex::new(4.0, 0.0, 4.0, 0.0),
+///         Vertex::new(0.0, 4.0, 0.0, 4.0),
+///     ],
+/// );
+/// let setup = TriangleSetup::new(&tri, Rect::of_size(64, 64)).unwrap();
+/// assert!(setup.covers(1, 1));
+/// assert!(!setup.covers(3, 3)); // outside the hypotenuse
+/// ```
+#[derive(Debug, Clone)]
+pub struct TriangleSetup {
+    edges: [Edge; 3],
+    bbox: Rect,
+    /// Texture coordinate at pixel (0, 0)'s center, extrapolated.
+    uv_origin: Vec2,
+    du: Vec2,
+    dv: Vec2,
+    lod: f32,
+}
+
+impl TriangleSetup {
+    /// Builds the setup for `tri` clipped to `screen`.
+    ///
+    /// Returns `None` when the triangle is degenerate or its pixel bounding
+    /// box misses the screen entirely (the geometry stage culls it).
+    pub fn new(tri: &Triangle, screen: Rect) -> Option<Self> {
+        let grads = tri.uv_gradients()?;
+        let bbox = tri.pixel_bbox().intersect(&screen);
+        if bbox.is_empty() {
+            return None;
+        }
+        let [v0, v1, v2] = *tri.vertices();
+        let edges = [
+            Edge::new(v0.pos, v1.pos),
+            Edge::new(v1.pos, v2.pos),
+            Edge::new(v2.pos, v0.pos),
+        ];
+        let uv_origin = tri.uv_at(Vec2::new(0.5, 0.5))?;
+        Some(TriangleSetup {
+            edges,
+            bbox,
+            uv_origin,
+            du: Vec2::new(grads.du_dx, grads.du_dy),
+            dv: Vec2::new(grads.dv_dx, grads.dv_dy),
+            lod: grads.lod(),
+        })
+    }
+
+    /// The screen-clipped pixel bounding box.
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// The triangle's constant mip LOD (λ = log₂ ρ, clamped at 0).
+    pub fn lod(&self) -> f32 {
+        self.lod
+    }
+
+    /// True when the center of pixel `(x, y)` is covered under the top-left
+    /// fill rule.
+    pub fn covers(&self, x: i32, y: i32) -> bool {
+        let px = x as f32 + 0.5;
+        let py = y as f32 + 0.5;
+        self.edges.iter().all(|e| e.accepts(e.eval(px, py)))
+    }
+
+    /// Texture coordinate at the center of pixel `(x, y)` in base-level
+    /// texels.
+    pub fn uv_at_pixel(&self, x: i32, y: i32) -> Vec2 {
+        Vec2::new(
+            self.uv_origin.x + self.du.x * x as f32 + self.du.y * y as f32,
+            self.uv_origin.y + self.dv.x * x as f32 + self.dv.y * y as f32,
+        )
+    }
+
+    /// Visits every covered pixel in scanline (row-major) order — the scan
+    /// order of the engine. The callback receives `(x, y, u, v)`.
+    pub fn scan<F: FnMut(i32, i32, f32, f32)>(&self, visit: F) {
+        self.scan_region(self.bbox, visit);
+    }
+
+    /// Like [`scan`](Self::scan) but restricted to `clip` — what one node
+    /// of the machine does in hardware: "the processors \[are\] able to do
+    /// clipping while drawing and they only draw pixels that belong to
+    /// their image tile or image line". Scanning the same triangle over a
+    /// partition of the screen visits exactly the pixels of a full scan.
+    pub fn scan_rect<F: FnMut(i32, i32, f32, f32)>(&self, clip: Rect, visit: F) {
+        self.scan_region(self.bbox.intersect(&clip), visit);
+    }
+
+    fn scan_region<F: FnMut(i32, i32, f32, f32)>(&self, bb: Rect, mut visit: F) {
+        // Incremental edge evaluation: values at the row's first pixel
+        // center, stepped by `a` per +1 x and `b` per +1 y.
+        let x0c = bb.x0 as f32 + 0.5;
+        let mut row_e = [0.0f32; 3];
+        for (i, e) in self.edges.iter().enumerate() {
+            row_e[i] = e.eval(x0c, bb.y0 as f32 + 0.5);
+        }
+        let mut row_u = self.uv_origin.x + self.du.x * bb.x0 as f32 + self.du.y * bb.y0 as f32;
+        let mut row_v = self.uv_origin.y + self.dv.x * bb.x0 as f32 + self.dv.y * bb.y0 as f32;
+        for y in bb.y0..bb.y1 {
+            let mut e = row_e;
+            let mut u = row_u;
+            let mut v = row_v;
+            for x in bb.x0..bb.x1 {
+                if self.edges[0].accepts(e[0])
+                    && self.edges[1].accepts(e[1])
+                    && self.edges[2].accepts(e[2])
+                {
+                    visit(x, y, u, v);
+                }
+                for (value, edge) in e.iter_mut().zip(&self.edges) {
+                    *value += edge.a;
+                }
+                u += self.du.x;
+                v += self.dv.x;
+            }
+            for (value, edge) in row_e.iter_mut().zip(&self.edges) {
+                *value += edge.b;
+            }
+            row_u += self.du.y;
+            row_v += self.dv.y;
+            let _ = (u, v, e);
+        }
+    }
+
+    /// Counts covered pixels (the triangle's fragment count on this screen).
+    pub fn coverage(&self) -> u64 {
+        let mut n = 0;
+        self.scan(|_, _, _, _| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortmid_geom::Vertex;
+
+    fn tri(coords: [(f32, f32); 3]) -> Triangle {
+        Triangle::new(
+            0,
+            [
+                Vertex::new(coords[0].0, coords[0].1, coords[0].0, coords[0].1),
+                Vertex::new(coords[1].0, coords[1].1, coords[1].0, coords[1].1),
+                Vertex::new(coords[2].0, coords[2].1, coords[2].0, coords[2].1),
+            ],
+        )
+    }
+
+    fn screen() -> Rect {
+        Rect::of_size(64, 64)
+    }
+
+    #[test]
+    fn axis_aligned_square_coverage_is_exact() {
+        // Two triangles forming the square [0,8)x[0,8): 64 pixels total,
+        // each drawn exactly once thanks to the top-left rule.
+        let t1 = tri([(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)]);
+        let t2 = tri([(8.0, 0.0), (8.0, 8.0), (0.0, 8.0)]);
+        let s1 = TriangleSetup::new(&t1, screen()).unwrap();
+        let s2 = TriangleSetup::new(&t2, screen()).unwrap();
+        let mut hits = std::collections::HashMap::new();
+        s1.scan(|x, y, _, _| *hits.entry((x, y)).or_insert(0) += 1);
+        s2.scan(|x, y, _, _| *hits.entry((x, y)).or_insert(0) += 1);
+        assert_eq!(hits.len(), 64, "full square covered");
+        assert!(hits.values().all(|&c| c == 1), "no pixel drawn twice");
+    }
+
+    #[test]
+    fn right_triangle_coverage_count() {
+        let t = tri([(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)]);
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        // Half of the 8x8 square: 36 pixels lie strictly below the diagonal
+        // x + y < 8 at pixel centers (x+0.5 + y+0.5 < 8 <=> x + y < 7).
+        assert_eq!(s.coverage(), 36);
+    }
+
+    #[test]
+    fn degenerate_and_offscreen_are_rejected() {
+        let degenerate = tri([(0.0, 0.0), (4.0, 4.0), (8.0, 8.0)]);
+        assert!(TriangleSetup::new(&degenerate, screen()).is_none());
+        let offscreen = tri([(100.0, 100.0), (120.0, 100.0), (100.0, 120.0)]);
+        assert!(TriangleSetup::new(&offscreen, screen()).is_none());
+    }
+
+    #[test]
+    fn bbox_is_clipped_to_screen() {
+        let t = tri([(-10.0, -10.0), (30.0, -10.0), (-10.0, 30.0)]);
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        assert!(Rect::of_size(64, 64).contains_rect(&s.bbox()));
+        assert_eq!(s.bbox().x0, 0);
+        assert_eq!(s.bbox().y0, 0);
+    }
+
+    #[test]
+    fn scan_matches_covers() {
+        let t = tri([(3.2, 1.7), (20.9, 8.3), (7.1, 25.6)]);
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        let mut from_scan = Vec::new();
+        s.scan(|x, y, _, _| from_scan.push((x, y)));
+        let mut from_covers = Vec::new();
+        for (x, y) in s.bbox().pixels() {
+            if s.covers(x, y) {
+                from_covers.push((x, y));
+            }
+        }
+        assert_eq!(from_scan, from_covers);
+        assert!(!from_scan.is_empty());
+    }
+
+    #[test]
+    fn uv_interpolation_along_scan() {
+        // uv == pos by construction, so u at pixel center == x + 0.5.
+        let t = tri([(0.0, 0.0), (16.0, 0.0), (0.0, 16.0)]);
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        s.scan(|x, y, u, v| {
+            assert!((u - (x as f32 + 0.5)).abs() < 1e-3, "u at {x},{y}: {u}");
+            assert!((v - (y as f32 + 0.5)).abs() < 1e-3, "v at {x},{y}: {v}");
+        });
+        assert_eq!(s.lod(), 0.0);
+    }
+
+    #[test]
+    fn uv_at_pixel_matches_scan() {
+        let t = tri([(2.0, 3.0), (30.0, 5.0), (6.0, 28.0)]);
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        s.scan(|x, y, u, v| {
+            let uv = s.uv_at_pixel(x, y);
+            assert!((uv.x - u).abs() < 1e-2);
+            assert!((uv.y - v).abs() < 1e-2);
+        });
+    }
+
+    #[test]
+    fn minified_triangle_has_positive_lod() {
+        // Texture coords 4x the screen extent -> rho = 4 -> lod = 2.
+        let t = Triangle::new(
+            0,
+            [
+                Vertex::new(0.0, 0.0, 0.0, 0.0),
+                Vertex::new(8.0, 0.0, 32.0, 0.0),
+                Vertex::new(0.0, 8.0, 0.0, 32.0),
+            ],
+        );
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        assert!((s.lod() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clipped_scans_tile_to_the_full_scan() {
+        // Hardware clipping: scanning over a screen partition must visit
+        // exactly the full scan's pixels, once each.
+        let t = tri([(3.7, 2.1), (41.3, 9.9), (11.0, 38.6)]);
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        let mut full = Vec::new();
+        s.scan(|x, y, _, _| full.push((x, y)));
+        let mut tiled = Vec::new();
+        for ty in 0..4 {
+            for tx in 0..4 {
+                let clip = Rect::new(tx * 16, ty * 16, (tx + 1) * 16, (ty + 1) * 16);
+                s.scan_rect(clip, |x, y, _, _| tiled.push((x, y)));
+            }
+        }
+        tiled.sort_unstable();
+        let mut full_sorted = full.clone();
+        full_sorted.sort_unstable();
+        assert_eq!(tiled, full_sorted);
+        assert!(!full.is_empty());
+    }
+
+    #[test]
+    fn scan_rect_outside_bbox_is_empty() {
+        let t = tri([(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)]);
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        let mut n = 0;
+        s.scan_rect(Rect::new(32, 32, 64, 64), |_, _, _, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn scan_rect_preserves_uv_interpolation() {
+        let t = tri([(0.0, 0.0), (16.0, 0.0), (0.0, 16.0)]);
+        let s = TriangleSetup::new(&t, screen()).unwrap();
+        s.scan_rect(Rect::new(4, 4, 12, 12), |x, y, u, v| {
+            assert!((u - (x as f32 + 0.5)).abs() < 1e-3);
+            assert!((v - (y as f32 + 0.5)).abs() < 1e-3);
+        });
+    }
+
+    #[test]
+    fn adjacent_mesh_partition_no_double_draw() {
+        // A 4x4 grid of quads, each split into two triangles: every pixel
+        // of [0,32)^2 must be covered exactly once.
+        let mut hits = vec![0u32; 32 * 32];
+        for gy in 0..4 {
+            for gx in 0..4 {
+                let x0 = gx as f32 * 8.0;
+                let y0 = gy as f32 * 8.0;
+                let quads = [
+                    tri([(x0, y0), (x0 + 8.0, y0), (x0, y0 + 8.0)]),
+                    tri([(x0 + 8.0, y0), (x0 + 8.0, y0 + 8.0), (x0, y0 + 8.0)]),
+                ];
+                for t in &quads {
+                    let s = TriangleSetup::new(t, screen()).unwrap();
+                    s.scan(|x, y, _, _| {
+                        if (0..32).contains(&x) && (0..32).contains(&y) {
+                            hits[(y * 32 + x) as usize] += 1;
+                        }
+                    });
+                }
+            }
+        }
+        assert!(hits.iter().all(|&c| c == 1), "mesh must partition the grid");
+    }
+}

@@ -1,0 +1,177 @@
+//! Multi-frame workloads: camera motion over a generated scene.
+//!
+//! The paper simulates single frames (its L1 has no inter-frame locality),
+//! but its conclusion asks about *frame sequences* — an L2's worth of
+//! locality depends on how far the viewpoint moves between frames. This
+//! module animates a scene with the two motions that matter:
+//!
+//! * **pan** — screen-space translation ([`Scene::translated_view`]);
+//! * **zoom** — scaling about the screen center, which also changes texel
+//!   density (zooming in magnifies textures, pushing LOD toward 0).
+
+use crate::generate::Scene;
+use sortmid_geom::Vec2;
+
+/// A per-frame camera step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraStep {
+    /// Horizontal pan in pixels per frame.
+    pub dx: f32,
+    /// Vertical pan in pixels per frame.
+    pub dy: f32,
+    /// Zoom factor per frame (1.0 = none; > 1 zooms in).
+    pub zoom: f32,
+}
+
+impl CameraStep {
+    /// A pure pan.
+    pub fn pan(dx: f32, dy: f32) -> Self {
+        CameraStep { dx, dy, zoom: 1.0 }
+    }
+
+    /// A pure zoom.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `zoom` is positive and finite.
+    pub fn zoom(zoom: f32) -> Self {
+        assert!(zoom > 0.0 && zoom.is_finite(), "zoom must be positive");
+        CameraStep { dx: 0.0, dy: 0.0, zoom }
+    }
+}
+
+/// The scene as seen after zooming by `factor` about the screen center
+/// (texture coordinates stay attached to the geometry, so texel density
+/// drops by `factor`).
+///
+/// # Panics
+///
+/// Panics unless `factor` is positive and finite.
+pub fn zoomed_view(scene: &Scene, factor: f32) -> Scene {
+    assert!(factor > 0.0 && factor.is_finite(), "zoom must be positive");
+    let center = Vec2::new(
+        scene.screen().width() as f32 / 2.0,
+        scene.screen().height() as f32 / 2.0,
+    );
+    let triangles = scene
+        .triangles()
+        .iter()
+        .map(|t| {
+            t.translated(-center)
+                .scaled(factor)
+                .translated(center)
+        })
+        .collect();
+    Scene::from_parts(
+        format!("{}+zoom({factor})", scene.name()),
+        scene.screen(),
+        triangles,
+        scene.registry().clone(),
+    )
+}
+
+/// Generates `frames` views of `scene` under a constant camera step; frame
+/// 0 is the original view.
+///
+/// # Panics
+///
+/// Panics if `frames` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_scene::animate::{camera_path, CameraStep};
+/// use sortmid_scene::{Benchmark, SceneBuilder};
+///
+/// let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.05).build();
+/// let frames = camera_path(&scene, 3, CameraStep::pan(8.0, 0.0));
+/// assert_eq!(frames.len(), 3);
+/// assert_ne!(frames[0].triangles()[0], frames[2].triangles()[0]);
+/// ```
+pub fn camera_path(scene: &Scene, frames: u32, step: CameraStep) -> Vec<Scene> {
+    assert!(frames > 0, "need at least one frame");
+    let mut out = Vec::with_capacity(frames as usize);
+    let mut current = scene.clone();
+    for i in 0..frames {
+        if i > 0 {
+            let mut next = current.translated_view(step.dx, step.dy);
+            if step.zoom != 1.0 {
+                next = zoomed_view(&next, step.zoom);
+            }
+            current = next;
+        }
+        out.push(current.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SceneBuilder;
+    use crate::presets::Benchmark;
+    use crate::stats::SceneStats;
+
+    fn scene() -> Scene {
+        SceneBuilder::benchmark(Benchmark::Quake).scale(0.08).build()
+    }
+
+    #[test]
+    fn pan_moves_geometry_not_uv() {
+        let s = scene();
+        let panned = s.translated_view(10.0, 0.0);
+        let a = s.triangles()[0].vertices()[0];
+        let b = panned.triangles()[0].vertices()[0];
+        assert!((a.pos.x - b.pos.x - 10.0).abs() < 1e-4);
+        assert_eq!(a.uv, b.uv);
+    }
+
+    #[test]
+    fn zoom_changes_density() {
+        // Needs a texture big enough not to be fully touched either way,
+        // so the density change is observable: teapot's single large one.
+        let s = SceneBuilder::benchmark(Benchmark::TeapotFull).scale(0.12).build();
+        let zoomed = zoomed_view(&s, 2.0);
+        let before = SceneStats::measure(&s);
+        let after = SceneStats::measure(&zoomed);
+        // Zooming in doubles on-screen triangle size: unique texels per
+        // screen pixel drop (textures are magnified).
+        assert!(
+            after.unique_texel_per_screen_pixel < before.unique_texel_per_screen_pixel,
+            "zoom-in should magnify: {} vs {}",
+            after.unique_texel_per_screen_pixel,
+            before.unique_texel_per_screen_pixel
+        );
+    }
+
+    #[test]
+    fn zoom_preserves_screen_center() {
+        let s = scene();
+        let cx = s.screen().width() as f32 / 2.0;
+        let cy = s.screen().height() as f32 / 2.0;
+        let zoomed = zoomed_view(&s, 3.0);
+        for (a, b) in s.triangles().iter().zip(zoomed.triangles()) {
+            let pa = a.vertices()[0].pos;
+            let pb = b.vertices()[0].pos;
+            // Distances from center scale by exactly 3.
+            let da = ((pa.x - cx).powi(2) + (pa.y - cy).powi(2)).sqrt();
+            let db = ((pb.x - cx).powi(2) + (pb.y - cy).powi(2)).sqrt();
+            assert!((db - 3.0 * da).abs() < 0.3 + da * 0.01, "{da} vs {db}");
+        }
+    }
+
+    #[test]
+    fn camera_path_accumulates() {
+        let s = scene();
+        let frames = camera_path(&s, 4, CameraStep::pan(5.0, 0.0));
+        let x0 = frames[0].triangles()[0].vertices()[0].pos.x;
+        let x3 = frames[3].triangles()[0].vertices()[0].pos.x;
+        assert!((x0 - x3 - 15.0).abs() < 1e-3, "3 steps of 5 px: {x0} -> {x3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zoom must be positive")]
+    fn bad_zoom_panics() {
+        zoomed_view(&scene(), 0.0);
+    }
+}

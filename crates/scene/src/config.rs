@@ -1,0 +1,210 @@
+//! Scene-generation parameters and the builder that produces scenes.
+
+use crate::generate::{generate, Scene};
+use crate::presets::Benchmark;
+use std::fmt;
+
+/// Full parameter set of the procedural scene generator.
+///
+/// Obtain one from [`Benchmark::config`](crate::Benchmark::config) (the
+/// calibrated presets) or build a custom one with [`SceneBuilder::custom`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneConfig {
+    /// Human-readable scene name (the paper's benchmark name).
+    pub name: String,
+    /// Screen width in pixels.
+    pub width: u32,
+    /// Screen height in pixels.
+    pub height: u32,
+    /// Total triangles to emit (background + objects).
+    pub target_triangles: u32,
+    /// Average depth complexity to calibrate for (fragments per pixel).
+    pub target_depth: f64,
+    /// Number of distinct textures.
+    pub texture_count: u32,
+    /// Inclusive range of log₂ texture side lengths (e.g. `(5, 7)` gives
+    /// 32..=128 texel sides).
+    pub tex_size_log2: (u32, u32),
+    /// Texels sampled per screen pixel (controls mip level and the unique
+    /// texel/fragment ratio; < 1 means magnified textures).
+    pub texel_density: f64,
+    /// Number of depth-complexity hotspots.
+    pub hotspots: u32,
+    /// Hotspot Gaussian radius as a fraction of the screen diagonal.
+    pub cluster_sigma: f64,
+    /// Fraction of objects pinned to hotspots (the rest spread uniformly).
+    pub cluster_fraction: f64,
+    /// Full-screen background layers (walls/floors; each ≈ 1.0 depth).
+    pub background_layers: u32,
+    /// Inclusive range of object patch sizes, in quads per side.
+    pub patch_quads: (u32, u32),
+    /// RNG seed; identical configs generate identical scenes.
+    pub seed: u64,
+}
+
+impl SceneConfig {
+    /// Scales the screen and the triangle budget by `factor`, keeping the
+    /// *per-triangle* statistics (pixel area, texel density, depth
+    /// complexity) unchanged. Use small factors for fast tests; stats can
+    /// be extrapolated back with [`SceneStats`](crate::SceneStats).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 4`.
+    pub fn scaled(&self, factor: f64) -> SceneConfig {
+        assert!(factor > 0.0 && factor <= 4.0, "scale must be in (0, 4]");
+        let mut c = self.clone();
+        c.width = ((self.width as f64 * factor).round() as u32).max(64);
+        c.height = ((self.height as f64 * factor).round() as u32).max(64);
+        let area_ratio =
+            (c.width as f64 * c.height as f64) / (self.width as f64 * self.height as f64);
+        c.target_triangles = ((self.target_triangles as f64 * area_ratio).round() as u32).max(16);
+        // Texture memory must scale with the scene or the unique
+        // texel/fragment ratio drifts: with many textures, drop the *count*
+        // (objects sample proportionally fewer distinct textures); with few
+        // textures (e.g. teapot.full's single one), shrink the *dimensions*
+        // instead.
+        let scaled_count = self.texture_count as f64 * area_ratio;
+        if scaled_count >= 8.0 {
+            c.texture_count = scaled_count.round() as u32;
+        } else {
+            let shift = ((1.0 / area_ratio).log2() / 2.0).max(0.0).round() as u32;
+            c.tex_size_log2 = (
+                self.tex_size_log2.0.saturating_sub(shift).max(2),
+                self.tex_size_log2.1.saturating_sub(shift).max(2),
+            );
+        }
+        c
+    }
+
+    /// The scale of this config relative to `reference` (sqrt of the screen
+    /// area ratio); used to extrapolate measured stats back to paper scale.
+    pub fn scale_vs(&self, reference: &SceneConfig) -> f64 {
+        ((self.width as f64 * self.height as f64)
+            / (reference.width as f64 * reference.height as f64))
+            .sqrt()
+    }
+}
+
+impl fmt::Display for SceneConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}x{}, {} tris, depth {:.1})",
+            self.name, self.width, self.height, self.target_triangles, self.target_depth
+        )
+    }
+}
+
+/// Builder for scenes: pick a benchmark preset (or custom config), optionally
+/// rescale or reseed it, then [`build`](SceneBuilder::build).
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_scene::{Benchmark, SceneBuilder};
+///
+/// let scene = SceneBuilder::benchmark(Benchmark::Quake)
+///     .scale(0.25)
+///     .seed(7)
+///     .build();
+/// assert_eq!(scene.name(), "quake");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SceneBuilder {
+    config: SceneConfig,
+}
+
+impl SceneBuilder {
+    /// Starts from a calibrated benchmark preset.
+    pub fn benchmark(benchmark: Benchmark) -> Self {
+        SceneBuilder {
+            config: benchmark.config(),
+        }
+    }
+
+    /// Starts from an explicit configuration.
+    pub fn custom(config: SceneConfig) -> Self {
+        SceneBuilder { config }
+    }
+
+    /// Rescales screen and triangle budget (see [`SceneConfig::scaled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 4`.
+    pub fn scale(mut self, factor: f64) -> Self {
+        self.config = self.config.scaled(factor);
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the texel density (texels per pixel).
+    pub fn texel_density(mut self, density: f64) -> Self {
+        self.config.texel_density = density;
+        self
+    }
+
+    /// The configuration as currently set up.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// Generates the scene (deterministic in the config).
+    pub fn build(self) -> Scene {
+        generate(&self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_preserves_density_metrics() {
+        let base = Benchmark::Quake.config();
+        let half = base.scaled(0.5);
+        assert_eq!(half.width, base.width / 2);
+        // Triangle budget scales with area.
+        let ratio = half.target_triangles as f64 / base.target_triangles as f64;
+        assert!((ratio - 0.25).abs() < 0.01, "ratio {ratio}");
+        assert_eq!(half.texel_density, base.texel_density);
+        assert_eq!(half.target_depth, base.target_depth);
+        assert!((half.scale_vs(&base) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn scale_floors_protect_tiny_configs() {
+        let tiny = Benchmark::TeapotFull.config().scaled(0.05);
+        assert!(tiny.width >= 64);
+        assert!(tiny.target_triangles >= 16);
+        assert!(tiny.texture_count >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_panics() {
+        Benchmark::Quake.config().scaled(0.0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let b = SceneBuilder::benchmark(Benchmark::Room3).seed(99).texel_density(2.5);
+        assert_eq!(b.config().seed, 99);
+        assert_eq!(b.config().texel_density, 2.5);
+        assert_eq!(b.config().name, "room3");
+    }
+
+    #[test]
+    fn same_config_same_scene() {
+        let a = SceneBuilder::benchmark(Benchmark::TeapotFull).scale(0.1).build();
+        let b = SceneBuilder::benchmark(Benchmark::TeapotFull).scale(0.1).build();
+        assert_eq!(a.triangles().len(), b.triangles().len());
+        assert_eq!(a.triangles()[0], b.triangles()[0]);
+    }
+}

@@ -1,0 +1,545 @@
+//! The procedural scene generator.
+//!
+//! A scene is built from two populations, mirroring how the paper's game
+//! traces are structured:
+//!
+//! * **background layers** — full-screen meshes of large quads (walls,
+//!   floors, skies) that guarantee full coverage and carry roughly one unit
+//!   of depth complexity each;
+//! * **foreground objects** — rotated quad-grid patches (characters, props)
+//!   whose positions concentrate around *hotspots*, producing the spatially
+//!   clustered depth complexity the paper's load-balancing study depends on.
+//!
+//! Object sizes are solved analytically from the depth-complexity target and
+//! then corrected once against the exact screen-clipped area, so a preset
+//! reliably hits its Table 1 statistics at any scale.
+
+use crate::config::SceneConfig;
+use sortmid_geom::{Rect, Triangle, Vec2, Vertex};
+use sortmid_raster::{rasterize, FragmentStream};
+use sortmid_texture::{TextureDesc, TextureRegistry};
+use sortmid_util::rng::{zipf_cdf, Pcg32};
+
+/// A generated scene: a triangle stream plus the texture registry it
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_scene::{Benchmark, SceneBuilder};
+///
+/// let scene = SceneBuilder::benchmark(Benchmark::Blowout775).scale(0.1).build();
+/// assert!(!scene.triangles().is_empty());
+/// assert!(scene.registry().len() >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scene {
+    name: String,
+    screen: Rect,
+    triangles: Vec<Triangle>,
+    registry: TextureRegistry,
+}
+
+impl Scene {
+    /// Reassembles a scene from its parts (used by scene deserialization;
+    /// generated scenes come from [`SceneBuilder`](crate::SceneBuilder)).
+    pub fn from_parts(
+        name: String,
+        screen: Rect,
+        triangles: Vec<Triangle>,
+        registry: TextureRegistry,
+    ) -> Scene {
+        Scene {
+            name,
+            screen,
+            triangles,
+            registry,
+        }
+    }
+
+    /// The scene's benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The screen rectangle.
+    pub fn screen(&self) -> Rect {
+        self.screen
+    }
+
+    /// The triangle stream, in geometry-stage order.
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+
+    /// The texture registry.
+    pub fn registry(&self) -> &TextureRegistry {
+        &self.registry
+    }
+
+    /// Rasterizes the scene into a replayable fragment stream.
+    pub fn rasterize(&self) -> FragmentStream {
+        rasterize(&self.triangles, &self.registry, self.screen)
+    }
+
+    /// The scene as seen after the viewpoint pans by `(dx, dy)` pixels:
+    /// every triangle shifts by `(-dx, -dy)` while its texture coordinates
+    /// stay attached to the geometry. The returned scene shares this one's
+    /// texture registry layout, so a machine's warm caches see the *same
+    /// texel addresses* moved to different screen positions — the paper's
+    /// closing inter-frame-locality question.
+    pub fn translated_view(&self, dx: f32, dy: f32) -> Scene {
+        let triangles = self
+            .triangles
+            .iter()
+            .map(|t| t.translated(sortmid_geom::Vec2::new(-dx, -dy)))
+            .collect();
+        Scene {
+            name: format!("{}+pan({dx},{dy})", self.name),
+            screen: self.screen,
+            triangles,
+            registry: self.registry.clone(),
+        }
+    }
+}
+
+/// One planned foreground object (before its size is finalised).
+#[derive(Debug, Clone)]
+struct ObjectPlan {
+    center: Vec2,
+    /// Quads per side of the patch.
+    grid: u32,
+    /// Log-normal size jitter.
+    size_jitter: f32,
+    rotation: f32,
+    texture: u32,
+    density_jitter: f32,
+    uv_origin: Vec2,
+    rng_tag: u64,
+}
+
+/// Generates a scene from a configuration (deterministic).
+pub(crate) fn generate(config: &SceneConfig) -> Scene {
+    let root = Pcg32::seed_from_u64(config.seed);
+    let screen = Rect::of_size(config.width, config.height);
+
+    // --- Textures ------------------------------------------------------
+    let mut registry = TextureRegistry::new();
+    let mut tex_rng = root.fork(1);
+    let (lo, hi) = config.tex_size_log2;
+    for _ in 0..config.texture_count {
+        let wlog = lo + tex_rng.next_below(hi - lo + 1);
+        let hlog = lo + tex_rng.next_below(hi - lo + 1);
+        registry
+            .register(TextureDesc::new(1 << wlog, 1 << hlog).expect("pow2 by construction"))
+            .expect("texture space");
+    }
+    let tex_cdf = zipf_cdf(config.texture_count as usize, 0.8);
+
+    // --- Hotspots --------------------------------------------------------
+    let mut hot_rng = root.fork(2);
+    let hotspots: Vec<Vec2> = (0..config.hotspots.max(1))
+        .map(|_| {
+            Vec2::new(
+                hot_rng.range_f64(0.1, 0.9) as f32 * config.width as f32,
+                hot_rng.range_f64(0.1, 0.9) as f32 * config.height as f32,
+            )
+        })
+        .collect();
+    let hot_cdf = zipf_cdf(hotspots.len(), 0.7);
+    let sigma = config.cluster_sigma
+        * ((config.width as f64).powi(2) + (config.height as f64).powi(2)).sqrt();
+
+    // --- Background ------------------------------------------------------
+    let mut triangles = Vec::with_capacity(config.target_triangles as usize + 64);
+    let bg_share = (config.background_layers as f64 / config.target_depth.max(1.0)).min(0.5);
+    let bg_budget = (config.target_triangles as f64 * bg_share) as u32;
+    let mut bg_rng = root.fork(3);
+    for layer in 0..config.background_layers {
+        let layer_tris = (bg_budget / config.background_layers.max(1)).max(8);
+        emit_background_layer(
+            &mut triangles,
+            &mut bg_rng,
+            config,
+            layer_tris,
+            layer,
+            &tex_cdf,
+            &registry,
+        );
+    }
+    let bg_count = triangles.len();
+
+    // --- Foreground plan --------------------------------------------------
+    let fg_budget = config.target_triangles.saturating_sub(triangles.len() as u32);
+    let mut plan_rng = root.fork(4);
+    let mut plans: Vec<ObjectPlan> = Vec::new();
+    let mut spent = 0u32;
+    let mut tag = 0u64;
+    while spent < fg_budget {
+        let (gmin, gmax) = config.patch_quads;
+        let grid = gmin + plan_rng.next_below(gmax - gmin + 1);
+        let tris = 2 * grid * grid;
+        if spent + tris > fg_budget && spent > fg_budget / 2 {
+            break;
+        }
+        let clustered = plan_rng.next_f64() < config.cluster_fraction;
+        let center = if clustered {
+            let h = hotspots[plan_rng.next_zipf(&hot_cdf)];
+            Vec2::new(
+                h.x + (plan_rng.next_normal() * sigma) as f32,
+                h.y + (plan_rng.next_normal() * sigma) as f32,
+            )
+        } else {
+            Vec2::new(
+                plan_rng.next_f32() * config.width as f32,
+                plan_rng.next_f32() * config.height as f32,
+            )
+        };
+        let texture = plan_rng.next_zipf(&tex_cdf) as u32;
+        let tex_dims = registry.desc(sortmid_texture::TextureId(texture));
+        plans.push(ObjectPlan {
+            center,
+            grid,
+            size_jitter: (0.6 * plan_rng.next_normal()).exp() as f32,
+            rotation: plan_rng.next_f32() * std::f32::consts::TAU,
+            texture,
+            density_jitter: 0.75 + 0.5 * plan_rng.next_f32(),
+            uv_origin: Vec2::new(
+                plan_rng.next_f32() * tex_dims.width() as f32,
+                plan_rng.next_f32() * tex_dims.height() as f32,
+            ),
+            rng_tag: tag,
+        });
+        spent += tris;
+        tag += 1;
+    }
+
+    // --- Solve object scale against the depth target ----------------------
+    let screen_area = (config.width as f64) * (config.height as f64);
+    let bg_area: f64 = triangles.iter().map(|t| clipped_area(t, screen)).sum();
+    let fg_target = (config.target_depth * screen_area - bg_area).max(0.02 * screen_area);
+    let denom: f64 = plans
+        .iter()
+        .map(|p| ((p.grid as f64) * (p.size_jitter as f64)).powi(2))
+        .sum::<f64>()
+        .max(1.0);
+    let mut base_q = (fg_target / denom).sqrt() as f32;
+
+    // One corrective iteration against exact clipped coverage.
+    for _ in 0..2 {
+        let mut area = 0.0;
+        for p in &plans {
+            for t in emit_object(p, base_q, config.texel_density as f32, &root) {
+                area += clipped_area(&t, screen);
+            }
+        }
+        if area <= 1.0 {
+            break;
+        }
+        let correction = (fg_target / area).sqrt().clamp(0.25, 4.0);
+        if (correction - 1.0).abs() < 0.02 {
+            break;
+        }
+        base_q *= correction as f32;
+    }
+
+    for p in &plans {
+        triangles.extend(emit_object(p, base_q, config.texel_density as f32, &root));
+    }
+    debug_assert!(triangles.len() >= bg_count);
+
+    Scene {
+        name: config.name.clone(),
+        screen,
+        triangles,
+        registry,
+    }
+}
+
+/// Emits one full-screen background layer as a jittered shared-vertex grid.
+#[allow(clippy::too_many_arguments)]
+fn emit_background_layer(
+    out: &mut Vec<Triangle>,
+    rng: &mut Pcg32,
+    config: &SceneConfig,
+    layer_tris: u32,
+    layer: u32,
+    tex_cdf: &[f64],
+    registry: &TextureRegistry,
+) {
+    let w = config.width as f32;
+    let h = config.height as f32;
+    let aspect = w / h;
+    let cells = (layer_tris / 2).max(1) as f32;
+    let gx = (cells * aspect).sqrt().round().max(1.0) as usize;
+    let gy = ((cells / aspect).sqrt().round().max(1.0)) as usize;
+    let cw = w / gx as f32;
+    let ch = h / gy as f32;
+
+    // Shared, jittered vertex grid (no cracks between cells).
+    let mut verts = vec![Vec2::ZERO; (gx + 1) * (gy + 1)];
+    for gy_i in 0..=gy {
+        for gx_i in 0..=gx {
+            let interior_x = gx_i > 0 && gx_i < gx;
+            let interior_y = gy_i > 0 && gy_i < gy;
+            let jx = if interior_x { (rng.next_f32() - 0.5) * 0.5 * cw } else { 0.0 };
+            let jy = if interior_y { (rng.next_f32() - 0.5) * 0.5 * ch } else { 0.0 };
+            verts[gy_i * (gx + 1) + gx_i] = Vec2::new(gx_i as f32 * cw + jx, gy_i as f32 * ch + jy);
+        }
+    }
+
+    let density = config.texel_density as f32 * (0.8 + 0.4 * rng.next_f32());
+    let uv_off = Vec2::new(rng.next_f32() * 512.0, rng.next_f32() * 512.0)
+        + Vec2::new(layer as f32 * 1024.0, 0.0);
+    let mut texture = rng.next_zipf(tex_cdf) as u32;
+    for cy in 0..gy {
+        for cx in 0..gx {
+            // Texture runs: keep the previous texture 3 times out of 4.
+            if rng.next_f64() < 0.25 {
+                texture = rng.next_zipf(tex_cdf) as u32;
+            }
+            let _ = registry; // texture dims unneeded: uv wraps
+            let v = |ix: usize, iy: usize| verts[iy * (gx + 1) + ix];
+            let corners = [
+                v(cx, cy),
+                v(cx + 1, cy),
+                v(cx + 1, cy + 1),
+                v(cx, cy + 1),
+            ];
+            let uv = |p: Vec2| (p * density) + uv_off;
+            let vert = |p: Vec2| Vertex {
+                pos: p,
+                uv: uv(p),
+            };
+            // Alternate the split diagonal for variety.
+            if (cx + cy) % 2 == 0 {
+                out.push(Triangle::new(texture, [vert(corners[0]), vert(corners[1]), vert(corners[2])]));
+                out.push(Triangle::new(texture, [vert(corners[0]), vert(corners[2]), vert(corners[3])]));
+            } else {
+                out.push(Triangle::new(texture, [vert(corners[1]), vert(corners[2]), vert(corners[3])]));
+                out.push(Triangle::new(texture, [vert(corners[1]), vert(corners[3]), vert(corners[0])]));
+            }
+        }
+    }
+}
+
+/// Emits the triangles of one foreground object.
+fn emit_object(plan: &ObjectPlan, base_q: f32, density: f32, root: &Pcg32) -> Vec<Triangle> {
+    let mut rng = root.fork(0x0B1EC7 ^ plan.rng_tag);
+    let g = plan.grid as usize;
+    let q = (base_q * plan.size_jitter).max(0.25);
+    let side = g as f32 * q;
+    let d = density * plan.density_jitter;
+    let (sin, cos) = plan.rotation.sin_cos();
+    let origin = plan.center - Vec2::new(side / 2.0, side / 2.0);
+
+    // Shared vertex grid with mild jitter, rotated about the center.
+    let mut verts = vec![(Vec2::ZERO, Vec2::ZERO); (g + 1) * (g + 1)];
+    for iy in 0..=g {
+        for ix in 0..=g {
+            let interior = ix > 0 && ix < g && iy > 0 && iy < g;
+            let j = if interior {
+                Vec2::new((rng.next_f32() - 0.5) * 0.4 * q, (rng.next_f32() - 0.5) * 0.4 * q)
+            } else {
+                Vec2::ZERO
+            };
+            let local = Vec2::new(ix as f32 * q, iy as f32 * q) + j;
+            let rel = origin + local - plan.center;
+            let pos = plan.center
+                + Vec2::new(rel.x * cos - rel.y * sin, rel.x * sin + rel.y * cos);
+            let uv = plan.uv_origin + local * d;
+            verts[iy * (g + 1) + ix] = (pos, uv);
+        }
+    }
+
+    let mut out = Vec::with_capacity(2 * g * g);
+    let vert = |ix: usize, iy: usize| {
+        let (pos, uv) = verts[iy * (g + 1) + ix];
+        Vertex { pos, uv }
+    };
+    for cy in 0..g {
+        for cx in 0..g {
+            let (a, b, c, dd) = (
+                vert(cx, cy),
+                vert(cx + 1, cy),
+                vert(cx + 1, cy + 1),
+                vert(cx, cy + 1),
+            );
+            if (cx + cy) % 2 == 0 {
+                out.push(Triangle::new(plan.texture, [a, b, c]));
+                out.push(Triangle::new(plan.texture, [a, c, dd]));
+            } else {
+                out.push(Triangle::new(plan.texture, [b, c, dd]));
+                out.push(Triangle::new(plan.texture, [b, dd, a]));
+            }
+        }
+    }
+    out
+}
+
+/// Exact area of a triangle clipped to the screen (Sutherland–Hodgman).
+pub(crate) fn clipped_area(tri: &Triangle, screen: Rect) -> f64 {
+    let mut poly: Vec<(f64, f64)> = tri
+        .vertices()
+        .iter()
+        .map(|v| (v.pos.x as f64, v.pos.y as f64))
+        .collect();
+    // Clip against each screen half-plane in turn.
+    let planes: [(f64, f64, f64); 4] = [
+        (1.0, 0.0, -(screen.x0 as f64)),  // x >= x0
+        (-1.0, 0.0, screen.x1 as f64),    // x <= x1
+        (0.0, 1.0, -(screen.y0 as f64)),  // y >= y0
+        (0.0, -1.0, screen.y1 as f64),    // y <= y1
+    ];
+    for (a, b, c) in planes {
+        if poly.is_empty() {
+            return 0.0;
+        }
+        let mut next = Vec::with_capacity(poly.len() + 2);
+        for i in 0..poly.len() {
+            let p = poly[i];
+            let q = poly[(i + 1) % poly.len()];
+            let dp = a * p.0 + b * p.1 + c;
+            let dq = a * q.0 + b * q.1 + c;
+            if dp >= 0.0 {
+                next.push(p);
+            }
+            if (dp >= 0.0) != (dq >= 0.0) {
+                let t = dp / (dp - dq);
+                next.push((p.0 + t * (q.0 - p.0), p.1 + t * (q.1 - p.1)));
+            }
+        }
+        poly = next;
+    }
+    // Shoelace.
+    let mut area2 = 0.0;
+    for i in 0..poly.len() {
+        let p = poly[i];
+        let q = poly[(i + 1) % poly.len()];
+        area2 += p.0 * q.1 - q.0 * p.1;
+    }
+    (area2 / 2.0).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Benchmark;
+    use sortmid_geom::Vertex;
+
+    fn tri(coords: [(f32, f32); 3]) -> Triangle {
+        Triangle::new(
+            0,
+            [
+                Vertex::new(coords[0].0, coords[0].1, 0.0, 0.0),
+                Vertex::new(coords[1].0, coords[1].1, 1.0, 0.0),
+                Vertex::new(coords[2].0, coords[2].1, 0.0, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn clipped_area_inside_is_exact() {
+        let t = tri([(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)]);
+        let a = clipped_area(&t, Rect::of_size(64, 64));
+        assert!((a - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipped_area_halves_when_straddling_edge() {
+        // Rectangle-ish: a triangle symmetric about x = 0 keeps half.
+        let t = tri([(-8.0, 0.0), (8.0, 0.0), (-8.0, 16.0)]);
+        let full = clipped_area(&t, Rect::new(-64, 0, 64, 64));
+        let clipped = clipped_area(&t, Rect::of_size(64, 64));
+        assert!(clipped < full);
+        assert!(clipped > 0.0);
+    }
+
+    #[test]
+    fn clipped_area_outside_is_zero() {
+        let t = tri([(100.0, 100.0), (120.0, 100.0), (100.0, 120.0)]);
+        assert_eq!(clipped_area(&t, Rect::of_size(64, 64)), 0.0);
+    }
+
+    #[test]
+    fn generated_scene_hits_triangle_budget() {
+        let config = Benchmark::Quake.config().scaled(0.25);
+        let scene = generate(&config);
+        let got = scene.triangles().len() as f64;
+        let want = config.target_triangles as f64;
+        assert!(
+            (got - want).abs() / want < 0.25,
+            "triangles {got} vs target {want}"
+        );
+    }
+
+    #[test]
+    fn generated_scene_hits_depth_target() {
+        let config = Benchmark::Massive11255.config().scaled(0.25);
+        let scene = generate(&config);
+        let stream = scene.rasterize();
+        let depth = stream.depth_complexity();
+        assert!(
+            (depth - config.target_depth).abs() / config.target_depth < 0.3,
+            "depth {depth} vs target {}",
+            config.target_depth
+        );
+    }
+
+    #[test]
+    fn scene_is_deterministic() {
+        let config = Benchmark::Truc640.config().scaled(0.15);
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.triangles().len(), b.triangles().len());
+        for (x, y) in a.triangles().iter().zip(b.triangles()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut c1 = Benchmark::Quake.config().scaled(0.15);
+        let mut c2 = c1.clone();
+        c1.seed = 1;
+        c2.seed = 2;
+        let a = generate(&c1);
+        let b = generate(&c2);
+        let same = a
+            .triangles()
+            .iter()
+            .zip(b.triangles())
+            .filter(|(x, y)| x == y)
+            .count();
+        assert!(same < a.triangles().len() / 2);
+    }
+
+    #[test]
+    fn depth_complexity_is_clustered() {
+        // The busiest screen quadrant should carry measurably more depth
+        // than the emptiest: that is what makes big tiles imbalanced.
+        let config = Benchmark::Room3.config().scaled(0.2);
+        let scene = generate(&config);
+        let stream = scene.rasterize();
+        let (w, h) = (scene.screen().width() as i32, scene.screen().height() as i32);
+        let mut quadrant = [0u64; 4];
+        for f in stream.fragments() {
+            let qx = (f.x as i32 >= w / 2) as usize;
+            let qy = (f.y as i32 >= h / 2) as usize;
+            quadrant[2 * qy + qx] += 1;
+        }
+        let max = *quadrant.iter().max().unwrap() as f64;
+        let min = *quadrant.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) > 1.1, "quadrants {quadrant:?}");
+    }
+
+    #[test]
+    fn all_textures_are_registered() {
+        let config = Benchmark::Blowout775.config().scaled(0.15);
+        let scene = generate(&config);
+        let n = scene.registry().len() as u32;
+        for t in scene.triangles() {
+            assert!(t.texture() < n);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Binary serialization of generated scenes.
+//!
+//! A full-scale scene takes seconds to generate and calibrate; capturing it
+//! to disk lets the harness treat scenes exactly like the paper treated its
+//! Mesa-captured traces: generate (capture) once, replay everywhere. The
+//! format stores the screen, the texture registry's shapes and the triangle
+//! stream; everything else (mip chains, blocked addresses) is recomputed on
+//! load, which keeps the format small and version-stable.
+
+use crate::generate::Scene;
+use sortmid_geom::{Rect, Triangle, Vertex};
+use sortmid_texture::{TextureDesc, TextureRegistry};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic bytes of the scene format ("SortMid SCene").
+pub const MAGIC: [u8; 4] = *b"SMSC";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from reading a serialized scene.
+#[derive(Debug)]
+pub enum SceneIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the `SMSC` magic.
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid payload.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SceneIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SceneIoError::Io(e) => write!(f, "i/o error: {e}"),
+            SceneIoError::BadMagic(m) => write!(f, "bad magic {m:?}, not a scene file"),
+            SceneIoError::BadVersion(v) => write!(f, "unsupported scene version {v}"),
+            SceneIoError::Corrupt(what) => write!(f, "corrupt scene: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SceneIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SceneIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SceneIoError {
+    fn from(e: io::Error) -> Self {
+        SceneIoError::Io(e)
+    }
+}
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Writes `scene` to `w` (a `&mut` reference works as the writer).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_scene::io::{read_scene, write_scene};
+/// use sortmid_scene::{Benchmark, SceneBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.05).build();
+/// let mut buf = Vec::new();
+/// write_scene(&mut buf, &scene)?;
+/// let back = read_scene(buf.as_slice())?;
+/// assert_eq!(back.triangles(), scene.triangles());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_scene<W: Write>(mut w: W, scene: &Scene) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+    let name = scene.name().as_bytes();
+    put_u32(&mut w, name.len() as u32)?;
+    w.write_all(name)?;
+    put_u32(&mut w, scene.screen().width())?;
+    put_u32(&mut w, scene.screen().height())?;
+    put_u32(&mut w, scene.registry().len() as u32)?;
+    for id in scene.registry().ids() {
+        let desc = scene.registry().desc(id);
+        put_u32(&mut w, desc.width())?;
+        put_u32(&mut w, desc.height())?;
+    }
+    put_u32(&mut w, scene.triangles().len() as u32)?;
+    for tri in scene.triangles() {
+        put_u32(&mut w, tri.texture())?;
+        for v in tri.vertices() {
+            put_f32(&mut w, v.pos.x)?;
+            put_f32(&mut w, v.pos.y)?;
+            put_f32(&mut w, v.uv.x)?;
+            put_f32(&mut w, v.uv.y)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a scene previously written by [`write_scene`] (a `&mut` reference
+/// works as the reader).
+///
+/// # Errors
+///
+/// Returns [`SceneIoError`] on I/O failure, bad magic/version or an
+/// inconsistent payload.
+pub fn read_scene<R: Read>(mut r: R) -> Result<Scene, SceneIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(SceneIoError::BadMagic(magic));
+    }
+    let version = get_u32(&mut r)?;
+    if version != VERSION {
+        return Err(SceneIoError::BadVersion(version));
+    }
+    let name_len = get_u32(&mut r)? as usize;
+    if name_len > 4096 {
+        return Err(SceneIoError::Corrupt("implausible name length"));
+    }
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| SceneIoError::Corrupt("name not UTF-8"))?;
+    let width = get_u32(&mut r)?;
+    let height = get_u32(&mut r)?;
+    if width == 0 || height == 0 || width > 1 << 16 || height > 1 << 16 {
+        return Err(SceneIoError::Corrupt("implausible screen size"));
+    }
+    let tex_count = get_u32(&mut r)? as usize;
+    if tex_count > 1 << 20 {
+        return Err(SceneIoError::Corrupt("implausible texture count"));
+    }
+    let mut registry = TextureRegistry::new();
+    for _ in 0..tex_count {
+        let w = get_u32(&mut r)?;
+        let h = get_u32(&mut r)?;
+        let desc = TextureDesc::new(w, h).map_err(|_| SceneIoError::Corrupt("bad texture dims"))?;
+        registry
+            .register(desc)
+            .map_err(|_| SceneIoError::Corrupt("texture space exhausted"))?;
+    }
+    let tri_count = get_u32(&mut r)? as usize;
+    if tri_count > 1 << 26 {
+        return Err(SceneIoError::Corrupt("implausible triangle count"));
+    }
+    let mut triangles = Vec::with_capacity(tri_count);
+    for _ in 0..tri_count {
+        let texture = get_u32(&mut r)?;
+        if texture as usize >= tex_count {
+            return Err(SceneIoError::Corrupt("triangle references unknown texture"));
+        }
+        let mut vs = [Vertex::default(); 3];
+        for v in &mut vs {
+            let x = get_f32(&mut r)?;
+            let y = get_f32(&mut r)?;
+            let u = get_f32(&mut r)?;
+            let vv = get_f32(&mut r)?;
+            if !(x.is_finite() && y.is_finite() && u.is_finite() && vv.is_finite()) {
+                return Err(SceneIoError::Corrupt("non-finite vertex"));
+            }
+            *v = Vertex::new(x, y, u, vv);
+        }
+        triangles.push(Triangle::new(texture, vs));
+    }
+    Ok(Scene::from_parts(
+        name,
+        Rect::of_size(width, height),
+        triangles,
+        registry,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SceneBuilder;
+    use crate::presets::Benchmark;
+
+    fn sample() -> Scene {
+        SceneBuilder::benchmark(Benchmark::Blowout775).scale(0.06).build()
+    }
+
+    #[test]
+    fn round_trip_preserves_scene() {
+        let scene = sample();
+        let mut buf = Vec::new();
+        write_scene(&mut buf, &scene).unwrap();
+        let back = read_scene(buf.as_slice()).unwrap();
+        assert_eq!(back.name(), scene.name());
+        assert_eq!(back.screen(), scene.screen());
+        assert_eq!(back.triangles(), scene.triangles());
+        assert_eq!(back.registry().len(), scene.registry().len());
+        assert_eq!(back.registry().total_bytes(), scene.registry().total_bytes());
+    }
+
+    #[test]
+    fn round_trip_rasterizes_identically() {
+        let scene = sample();
+        let mut buf = Vec::new();
+        write_scene(&mut buf, &scene).unwrap();
+        let back = read_scene(buf.as_slice()).unwrap();
+        let a = scene.rasterize();
+        let b = back.rasterize();
+        assert_eq!(a.fragments(), b.fragments());
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(matches!(
+            read_scene(&b"XXXX0000"[..]).unwrap_err(),
+            SceneIoError::BadMagic(_)
+        ));
+        let mut buf = Vec::new();
+        write_scene(&mut buf, &sample()).unwrap();
+        let mut wrong_version = buf.clone();
+        wrong_version[4..8].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            read_scene(wrong_version.as_slice()).unwrap_err(),
+            SceneIoError::BadVersion(7)
+        ));
+        let mut truncated = buf.clone();
+        truncated.truncate(buf.len() - 10);
+        assert!(matches!(
+            read_scene(truncated.as_slice()).unwrap_err(),
+            SceneIoError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn non_pow2_texture_dims_are_corrupt() {
+        let mut buf = Vec::new();
+        write_scene(&mut buf, &sample()).unwrap();
+        // First texture dims sit right after magic+version+name+screen.
+        let name_len = sample().name().len();
+        let off = 4 + 4 + 4 + name_len + 4 + 4 + 4;
+        buf[off..off + 4].copy_from_slice(&48u32.to_le_bytes());
+        let err = read_scene(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SceneIoError::Corrupt("bad texture dims")), "{err}");
+    }
+}

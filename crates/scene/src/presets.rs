@@ -1,0 +1,258 @@
+//! The seven benchmark presets of the paper's Table 1.
+//!
+//! Each preset is a [`SceneConfig`] calibrated so the generated scene's
+//! measured statistics land near the published row: screen size, triangle
+//! count, depth complexity, texture count, texture megabytes and unique
+//! texel/fragment ratio. `massive11255` and `32massive11255` share their
+//! geometry (same frame of the SPEC APC `massive1` demo) and differ only in
+//! texture resolution/density — the paper's ×2 vs ×32 magnification
+//! correction.
+
+use crate::config::SceneConfig;
+use std::fmt;
+use std::str::FromStr;
+
+/// The paper's benchmark scenes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// `room3` — textured room microbenchmark, very high depth complexity.
+    Room3,
+    /// `teapot.full` — a single large object with one big texture.
+    TeapotFull,
+    /// `quake` — Quake 1 `bigass1` demo frame; big, barely-reused textures.
+    Quake,
+    /// `massive11255` — SPEC APC Quake2 network demo, frame 1255, textures
+    /// magnified ×2.
+    Massive11255,
+    /// `32massive11255` — the same frame with ×32 texture magnification.
+    Massive32_11255,
+    /// `blowout775` — Half-Life demo frame; many tiny, repeated textures.
+    Blowout775,
+    /// `truc640` — Half-Life demo frame.
+    Truc640,
+}
+
+impl Benchmark {
+    /// All seven benchmarks in the paper's Table 1 order.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::Room3,
+        Benchmark::TeapotFull,
+        Benchmark::Quake,
+        Benchmark::Massive11255,
+        Benchmark::Massive32_11255,
+        Benchmark::Blowout775,
+        Benchmark::Truc640,
+    ];
+
+    /// The scene's name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Room3 => "room3",
+            Benchmark::TeapotFull => "teapot.full",
+            Benchmark::Quake => "quake",
+            Benchmark::Massive11255 => "massive11255",
+            Benchmark::Massive32_11255 => "32massive11255",
+            Benchmark::Blowout775 => "blowout775",
+            Benchmark::Truc640 => "truc640",
+        }
+    }
+
+    /// The paper's Table 1 row for this scene:
+    /// `(screen_w, screen_h, mpixels, depth, triangles, textures, mbytes,
+    /// unique_texel_per_fragment)` — used by the Table 1 experiment to print
+    /// paper-vs-measured.
+    pub fn paper_row(&self) -> (u32, u32, f64, f64, u32, u32, f64, f64) {
+        match self {
+            Benchmark::Room3 => (1280, 1024, 13.0, 9.9, 163_000, 24, 1.5, 0.28),
+            Benchmark::TeapotFull => (1280, 1024, 2.8, 2.1, 10_000, 1, 6.0, 1.13),
+            Benchmark::Quake => (1152, 870, 2.0, 1.9, 7_400, 954, 5.2, 1.3),
+            Benchmark::Massive11255 => (1600, 1200, 8.0, 4.1, 13_000, 1055, 1.0, 0.13),
+            Benchmark::Massive32_11255 => (1600, 1200, 8.0, 4.1, 13_000, 1055, 3.4, 0.42),
+            Benchmark::Blowout775 => (1600, 1200, 5.9, 3.0, 5_947, 1778, 0.8, 0.1),
+            Benchmark::Truc640 => (1600, 1200, 8.3, 4.3, 12_195, 1530, 1.2, 0.15),
+        }
+    }
+
+    /// The calibrated generator configuration at full (paper) scale.
+    pub fn config(&self) -> SceneConfig {
+        let (width, height, _, depth, triangles, textures, _, _) = self.paper_row();
+        let base = SceneConfig {
+            name: self.name().to_string(),
+            width,
+            height,
+            target_triangles: triangles,
+            target_depth: depth,
+            texture_count: textures,
+            tex_size_log2: (5, 5),
+            texel_density: 1.0,
+            hotspots: 4,
+            cluster_sigma: 0.08,
+            cluster_fraction: 0.75,
+            background_layers: 1,
+            patch_quads: (2, 6),
+            seed: 0x5EED_0000 + *self as u64,
+        };
+        match self {
+            Benchmark::Room3 => SceneConfig {
+                tex_size_log2: (7, 8),
+                texel_density: 0.3,
+                hotspots: 6,
+                cluster_sigma: 0.07,
+                cluster_fraction: 0.8,
+                background_layers: 2,
+                patch_quads: (2, 8),
+                ..base
+            },
+            Benchmark::TeapotFull => SceneConfig {
+                tex_size_log2: (11, 11),
+                texel_density: 0.75,
+                hotspots: 1,
+                cluster_sigma: 0.04,
+                cluster_fraction: 1.0,
+                background_layers: 1,
+                patch_quads: (12, 24),
+                ..base
+            },
+            Benchmark::Quake => SceneConfig {
+                tex_size_log2: (6, 6),
+                texel_density: 1.5,
+                hotspots: 3,
+                cluster_fraction: 0.6,
+                background_layers: 1,
+                patch_quads: (2, 6),
+                ..base
+            },
+            Benchmark::Massive11255 => SceneConfig {
+                tex_size_log2: (4, 5),
+                texel_density: 0.33,
+                hotspots: 8,
+                cluster_sigma: 0.06,
+                cluster_fraction: 0.85,
+                background_layers: 2,
+                patch_quads: (2, 6),
+                seed: 0x5EED_0000 + Benchmark::Massive11255 as u64,
+                ..base
+            },
+            Benchmark::Massive32_11255 => SceneConfig {
+                // Same frame as massive11255 (same seed and geometry
+                // parameters), magnified textures: larger and denser.
+                name: self.name().to_string(),
+                tex_size_log2: (5, 6),
+                texel_density: 0.6,
+                hotspots: 8,
+                cluster_sigma: 0.06,
+                cluster_fraction: 0.85,
+                background_layers: 2,
+                patch_quads: (2, 6),
+                seed: 0x5EED_0000 + Benchmark::Massive11255 as u64,
+                ..base
+            },
+            Benchmark::Blowout775 => SceneConfig {
+                tex_size_log2: (4, 5),
+                texel_density: 0.6,
+                hotspots: 4,
+                cluster_sigma: 0.09,
+                cluster_fraction: 0.7,
+                background_layers: 2,
+                patch_quads: (2, 5),
+                ..base
+            },
+            Benchmark::Truc640 => SceneConfig {
+                tex_size_log2: (4, 5),
+                texel_density: 0.35,
+                hotspots: 6,
+                cluster_sigma: 0.08,
+                cluster_fraction: 0.75,
+                background_layers: 2,
+                patch_quads: (2, 6),
+                ..base
+            },
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError {
+    input: String,
+}
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark '{}'", self.input)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| ParseBenchmarkError {
+                input: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+        }
+        assert!("nonexistent".parse::<Benchmark>().is_err());
+    }
+
+    #[test]
+    fn configs_match_table1_headline_numbers() {
+        for b in Benchmark::ALL {
+            let (w, h, _, depth, tris, textures, _, _) = b.paper_row();
+            let c = b.config();
+            assert_eq!(c.width, w, "{b}");
+            assert_eq!(c.height, h, "{b}");
+            assert_eq!(c.target_triangles, tris, "{b}");
+            assert_eq!(c.target_depth, depth, "{b}");
+            assert_eq!(c.texture_count, textures, "{b}");
+        }
+    }
+
+    #[test]
+    fn massive_variants_share_geometry() {
+        let m = Benchmark::Massive11255.config();
+        let m32 = Benchmark::Massive32_11255.config();
+        assert_eq!(m.seed, m32.seed);
+        assert_eq!(m.target_triangles, m32.target_triangles);
+        assert_eq!(m.hotspots, m32.hotspots);
+        assert!(m32.texel_density > m.texel_density, "magnification raises density");
+        assert!(m32.tex_size_log2.0 > m.tex_size_log2.0);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(Benchmark::Massive32_11255.to_string(), "32massive11255");
+        assert_eq!(Benchmark::TeapotFull.to_string(), "teapot.full");
+    }
+
+    #[test]
+    fn seeds_are_distinct_where_geometry_differs() {
+        let mut seeds: Vec<u64> = Benchmark::ALL.iter().map(|b| b.config().seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        // 7 benchmarks, 2 share a frame -> 6 distinct seeds.
+        assert_eq!(seeds.len(), 6);
+    }
+}

@@ -1,0 +1,173 @@
+//! Scene rendering for Figure 9's benchmark images.
+//!
+//! The simulator does not need pixel colors, but the paper shows its
+//! benchmark scenes (Figure 9) and a visual check that the generator
+//! produces plausible game-like frames is worth having. Textures are
+//! procedural (hash-colored checkerboards per texture id), fragments are
+//! drawn in stream order (painter's algorithm — the pipeline has no Z-test
+//! before texturing), and a depth-complexity heat map can be rendered for
+//! the load-balancing intuition of Figure 1.
+
+use crate::generate::Scene;
+use sortmid_raster::{FragmentStream, TriangleSetup};
+use sortmid_texture::{ProceduralTexels, TextureId};
+use sortmid_util::ppm::{heat_color, Image};
+
+/// Renders the scene's color image with true trilinear filtering of the
+/// procedural texture contents (painter's order — the pipeline has no
+/// Z-test before texturing).
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_scene::{render, Benchmark, SceneBuilder};
+///
+/// let scene = SceneBuilder::benchmark(Benchmark::TeapotFull).scale(0.1).build();
+/// let img = render::render_color(&scene);
+/// assert_eq!(img.width(), scene.screen().width());
+/// ```
+pub fn render_color(scene: &Scene) -> Image {
+    let mut img = Image::new(scene.screen().width(), scene.screen().height());
+    let texels = ProceduralTexels::new(scene.registry());
+    for tri in scene.triangles() {
+        let Some(setup) = TriangleSetup::new(tri, scene.screen()) else {
+            continue;
+        };
+        let id = TextureId(tri.texture());
+        let lod = setup.lod();
+        setup.scan(|x, y, u, v| {
+            img.put(x as u32, y as u32, texels.sample_trilinear(id, u, v, lod));
+        });
+    }
+    img
+}
+
+/// Fast preview render from an existing fragment stream: no filtering,
+/// each fragment tinted by its texture with a cheap address-derived
+/// checker. Useful when the stream is already in hand and fidelity does
+/// not matter.
+pub fn render_color_stream(scene: &Scene, stream: &FragmentStream) -> Image {
+    let mut img = Image::new(scene.screen().width(), scene.screen().height());
+    for rec in stream.triangles() {
+        let base = texture_tint(rec.texture.0);
+        for frag in stream.fragments_of(rec) {
+            // Cheap procedural texture: checker from the first texel address
+            // (stable under distribution, scale and replay).
+            let t = frag.texels[0].index();
+            let checker = ((t >> 4) ^ (t >> 9)) & 1;
+            let shade = if checker == 1 { 1.0 } else { 0.72 };
+            let rgb = [
+                (base[0] as f32 * shade) as u8,
+                (base[1] as f32 * shade) as u8,
+                (base[2] as f32 * shade) as u8,
+            ];
+            img.put(frag.x as u32, frag.y as u32, rgb);
+        }
+    }
+    img
+}
+
+/// Renders the per-pixel depth complexity as a heat map (white = deepest).
+pub fn render_depth_map(scene: &Scene) -> Image {
+    let stream = scene.rasterize();
+    let w = scene.screen().width();
+    let h = scene.screen().height();
+    let mut depth = vec![0u32; (w * h) as usize];
+    for frag in stream.fragments() {
+        depth[(frag.y as u32 * w + frag.x as u32) as usize] += 1;
+    }
+    let max = depth.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let mut img = Image::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let d = depth[(y * w + x) as usize] as f64;
+            img.put(x, y, heat_color(d / max));
+        }
+    }
+    img
+}
+
+/// A stable, saturated tint per texture id.
+fn texture_tint(id: u32) -> [u8; 3] {
+    // splitmix-style scramble for decorrelated hues.
+    let mut z = (id as u64).wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 27;
+    let hue = (z % 360) as f64;
+    hsv_to_rgb(hue, 0.45 + ((z >> 9) % 40) as f64 / 100.0, 0.9)
+}
+
+/// Minimal HSV → RGB (h in degrees, s/v in [0, 1]).
+fn hsv_to_rgb(h: f64, s: f64, v: f64) -> [u8; 3] {
+    let c = v * s;
+    let hp = (h / 60.0) % 6.0;
+    let x = c * (1.0 - ((hp % 2.0) - 1.0).abs());
+    let (r, g, b) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = v - c;
+    [
+        ((r + m) * 255.0).round() as u8,
+        ((g + m) * 255.0).round() as u8,
+        ((b + m) * 255.0).round() as u8,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SceneBuilder;
+    use crate::presets::Benchmark;
+
+    #[test]
+    fn color_image_has_screen_dims_and_content() {
+        let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.08).build();
+        let img = render_color(&scene);
+        assert_eq!(img.width(), scene.screen().width());
+        assert_eq!(img.height(), scene.screen().height());
+        // Background covers the screen: the image should not be black.
+        let mut non_black = 0;
+        for y in (0..img.height()).step_by(7) {
+            for x in (0..img.width()).step_by(7) {
+                if img.get(x, y) != [0, 0, 0] {
+                    non_black += 1;
+                }
+            }
+        }
+        assert!(non_black > 50, "expected textured coverage, got {non_black}");
+    }
+
+    #[test]
+    fn depth_map_shows_variation() {
+        let scene = SceneBuilder::benchmark(Benchmark::Room3).scale(0.08).build();
+        let img = render_depth_map(&scene);
+        let mut colors = std::collections::HashSet::new();
+        for y in (0..img.height()).step_by(5) {
+            for x in (0..img.width()).step_by(5) {
+                colors.insert(img.get(x, y));
+            }
+        }
+        assert!(colors.len() > 3, "heat map should show clustering");
+    }
+
+    #[test]
+    fn tints_are_stable_and_distinct() {
+        assert_eq!(texture_tint(5), texture_tint(5));
+        let distinct: std::collections::HashSet<[u8; 3]> =
+            (0..50).map(texture_tint).collect();
+        assert!(distinct.len() > 40);
+    }
+
+    #[test]
+    fn hsv_primaries() {
+        assert_eq!(hsv_to_rgb(0.0, 1.0, 1.0), [255, 0, 0]);
+        assert_eq!(hsv_to_rgb(120.0, 1.0, 1.0), [0, 255, 0]);
+        assert_eq!(hsv_to_rgb(240.0, 1.0, 1.0), [0, 0, 255]);
+        assert_eq!(hsv_to_rgb(0.0, 0.0, 1.0), [255, 255, 255]);
+    }
+}

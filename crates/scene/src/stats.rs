@@ -1,0 +1,198 @@
+//! Scene statistics: the columns of the paper's Table 1.
+
+use crate::generate::Scene;
+use sortmid_raster::FragmentStream;
+use sortmid_texture::TexelSet;
+use std::fmt;
+
+/// Measured characteristics of a scene, matching Table 1's columns.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_scene::{Benchmark, SceneBuilder, SceneStats};
+///
+/// let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.2).build();
+/// let stats = SceneStats::measure(&scene);
+/// assert!(stats.depth_complexity > 0.5);
+/// assert!(stats.unique_texel_per_fragment > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneStats {
+    /// Screen width in pixels.
+    pub screen_width: u32,
+    /// Screen height in pixels.
+    pub screen_height: u32,
+    /// Fragments drawn ("pixels rendered").
+    pub pixels_rendered: u64,
+    /// Fragments per screen pixel.
+    pub depth_complexity: f64,
+    /// Triangles in the stream.
+    pub triangles: u32,
+    /// Distinct textures registered.
+    pub textures: u32,
+    /// Total *allocated* texture memory (base + mips, blocked) in bytes.
+    pub texture_bytes: u64,
+    /// Distinct texels touched by the frame.
+    pub unique_texels: u64,
+    /// Distinct texels touched / fragments drawn — the bandwidth floor of an
+    /// ideal cache (Igehy et al.'s definition).
+    pub unique_texel_per_fragment: f64,
+    /// Distinct texels touched / screen pixels — the normalisation Table 1's
+    /// "unique texel/fragment" column actually uses (it reconciles exactly
+    /// with the table's "Texture Used (MB)" column as `unique × 4 bytes` for
+    /// every scene).
+    pub unique_texel_per_screen_pixel: f64,
+    /// Distinct cache lines touched (cold-miss floor of a real cache).
+    pub unique_lines: u64,
+}
+
+impl SceneStats {
+    /// Rasterizes `scene` and measures it.
+    pub fn measure(scene: &Scene) -> SceneStats {
+        let stream = scene.rasterize();
+        Self::measure_stream(scene, &stream)
+    }
+
+    /// Measures a scene with an already-rasterized stream (avoids repeating
+    /// the scan when the caller needs the stream anyway).
+    pub fn measure_stream(scene: &Scene, stream: &FragmentStream) -> SceneStats {
+        let mut unique = TexelSet::with_capacity(scene.registry().total_texels());
+        for frag in stream.fragments() {
+            for t in &frag.texels {
+                unique.insert(*t);
+            }
+        }
+        let fragments = stream.fragment_count();
+        let screen_area = scene.screen().area();
+        SceneStats {
+            screen_width: scene.screen().width(),
+            screen_height: scene.screen().height(),
+            pixels_rendered: fragments,
+            depth_complexity: stream.depth_complexity(),
+            triangles: stream.triangle_count() as u32,
+            textures: scene.registry().len() as u32,
+            texture_bytes: scene.registry().total_bytes(),
+            unique_texels: unique.len(),
+            unique_texel_per_fragment: if fragments == 0 {
+                0.0
+            } else {
+                unique.len() as f64 / fragments as f64
+            },
+            unique_texel_per_screen_pixel: if screen_area == 0 {
+                0.0
+            } else {
+                unique.len() as f64 / screen_area as f64
+            },
+            unique_lines: unique.line_count(),
+        }
+    }
+
+    /// Total *allocated* texture memory in megabytes.
+    pub fn texture_mbytes(&self) -> f64 {
+        self.texture_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Texture memory actually *used* by the frame in megabytes
+    /// (unique texels × 4 bytes) — Table 1's "Texture Used (MB)" column.
+    pub fn texture_used_mbytes(&self) -> f64 {
+        self.unique_texels as f64 * 4.0 / (1024.0 * 1024.0)
+    }
+
+    /// Pixels rendered in millions.
+    pub fn mpixels(&self) -> f64 {
+        self.pixels_rendered as f64 / 1.0e6
+    }
+
+    /// Extrapolates scale-dependent columns back to paper scale: a scene
+    /// generated at scale `s` has `s²` times fewer pixels and triangles than
+    /// the full-resolution benchmark, while the density-like columns (depth
+    /// complexity, unique texel/fragment) are scale-invariant.
+    pub fn extrapolated(&self, scale: f64) -> SceneStats {
+        assert!(scale > 0.0, "scale must be positive");
+        let inv_area = 1.0 / (scale * scale);
+        SceneStats {
+            screen_width: (self.screen_width as f64 / scale).round() as u32,
+            screen_height: (self.screen_height as f64 / scale).round() as u32,
+            pixels_rendered: (self.pixels_rendered as f64 * inv_area).round() as u64,
+            triangles: (self.triangles as f64 * inv_area).round() as u32,
+            texture_bytes: (self.texture_bytes as f64 * inv_area).round() as u64,
+            unique_texels: (self.unique_texels as f64 * inv_area).round() as u64,
+            unique_lines: (self.unique_lines as f64 * inv_area).round() as u64,
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for SceneStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}: {:.1} Mpix, depth {:.1}, {} tris, {} textures, {:.1} MB, {:.2} uniq t/f",
+            self.screen_width,
+            self.screen_height,
+            self.mpixels(),
+            self.depth_complexity,
+            self.triangles,
+            self.textures,
+            self.texture_mbytes(),
+            self.unique_texel_per_fragment
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SceneBuilder;
+    use crate::presets::Benchmark;
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.2).build();
+        let stats = SceneStats::measure(&scene);
+        assert_eq!(stats.screen_width, scene.screen().width());
+        assert_eq!(stats.triangles as usize, scene.triangles().len());
+        assert_eq!(stats.textures as usize, scene.registry().len());
+        assert_eq!(stats.texture_bytes, scene.registry().total_bytes());
+        let depth = stats.pixels_rendered as f64
+            / (stats.screen_width as f64 * stats.screen_height as f64);
+        assert!((depth - stats.depth_complexity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unique_ratio_is_bounded_by_eight() {
+        let scene = SceneBuilder::benchmark(Benchmark::TeapotFull).scale(0.15).build();
+        let stats = SceneStats::measure(&scene);
+        assert!(stats.unique_texel_per_fragment > 0.0);
+        assert!(stats.unique_texel_per_fragment <= 8.0);
+    }
+
+    #[test]
+    fn extrapolation_scales_area_quantities_only() {
+        let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.25).build();
+        let stats = SceneStats::measure(&scene);
+        let full = stats.extrapolated(0.25);
+        assert_eq!(full.pixels_rendered, stats.pixels_rendered * 16);
+        assert_eq!(full.depth_complexity, stats.depth_complexity);
+        assert_eq!(full.unique_texel_per_fragment, stats.unique_texel_per_fragment);
+        assert!(full.screen_width > stats.screen_width);
+    }
+
+    #[test]
+    fn measure_stream_matches_measure() {
+        let scene = SceneBuilder::benchmark(Benchmark::Blowout775).scale(0.1).build();
+        let stream = scene.rasterize();
+        let a = SceneStats::measure(&scene);
+        let b = SceneStats::measure_stream(&scene, &stream);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_mentions_name_quantities() {
+        let scene = SceneBuilder::benchmark(Benchmark::Quake).scale(0.1).build();
+        let s = SceneStats::measure(&scene).to_string();
+        assert!(s.contains("Mpix"));
+        assert!(s.contains("uniq t/f"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Texture shapes and mip pyramids.
+
+use crate::{TextureError, BLOCK_DIM, TEXEL_BYTES};
+use std::fmt;
+
+/// The shape of a texture's base mip level.
+///
+/// Dimensions must be positive powers of two (the paper's textures are, and
+/// it keeps mip arithmetic exact). Non-square textures are allowed.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_texture::TextureDesc;
+///
+/// let d = TextureDesc::new(256, 64)?;
+/// assert_eq!(d.width(), 256);
+/// assert_eq!(d.mip_levels(), 9); // 256x64 ... 1x1
+/// # Ok::<(), sortmid_texture::TextureError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TextureDesc {
+    width: u32,
+    height: u32,
+}
+
+impl TextureDesc {
+    /// Creates a texture description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TextureError::BadDimension`] if either dimension is zero or
+    /// not a power of two.
+    pub fn new(width: u32, height: u32) -> Result<Self, TextureError> {
+        for value in [width, height] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(TextureError::BadDimension { value });
+            }
+        }
+        Ok(TextureDesc { width, height })
+    }
+
+    /// Base-level width in texels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Base-level height in texels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of mip levels down to (and including) 1×1.
+    pub fn mip_levels(&self) -> u32 {
+        32 - self.width.max(self.height).leading_zeros()
+    }
+
+    /// Dimensions of mip level `level` (clamped at 1 texel).
+    pub fn level_dims(&self, level: u32) -> (u32, u32) {
+        ((self.width >> level).max(1), (self.height >> level).max(1))
+    }
+
+    /// Doubles both dimensions `factor_log2` times, saturating at 2¹⁵ per
+    /// axis. This is the paper's texture-magnification correction: scenes
+    /// whose textures are magnified on screen get their resolution multiplied
+    /// (×2 for `massive11255`, ×32 for `32massive11255`, ×4 for the others).
+    pub fn magnified(&self, factor_log2: u32) -> TextureDesc {
+        let cap = 1u32 << 15;
+        TextureDesc {
+            width: (self.width << factor_log2.min(15)).min(cap).max(self.width),
+            height: (self.height << factor_log2.min(15)).min(cap).max(self.height),
+        }
+    }
+
+    /// The full mip chain for this texture.
+    pub fn mip_chain(&self) -> MipChain {
+        MipChain::new(*self)
+    }
+
+    /// Total texels across all mip levels, each level rounded up to whole
+    /// 4×4 blocks (that is how the blocked layout stores them).
+    pub fn total_blocked_texels(&self) -> u64 {
+        self.mip_chain().iter().map(|(w, h)| blocked_texels(w, h)).sum()
+    }
+
+    /// Total bytes across all mip levels in the blocked layout.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_blocked_texels() * TEXEL_BYTES as u64
+    }
+}
+
+impl fmt::Display for TextureDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// Texels a `w × h` level occupies when padded to whole 4×4 blocks.
+pub(crate) fn blocked_texels(w: u32, h: u32) -> u64 {
+    let bw = w.div_ceil(BLOCK_DIM) as u64;
+    let bh = h.div_ceil(BLOCK_DIM) as u64;
+    bw * bh * (BLOCK_DIM as u64 * BLOCK_DIM as u64)
+}
+
+/// The mip pyramid of a texture: level 0 is the base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MipChain {
+    dims: Vec<(u32, u32)>,
+}
+
+impl MipChain {
+    /// Builds the chain for `desc`.
+    pub fn new(desc: TextureDesc) -> Self {
+        let dims = (0..desc.mip_levels()).map(|l| desc.level_dims(l)).collect();
+        MipChain { dims }
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// A mip chain always has at least one level.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dimensions of level `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn dims(&self, level: u32) -> (u32, u32) {
+        self.dims[level as usize]
+    }
+
+    /// Iterates over `(width, height)` from base to apex.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.dims.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert_eq!(
+            TextureDesc::new(0, 64),
+            Err(TextureError::BadDimension { value: 0 })
+        );
+        assert_eq!(
+            TextureDesc::new(64, 48),
+            Err(TextureError::BadDimension { value: 48 })
+        );
+    }
+
+    #[test]
+    fn mip_levels_square() {
+        let d = TextureDesc::new(256, 256).unwrap();
+        assert_eq!(d.mip_levels(), 9);
+        assert_eq!(d.level_dims(0), (256, 256));
+        assert_eq!(d.level_dims(8), (1, 1));
+    }
+
+    #[test]
+    fn mip_levels_rectangular_clamp() {
+        let d = TextureDesc::new(256, 16).unwrap();
+        assert_eq!(d.mip_levels(), 9);
+        assert_eq!(d.level_dims(4), (16, 1));
+        assert_eq!(d.level_dims(8), (1, 1));
+    }
+
+    #[test]
+    fn mip_chain_matches_desc() {
+        let d = TextureDesc::new(32, 8).unwrap();
+        let c = d.mip_chain();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.dims(0), (32, 8));
+        assert_eq!(c.dims(2), (8, 2));
+        assert_eq!(c.dims(5), (1, 1));
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all.len(), 6);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn blocked_texels_pads_small_levels() {
+        // A 1x1 level still occupies one 4x4 block.
+        assert_eq!(blocked_texels(1, 1), 16);
+        assert_eq!(blocked_texels(4, 4), 16);
+        assert_eq!(blocked_texels(5, 4), 32);
+        assert_eq!(blocked_texels(8, 8), 64);
+    }
+
+    #[test]
+    fn total_bytes_of_base_plus_mips() {
+        let d = TextureDesc::new(8, 8).unwrap();
+        // 8x8 = 64, 4x4 = 16, 2x2 -> one block = 16, 1x1 -> one block = 16
+        assert_eq!(d.total_blocked_texels(), 64 + 16 + 16 + 16);
+        assert_eq!(d.total_bytes(), (64 + 16 + 16 + 16) * 4);
+    }
+
+    #[test]
+    fn magnification_scales_and_saturates() {
+        let d = TextureDesc::new(64, 32).unwrap();
+        let m = d.magnified(2);
+        assert_eq!((m.width(), m.height()), (256, 128));
+        let huge = d.magnified(20);
+        assert_eq!((huge.width(), huge.height()), (1 << 15, 1 << 15));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TextureDesc::new(64, 32).unwrap().to_string(), "64x32");
+    }
+}

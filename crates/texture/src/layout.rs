@@ -1,0 +1,479 @@
+//! The global blocked texel address space.
+//!
+//! Every registered texture's every mip level gets a contiguous range of the
+//! 32-bit *global texel index* space, each level padded to whole 4×4 blocks.
+//! Texels within a level are laid out **block-major**: the level is a
+//! row-major grid of 4×4 blocks and each block stores its 16 texels
+//! row-major. One block is one 64-byte cache line, so the cache-line address
+//! of a texel is simply `texel_index / 16` — the same trick the paper's
+//! blocked cache uses to make spatial locality two-dimensional.
+
+use crate::desc::TextureDesc;
+use crate::{TextureError, BLOCK_DIM, TEXELS_PER_LINE, TEXEL_BYTES};
+use std::fmt;
+
+/// Identifier of a registered texture (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TextureId(pub u32);
+
+impl fmt::Display for TextureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tex{}", self.0)
+    }
+}
+
+/// A global texel address: an index into the unified blocked texel space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TexelAddr(u32);
+
+impl TexelAddr {
+    /// Reconstructs an address from a raw global texel index.
+    ///
+    /// Addresses normally come from a [`TextureRegistry`]; this constructor
+    /// exists for deserializing captured fragment streams and for tests.
+    /// An index that no registry produced is harmless to the simulator (it
+    /// is just a line address) but meaningless.
+    pub fn from_index(index: u32) -> Self {
+        TexelAddr(index)
+    }
+
+    /// The raw global texel index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The cache-line (= 4×4 block) address containing this texel.
+    pub fn line(self) -> u32 {
+        self.0 / TEXELS_PER_LINE
+    }
+
+    /// The byte address of this texel in texture memory.
+    pub fn byte_addr(self) -> u64 {
+        self.0 as u64 * TEXEL_BYTES as u64
+    }
+}
+
+impl fmt::Display for TexelAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// How a level's 4×4 blocks are linearised in memory.
+///
+/// Hakura & Gupta's study covers both: simple raster order of blocks, and
+/// recursively tiled ("6D") orders that keep 2-D-adjacent blocks close in
+/// the address space. The order changes conflict-miss behaviour and DRAM
+/// row locality, not correctness — making it an addressing ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockOrder {
+    /// Blocks in row-major order (the default).
+    #[default]
+    Raster,
+    /// Blocks in Morton (Z-curve) order: bit-interleaved `(bu, bv)`, so a
+    /// 2-D neighbourhood of blocks occupies a compact address range.
+    Morton,
+}
+
+/// Interleaves the low 16 bits of `x` and `y` (`y` in the odd positions).
+fn morton_interleave(x: u32, y: u32) -> u32 {
+    fn spread(mut v: u32) -> u32 {
+        v &= 0xFFFF;
+        v = (v | (v << 8)) & 0x00FF_00FF;
+        v = (v | (v << 4)) & 0x0F0F_0F0F;
+        v = (v | (v << 2)) & 0x3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555;
+        v
+    }
+    spread(x) | (spread(y) << 1)
+}
+
+#[derive(Debug, Clone)]
+struct LevelLayout {
+    /// First global texel index of this level.
+    base: u32,
+    /// Level dimensions in texels.
+    width: u32,
+    height: u32,
+    /// Blocks per row.
+    blocks_x: u32,
+    /// Block linearisation.
+    order: BlockOrder,
+}
+
+impl LevelLayout {
+    /// Index of block `(bu, bv)` within this level.
+    fn block_index(&self, bu: u32, bv: u32) -> u32 {
+        match self.order {
+            BlockOrder::Raster => bv * self.blocks_x + bu,
+            BlockOrder::Morton => morton_interleave(bu, bv),
+        }
+    }
+
+    /// Blocks this level's address range spans (Morton pads to a power-of-
+    /// two square).
+    fn block_span(width: u32, height: u32, order: BlockOrder) -> u64 {
+        let bw = width.div_ceil(BLOCK_DIM) as u64;
+        let bh = height.div_ceil(BLOCK_DIM) as u64;
+        match order {
+            BlockOrder::Raster => bw * bh,
+            BlockOrder::Morton => {
+                let side = bw.max(bh).next_power_of_two();
+                side * side
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TextureLayout {
+    desc: TextureDesc,
+    levels: Vec<LevelLayout>,
+}
+
+/// Registry assigning every texture and mip level its place in the global
+/// blocked texel space.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_texture::{TextureDesc, TextureRegistry};
+///
+/// let mut reg = TextureRegistry::new();
+/// let a = reg.register(TextureDesc::new(16, 16)?)?;
+/// let b = reg.register(TextureDesc::new(8, 8)?)?;
+/// assert_ne!(reg.texel_addr(a, 0, 0, 0), reg.texel_addr(b, 0, 0, 0));
+/// assert!(reg.total_bytes() > 0);
+/// # Ok::<(), sortmid_texture::TextureError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextureRegistry {
+    textures: Vec<TextureLayout>,
+    next_texel: u64,
+    order: BlockOrder,
+}
+
+impl TextureRegistry {
+    /// Creates an empty registry with raster block order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty registry with the given block linearisation.
+    pub fn with_block_order(order: BlockOrder) -> Self {
+        TextureRegistry {
+            order,
+            ..Self::default()
+        }
+    }
+
+    /// The block linearisation this registry lays textures out with.
+    pub fn block_order(&self) -> BlockOrder {
+        self.order
+    }
+
+    /// Registers a texture and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TextureError::AddressSpaceExhausted`] if the 32-bit global
+    /// texel space would overflow.
+    pub fn register(&mut self, desc: TextureDesc) -> Result<TextureId, TextureError> {
+        let texels_per_block = (BLOCK_DIM * BLOCK_DIM) as u64;
+        let needed: u64 = desc
+            .mip_chain()
+            .iter()
+            .map(|(w, h)| LevelLayout::block_span(w, h, self.order) * texels_per_block)
+            .sum();
+        if self.next_texel + needed > u32::MAX as u64 + 1 {
+            return Err(TextureError::AddressSpaceExhausted);
+        }
+        let mut levels = Vec::with_capacity(desc.mip_levels() as usize);
+        let mut base = self.next_texel as u32;
+        for (w, h) in desc.mip_chain().iter() {
+            levels.push(LevelLayout {
+                base,
+                width: w,
+                height: h,
+                blocks_x: w.div_ceil(BLOCK_DIM),
+                order: self.order,
+            });
+            let span = LevelLayout::block_span(w, h, self.order) * texels_per_block;
+            base = base.wrapping_add(span as u32);
+        }
+        self.next_texel += needed;
+        let id = TextureId(self.textures.len() as u32);
+        self.textures.push(TextureLayout { desc, levels });
+        Ok(id)
+    }
+
+    /// Number of registered textures.
+    pub fn len(&self) -> usize {
+        self.textures.len()
+    }
+
+    /// True when no texture has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.textures.is_empty()
+    }
+
+    /// The descriptor a texture was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    pub fn desc(&self, id: TextureId) -> TextureDesc {
+        self.textures[id.0 as usize].desc
+    }
+
+    /// Total texels in the global space (padded to blocks).
+    pub fn total_texels(&self) -> u64 {
+        self.next_texel
+    }
+
+    /// Total texture memory in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.next_texel * TEXEL_BYTES as u64
+    }
+
+    /// Number of mip levels of texture `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    pub fn mip_levels(&self, id: TextureId) -> u32 {
+        self.textures[id.0 as usize].levels.len() as u32
+    }
+
+    /// Dimensions of level `level` of texture `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `level` is out of range.
+    pub fn level_dims(&self, id: TextureId, level: u32) -> (u32, u32) {
+        let l = &self.textures[id.0 as usize].levels[level as usize];
+        (l.width, l.height)
+    }
+
+    /// Global address of texel `(u, v)` of mip `level` of texture `id`.
+    /// Coordinates wrap (GL_REPEAT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `level` is out of range.
+    pub fn texel_addr(&self, id: TextureId, level: u32, u: i32, v: i32) -> TexelAddr {
+        let l = &self.textures[id.0 as usize].levels[level as usize];
+        // Wrap with Euclidean remainder; dims are powers of two but this
+        // stays correct for any padding.
+        let u = u.rem_euclid(l.width as i32) as u32;
+        let v = v.rem_euclid(l.height as i32) as u32;
+        let block = l.block_index(u / BLOCK_DIM, v / BLOCK_DIM);
+        let within = (v % BLOCK_DIM) * BLOCK_DIM + (u % BLOCK_DIM);
+        TexelAddr(l.base + block * TEXELS_PER_LINE + within)
+    }
+
+    /// The cache-line address of a texel (convenience for
+    /// [`TexelAddr::line`]).
+    pub fn line_of(&self, addr: TexelAddr) -> u32 {
+        addr.line()
+    }
+
+    /// Iterates over registered ids.
+    pub fn ids(&self) -> impl Iterator<Item = TextureId> + '_ {
+        (0..self.textures.len() as u32).map(TextureId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn reg_one(w: u32, h: u32) -> (TextureRegistry, TextureId) {
+        let mut reg = TextureRegistry::new();
+        let id = reg.register(TextureDesc::new(w, h).unwrap()).unwrap();
+        (reg, id)
+    }
+
+    #[test]
+    fn addresses_are_unique_within_level() {
+        let (reg, id) = reg_one(16, 16);
+        let mut seen = HashSet::new();
+        for v in 0..16 {
+            for u in 0..16 {
+                assert!(seen.insert(reg.texel_addr(id, 0, u, v)), "dup at {u},{v}");
+            }
+        }
+        assert_eq!(seen.len(), 256);
+    }
+
+    #[test]
+    fn blocking_groups_4x4_into_one_line() {
+        let (reg, id) = reg_one(16, 16);
+        // All 16 texels of the block at (4..8, 4..8) share one line.
+        let line = reg.texel_addr(id, 0, 4, 4).line();
+        for v in 4..8 {
+            for u in 4..8 {
+                assert_eq!(reg.texel_addr(id, 0, u, v).line(), line);
+            }
+        }
+        // A horizontally adjacent texel in the next block does not.
+        assert_ne!(reg.texel_addr(id, 0, 8, 4).line(), line);
+        // Nor does the block below.
+        assert_ne!(reg.texel_addr(id, 0, 4, 8).line(), line);
+    }
+
+    #[test]
+    fn levels_do_not_overlap() {
+        let (reg, id) = reg_one(8, 8);
+        let l0: HashSet<u32> = (0..8)
+            .flat_map(|v| (0..8).map(move |u| (u, v)))
+            .map(|(u, v)| reg.texel_addr(id, 0, u, v).index())
+            .collect();
+        let l1: HashSet<u32> = (0..4)
+            .flat_map(|v| (0..4).map(move |u| (u, v)))
+            .map(|(u, v)| reg.texel_addr(id, 1, u, v).index())
+            .collect();
+        assert!(l0.is_disjoint(&l1));
+    }
+
+    #[test]
+    fn textures_do_not_overlap() {
+        let mut reg = TextureRegistry::new();
+        let a = reg.register(TextureDesc::new(8, 8).unwrap()).unwrap();
+        let b = reg.register(TextureDesc::new(8, 8).unwrap()).unwrap();
+        let mut seen = HashSet::new();
+        for id in [a, b] {
+            for lvl in 0..reg.mip_levels(id) {
+                let (w, h) = reg.level_dims(id, lvl);
+                for v in 0..h as i32 {
+                    for u in 0..w as i32 {
+                        assert!(seen.insert(reg.texel_addr(id, lvl, u, v)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_repeats() {
+        let (reg, id) = reg_one(16, 8);
+        assert_eq!(reg.texel_addr(id, 0, 16, 0), reg.texel_addr(id, 0, 0, 0));
+        assert_eq!(reg.texel_addr(id, 0, -1, 0), reg.texel_addr(id, 0, 15, 0));
+        assert_eq!(reg.texel_addr(id, 0, 0, -3), reg.texel_addr(id, 0, 0, 5));
+    }
+
+    #[test]
+    fn total_bytes_accumulates() {
+        let mut reg = TextureRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.total_bytes(), 0);
+        reg.register(TextureDesc::new(8, 8).unwrap()).unwrap();
+        let one = reg.total_bytes();
+        reg.register(TextureDesc::new(8, 8).unwrap()).unwrap();
+        assert_eq!(reg.total_bytes(), 2 * one);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.ids().count(), 2);
+    }
+
+    #[test]
+    fn byte_addr_is_texel_index_times_four() {
+        let (reg, id) = reg_one(8, 8);
+        let a = reg.texel_addr(id, 0, 3, 3);
+        assert_eq!(a.byte_addr(), a.index() as u64 * 4);
+    }
+
+    #[test]
+    fn morton_interleaving_is_the_z_curve() {
+        assert_eq!(morton_interleave(0, 0), 0);
+        assert_eq!(morton_interleave(1, 0), 1);
+        assert_eq!(morton_interleave(0, 1), 2);
+        assert_eq!(morton_interleave(1, 1), 3);
+        assert_eq!(morton_interleave(2, 0), 4);
+        assert_eq!(morton_interleave(3, 5), 0b100111);
+    }
+
+    #[test]
+    fn morton_layout_is_still_injective() {
+        let mut reg = TextureRegistry::with_block_order(BlockOrder::Morton);
+        let id = reg.register(TextureDesc::new(32, 16).unwrap()).unwrap();
+        let mut seen = HashSet::new();
+        for lvl in 0..reg.mip_levels(id) {
+            let (w, h) = reg.level_dims(id, lvl);
+            for v in 0..h as i32 {
+                for u in 0..w as i32 {
+                    assert!(seen.insert(reg.texel_addr(id, lvl, u, v)), "dup at l{lvl} {u},{v}");
+                }
+            }
+        }
+        assert_eq!(reg.block_order(), BlockOrder::Morton);
+    }
+
+    #[test]
+    fn morton_keeps_2d_block_neighbourhoods_compact() {
+        // The 2x2 block neighbourhood (blocks 0..2 x 0..2) spans 4
+        // consecutive lines under Morton but blocks_x + 2 under raster.
+        let mut m = TextureRegistry::with_block_order(BlockOrder::Morton);
+        let mid = m.register(TextureDesc::new(64, 64).unwrap()).unwrap();
+        let mut r = TextureRegistry::new();
+        let rid = r.register(TextureDesc::new(64, 64).unwrap()).unwrap();
+        let span = |reg: &TextureRegistry, id| {
+            let lines: Vec<u32> = [(0, 0), (4, 0), (0, 4), (4, 4)]
+                .iter()
+                .map(|&(u, v)| reg.texel_addr(id, 0, u, v).line())
+                .collect();
+            lines.iter().max().unwrap() - lines.iter().min().unwrap()
+        };
+        assert_eq!(span(&m, mid), 3, "Morton packs the quad");
+        assert!(span(&r, rid) > 3, "raster scatters it");
+    }
+
+    #[test]
+    fn morton_padding_extends_the_address_space() {
+        // Non-square levels pad to a square: more address space, same
+        // texels.
+        let mut m = TextureRegistry::with_block_order(BlockOrder::Morton);
+        m.register(TextureDesc::new(64, 16).unwrap()).unwrap();
+        let mut r = TextureRegistry::new();
+        r.register(TextureDesc::new(64, 16).unwrap()).unwrap();
+        assert!(m.total_texels() > r.total_texels());
+    }
+
+    proptest! {
+        /// The address map is a bijection between (u, v) pairs and a
+        /// contiguous range of blocked addresses on every level.
+        #[test]
+        fn prop_level_addressing_is_injective(
+            wlog in 0u32..7,
+            hlog in 0u32..7,
+            level in 0u32..3,
+        ) {
+            let w = 1u32 << wlog;
+            let h = 1u32 << hlog;
+            let (reg, id) = reg_one(w, h);
+            let level = level.min(reg.mip_levels(id) - 1);
+            let (lw, lh) = reg.level_dims(id, level);
+            let mut seen = HashSet::new();
+            for v in 0..lh as i32 {
+                for u in 0..lw as i32 {
+                    prop_assert!(seen.insert(reg.texel_addr(id, level, u, v)));
+                }
+            }
+        }
+
+        /// Every 4x4-aligned block maps onto exactly one line.
+        #[test]
+        fn prop_block_line_coherence(u0 in 0i32..28, v0 in 0i32..28) {
+            let (reg, id) = reg_one(32, 32);
+            let bu = (u0 / 4) * 4;
+            let bv = (v0 / 4) * 4;
+            let line = reg.texel_addr(id, 0, bu, bv).line();
+            for dv in 0..4 {
+                for du in 0..4 {
+                    prop_assert_eq!(reg.texel_addr(id, 0, bu + du, bv + dv).line(), line);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Mipmapped, block-addressed texture model for the `sortmid` simulator.
+//!
+//! The paper's cache follows Hakura & Gupta's design: textures are stored in
+//! memory as **4×4-texel blocks** of 4-byte texels, so one block is exactly
+//! one 64-byte cache line. Trilinear filtering reads **8 texels per
+//! fragment** (a 2×2 bilinear footprint on each of two adjacent mip levels).
+//!
+//! This crate provides:
+//!
+//! * [`desc::TextureDesc`] and [`desc::MipChain`] — texture shapes and their
+//!   mip pyramids.
+//! * [`layout::TextureRegistry`] — a global, blocked texel address space
+//!   shared by every texture and mip level, so a texel address is a single
+//!   `u32` and a cache-line address is `texel / 16`.
+//! * [`footprint::TrilinearSampler`] — turns an interpolated texture
+//!   coordinate plus a mip level into the 8 texel addresses the engine
+//!   fetches.
+//! * [`texel_set::TexelSet`] — a dense bitset over the global texel space
+//!   used to measure the paper's *unique texel to fragment ratio*.
+//!
+//! # Examples
+//!
+//! ```
+//! use sortmid_texture::desc::TextureDesc;
+//! use sortmid_texture::layout::TextureRegistry;
+//!
+//! let mut reg = TextureRegistry::new();
+//! let tex = reg.register(TextureDesc::new(64, 64)?)?;
+//! let addr = reg.texel_addr(tex, 0, 5, 9);
+//! assert_eq!(reg.line_of(addr), addr.index() / 16);
+//! # Ok::<(), sortmid_texture::TextureError>(())
+//! ```
+
+pub mod contents;
+pub mod desc;
+pub mod footprint;
+pub mod layout;
+pub mod texel_set;
+
+pub use contents::ProceduralTexels;
+pub use desc::{MipChain, TextureDesc};
+pub use footprint::TrilinearSampler;
+pub use layout::{BlockOrder, TexelAddr, TextureId, TextureRegistry};
+pub use texel_set::TexelSet;
+
+/// Bytes per texel (32-bit RGBA, as in the paper).
+pub const TEXEL_BYTES: u32 = 4;
+/// Texture blocking dimension: blocks are 4×4 texels.
+pub const BLOCK_DIM: u32 = 4;
+/// Texels per cache line (one 4×4 block).
+pub const TEXELS_PER_LINE: u32 = BLOCK_DIM * BLOCK_DIM;
+/// Cache-line size in bytes (matches the paper's 64-byte lines).
+pub const LINE_BYTES: u32 = TEXELS_PER_LINE * TEXEL_BYTES;
+/// Texel reads per fragment under trilinear filtering.
+pub const TEXELS_PER_FRAGMENT: usize = 8;
+
+/// Errors from texture construction and registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextureError {
+    /// A texture dimension was zero or not a power of two.
+    BadDimension {
+        /// The offending dimension value.
+        value: u32,
+    },
+    /// The global texel address space (2³² texels = 16 GiB of texture)
+    /// overflowed.
+    AddressSpaceExhausted,
+}
+
+impl std::fmt::Display for TextureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextureError::BadDimension { value } => {
+                write!(f, "texture dimension {value} is not a positive power of two")
+            }
+            TextureError::AddressSpaceExhausted => {
+                write!(f, "global texel address space exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TextureError {}

@@ -1,0 +1,144 @@
+//! A dense bitset over the global texel space.
+//!
+//! Used to compute the paper's *unique texel to fragment ratio*: the number
+//! of distinct texels a scene touches divided by the number of fragments
+//! drawn (the bandwidth floor of an ideal, compulsory-miss-only cache).
+
+use crate::layout::TexelAddr;
+
+/// A fixed-capacity bitset keyed by global texel index.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_texture::TexelSet;
+///
+/// let mut set = TexelSet::with_capacity(1024);
+/// assert_eq!(set.len(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TexelSet {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl TexelSet {
+    /// Creates a set able to hold texel indices `< capacity`.
+    pub fn with_capacity(capacity: u64) -> Self {
+        TexelSet {
+            words: vec![0; capacity.div_ceil(64) as usize],
+            len: 0,
+        }
+    }
+
+    /// Inserts a texel address; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address exceeds the capacity.
+    pub fn insert(&mut self, addr: TexelAddr) -> bool {
+        let idx = addr.index() as usize;
+        let word = &mut self.words[idx / 64];
+        let bit = 1u64 << (idx % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when the address has been inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address exceeds the capacity.
+    pub fn contains(&self, addr: TexelAddr) -> bool {
+        let idx = addr.index() as usize;
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Number of distinct texels inserted.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct *cache lines* (4×4 blocks) touched.
+    pub fn line_count(&self) -> u64 {
+        // 16 texels per line = 16 bits; count words 16 bits at a time.
+        let mut lines = 0;
+        for &w in &self.words {
+            for shift in [0u32, 16, 32, 48] {
+                if (w >> shift) & 0xFFFF != 0 {
+                    lines += 1;
+                }
+            }
+        }
+        lines
+    }
+
+    /// Removes all entries, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TextureDesc, TextureRegistry};
+
+    fn setup() -> (TextureRegistry, TexelSet) {
+        let mut reg = TextureRegistry::new();
+        reg.register(TextureDesc::new(32, 32).unwrap()).unwrap();
+        let cap = reg.total_texels();
+        (reg, TexelSet::with_capacity(cap))
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let (reg, mut set) = setup();
+        let id = reg.ids().next().unwrap();
+        let a = reg.texel_addr(id, 0, 3, 5);
+        assert!(set.insert(a));
+        assert!(!set.insert(a));
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(a));
+        assert!(!set.contains(reg.texel_addr(id, 0, 4, 5)));
+    }
+
+    #[test]
+    fn line_count_groups_blocks() {
+        let (reg, mut set) = setup();
+        let id = reg.ids().next().unwrap();
+        // All texels of one 4x4 block -> one line.
+        for v in 0..4 {
+            for u in 0..4 {
+                set.insert(reg.texel_addr(id, 0, u, v));
+            }
+        }
+        assert_eq!(set.len(), 16);
+        assert_eq!(set.line_count(), 1);
+        // One texel of another block -> two lines.
+        set.insert(reg.texel_addr(id, 0, 8, 8));
+        assert_eq!(set.line_count(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let (reg, mut set) = setup();
+        let id = reg.ids().next().unwrap();
+        set.insert(reg.texel_addr(id, 0, 0, 0));
+        assert!(!set.is_empty());
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.line_count(), 0);
+    }
+}

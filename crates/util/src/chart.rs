@@ -1,0 +1,198 @@
+//! ASCII line charts for the experiment harness.
+//!
+//! The paper's figures are line plots (speedup vs processors, ratio vs
+//! processors); the harness renders the same series as terminal charts so
+//! a reader can see the *shape* — crossings, optima, collapses — without
+//! exporting CSV to a plotting tool.
+
+use std::fmt::Write as _;
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, in ascending `x` order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A fixed-size character-grid line chart.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_util::chart::{Chart, Series};
+///
+/// let chart = Chart::new(40, 10)
+///     .series(Series::new("linear", (0..10).map(|i| (i as f64, i as f64)).collect()));
+/// let text = chart.render();
+/// assert!(text.contains("linear"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+    y_zero: bool,
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 8] = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+impl Chart {
+    /// Creates an empty chart with a plotting area of `width × height`
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart area too small");
+        Chart {
+            width,
+            height,
+            series: Vec::new(),
+            y_zero: true,
+        }
+    }
+
+    /// Adds a series (chainable).
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Lets the y axis start at the data minimum instead of zero.
+    pub fn without_zero_baseline(mut self) -> Self {
+        self.y_zero = false;
+        self
+    }
+
+    /// Renders the chart with axes and a legend.
+    pub fn render(&self) -> String {
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+        }
+        if xs.is_empty() {
+            return "(empty chart)\n".to_string();
+        }
+        let fmin = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let fmax = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (x0, x1) = (fmin(&xs), fmax(&xs));
+        let mut y0 = fmin(&ys);
+        let y1 = fmax(&ys);
+        if self.y_zero {
+            y0 = y0.min(0.0);
+        }
+        let xspan = (x1 - x0).max(1e-12);
+        let yspan = (y1 - y0).max(1e-12);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !(x.is_finite() && y.is_finite()) {
+                    continue;
+                }
+                let cx = (((x - x0) / xspan) * (self.width - 1) as f64).round() as usize;
+                let cy = (((y - y0) / yspan) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{y1:>9.2} ┤{}", String::from_iter(&grid[0]));
+        for row in &grid[1..self.height - 1] {
+            let _ = writeln!(out, "{:>9} │{}", "", String::from_iter(row));
+        }
+        let _ = writeln!(
+            out,
+            "{y0:>9.2} ┤{}",
+            String::from_iter(&grid[self.height - 1])
+        );
+        let _ = writeln!(
+            out,
+            "{:>10}└{}",
+            "",
+            "─".repeat(self.width)
+        );
+        let _ = writeln!(out, "{:>11}{x0:<.0}{:>pad$}{x1:<.0}", "", "", pad = self.width.saturating_sub(4));
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{:>11}{} {}", "", GLYPHS[si % GLYPHS.len()], s.label);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let chart = Chart::new(20, 6).series(Series::new(
+            "up",
+            vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)],
+        ));
+        let text = chart.render();
+        assert!(text.contains('o'));
+        assert!(text.contains("up"));
+        // Top label is the max (2.00), bottom the baseline (0.00).
+        assert!(text.contains("2.00"));
+        assert!(text.contains("0.00"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let chart = Chart::new(20, 6)
+            .series(Series::new("a", vec![(0.0, 1.0), (2.0, 1.0)]))
+            .series(Series::new("b", vec![(0.0, 2.0), (2.0, 2.0)]));
+        let text = chart.render();
+        assert!(text.contains('o'));
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let chart = Chart::new(10, 4);
+        assert_eq!(chart.render(), "(empty chart)\n");
+        let nan_only = Chart::new(10, 4).series(Series::new("nan", vec![(f64::NAN, f64::NAN)]));
+        assert_eq!(nan_only.render(), "(empty chart)\n");
+    }
+
+    #[test]
+    fn baseline_toggle_changes_range() {
+        let points = vec![(0.0, 10.0), (1.0, 12.0)];
+        let zero = Chart::new(10, 4).series(Series::new("s", points.clone())).render();
+        let tight = Chart::new(10, 4)
+            .series(Series::new("s", points))
+            .without_zero_baseline()
+            .render();
+        assert!(zero.contains("0.00"));
+        assert!(tight.contains("10.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_panics() {
+        Chart::new(1, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Foundation utilities shared by every `sortmid` crate.
+//!
+//! This crate deliberately has **no** external dependencies so that the whole
+//! simulator is reproducible bit-for-bit across platforms:
+//!
+//! * [`rng`] — a small, seedable PCG32 pseudo-random generator used by the
+//!   scene generator. Identical seeds produce identical scenes everywhere.
+//! * [`stats`] — streaming summary statistics and histogram helpers used by
+//!   the measurement code.
+//! * [`table`] — fixed-width ASCII table and CSV writers used by the
+//!   experiment harness to print the paper's tables and figure series.
+//! * [`ppm`] — a minimal binary PPM image writer used to regenerate the
+//!   benchmark images of Figure 9.
+//!
+//! # Examples
+//!
+//! ```
+//! use sortmid_util::rng::Pcg32;
+//!
+//! let mut a = Pcg32::seed_from_u64(42);
+//! let mut b = Pcg32::seed_from_u64(42);
+//! assert_eq!(a.next_u32(), b.next_u32());
+//! ```
+
+pub mod chart;
+pub mod ppm;
+pub mod rng;
+pub mod stats;
+pub mod table;

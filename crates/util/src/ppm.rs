@@ -1,0 +1,192 @@
+//! Minimal binary PPM (P6) image writer used for Figure 9's benchmark images.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// An 8-bit RGB raster image.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_util::ppm::Image;
+///
+/// let mut img = Image::new(4, 2);
+/// img.put(0, 0, [255, 0, 0]);
+/// assert_eq!(img.get(0, 0), [255, 0, 0]);
+/// assert_eq!(img.get(1, 0), [0, 0, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Creates a black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Image {
+            width,
+            height,
+            data: vec![0; (width as usize) * (height as usize) * 3],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn index(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        3 * (y as usize * self.width as usize + x as usize)
+    }
+
+    /// Writes one pixel; out-of-bounds writes are ignored so rasterizer
+    /// callers need not pre-clip.
+    pub fn put(&mut self, x: u32, y: u32, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            let i = self.index(x, y);
+            self.data[i..i + 3].copy_from_slice(&rgb);
+        }
+    }
+
+    /// Reads one pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = self.index(x, y);
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Additively blends `rgb` into the pixel with saturation; used to
+    /// visualise depth complexity.
+    pub fn add(&mut self, x: u32, y: u32, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            let i = self.index(x, y);
+            for (slot, &add) in self.data[i..i + 3].iter_mut().zip(&rgb) {
+                *slot = slot.saturating_add(add);
+            }
+        }
+    }
+
+    /// Serialises the image as a binary PPM (P6) byte stream.
+    pub fn to_ppm_bytes(&self) -> Vec<u8> {
+        let header = format!("P6\n{} {}\n255\n", self.width, self.height);
+        let mut out = Vec::with_capacity(header.len() + self.data.len());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Writes the image to `path` as binary PPM.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_ppm<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&self.to_ppm_bytes())?;
+        w.flush()
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Image({}x{})", self.width, self.height)
+    }
+}
+
+/// Maps a scalar in `[0, 1]` onto a perceptually-ordered heat ramp
+/// (black → blue → magenta → orange → white); used for depth-complexity maps.
+pub fn heat_color(t: f64) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    let stops: [(f64, [f64; 3]); 5] = [
+        (0.00, [0.0, 0.0, 0.0]),
+        (0.25, [0.10, 0.15, 0.60]),
+        (0.50, [0.65, 0.15, 0.55]),
+        (0.75, [0.95, 0.55, 0.15]),
+        (1.00, [1.0, 1.0, 1.0]),
+    ];
+    let mut lo = stops[0];
+    let mut hi = stops[4];
+    for w in stops.windows(2) {
+        if t >= w[0].0 && t <= w[1].0 {
+            lo = w[0];
+            hi = w[1];
+            break;
+        }
+    }
+    let span = (hi.0 - lo.0).max(1e-9);
+    let f = (t - lo.0) / span;
+    let mut rgb = [0u8; 3];
+    for (out, (&l, &h)) in rgb.iter_mut().zip(lo.1.iter().zip(hi.1.iter())) {
+        *out = ((l + (h - l) * f) * 255.0).round() as u8;
+    }
+    rgb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut img = Image::new(3, 3);
+        img.put(2, 1, [10, 20, 30]);
+        assert_eq!(img.get(2, 1), [10, 20, 30]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_put_is_ignored() {
+        let mut img = Image::new(2, 2);
+        img.put(5, 5, [1, 2, 3]); // no panic
+        assert_eq!(img.get(1, 1), [0, 0, 0]);
+    }
+
+    #[test]
+    fn additive_blend_saturates() {
+        let mut img = Image::new(1, 1);
+        img.add(0, 0, [200, 200, 200]);
+        img.add(0, 0, [200, 200, 200]);
+        assert_eq!(img.get(0, 0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::new(4, 2);
+        let bytes = img.to_ppm_bytes();
+        assert!(bytes.starts_with(b"P6\n4 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 4 * 2 * 3);
+    }
+
+    #[test]
+    fn heat_ramp_is_monotone_at_ends() {
+        assert_eq!(heat_color(0.0), [0, 0, 0]);
+        assert_eq!(heat_color(1.0), [255, 255, 255]);
+        let mid = heat_color(0.5);
+        assert!(mid != [0, 0, 0] && mid != [255, 255, 255]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_panics() {
+        Image::new(0, 4);
+    }
+}

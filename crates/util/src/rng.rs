@@ -1,0 +1,253 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The scene generator must be reproducible across platforms and compiler
+//! versions, so we implement PCG32 (O'Neill, *PCG: A Family of Simple Fast
+//! Space-Efficient Statistically Good Algorithms for Random Number
+//! Generation*) directly instead of depending on a crate whose stream might
+//! change between releases.
+
+/// A 32-bit output PCG (XSH-RR variant) pseudo-random number generator.
+///
+/// The generator is cheap to copy and fork; every scene object derives its
+/// own sub-stream from a stable hash of its index so that inserting an object
+/// does not perturb the others.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_util::rng::Pcg32;
+///
+/// let mut rng = Pcg32::seed_from_u64(7);
+/// let x = rng.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+const PCG_DEFAULT_INC: u64 = 1442695040888963407;
+
+impl Pcg32 {
+    /// Creates a generator from a 64-bit seed with the default stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::with_stream(seed, PCG_DEFAULT_INC >> 1)
+    }
+
+    /// Creates a generator with an explicit stream selector.
+    ///
+    /// Two generators with the same seed but different streams produce
+    /// uncorrelated sequences; this is how the scene generator gives each
+    /// object an independent sub-stream.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        let _ = rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Forks an independent child generator; `tag` selects the sub-stream.
+    pub fn fork(&self, tag: u64) -> Self {
+        // splitmix64 on the tag decorrelates adjacent tags.
+        let mut z = tag.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        Self::with_stream(self.state ^ z, z | 1)
+    }
+
+    /// Returns the next 32 bits of the stream.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Returns a uniform integer in `[0, bound)` using Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "next_below bound must be positive");
+        // Unbiased multiply-shift rejection sampling.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32();
+            let m = (r as u64) * (bound as u64);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns an approximately standard-normal sample (Box-Muller).
+    pub fn next_normal(&mut self) -> f64 {
+        // Avoid ln(0) by shifting the open interval.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples an index from a discrete Zipf distribution over `n` items
+    /// with exponent `s` (by inversion over the precomputed CDF supplied by
+    /// [`zipf_cdf`]).
+    pub fn next_zipf(&mut self, cdf: &[f64]) -> usize {
+        let x = self.next_f64();
+        match cdf.binary_search_by(|p| p.partial_cmp(&x).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(cdf.len() - 1),
+        }
+    }
+}
+
+/// Builds the cumulative distribution for a Zipf law with exponent `s` over
+/// `n` items. The last entry is exactly `1.0`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let cdf = sortmid_util::rng::zipf_cdf(4, 1.0);
+/// assert_eq!(cdf.len(), 4);
+/// assert!((cdf[3] - 1.0).abs() < 1e-12);
+/// ```
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf_cdf needs at least one item");
+    let mut weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    *weights.last_mut().expect("n > 0") = 1.0;
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg32::seed_from_u64(123);
+        let mut b = Pcg32::seed_from_u64(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be essentially uncorrelated");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_distinct() {
+        let root = Pcg32::seed_from_u64(9);
+        let mut c1 = root.fork(0);
+        let mut c1b = root.fork(0);
+        let mut c2 = root.fork(1);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.next_below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should occur");
+    }
+
+    #[test]
+    fn next_f64_unit_interval_mean() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn normal_has_unit_variance() {
+        let mut rng = Pcg32::seed_from_u64(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalised() {
+        let cdf = zipf_cdf(100, 1.2);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zipf_sampling_prefers_low_ranks() {
+        let cdf = zipf_cdf(50, 1.0);
+        let mut rng = Pcg32::seed_from_u64(17);
+        let mut counts = [0u32; 50];
+        for _ in 0..10_000 {
+            counts[rng.next_zipf(&cdf)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Pcg32::seed_from_u64(0).next_below(0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Streaming summary statistics used throughout the measurement code.
+
+/// Online accumulator for count / mean / min / max / variance (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_util::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation.
+    ///
+    /// Returns `+inf` when the accumulator is empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    ///
+    /// Returns `-inf` when the accumulator is empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Relative imbalance of the maximum against the mean, in percent:
+    /// `(max / mean - 1) * 100`.
+    ///
+    /// This is the paper's Figure 5 metric ("percent difference in the work
+    /// performed by the busiest processor and the average processor").
+    /// Returns 0 when the accumulator is empty or the mean is zero.
+    pub fn imbalance_percent(&self) -> f64 {
+        if self.count == 0 || self.mean == 0.0 {
+            0.0
+        } else {
+            (self.max / self.mean - 1.0) * 100.0
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with saturation at both ends.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_util::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.push(3.5);
+/// h.push(100.0); // clamps into the last bin
+/// assert_eq!(h.bin_count(3), 1);
+/// assert_eq!(h.bin_count(9), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation, clamping out-of-range values to the end bins.
+    pub fn push(&mut self, x: f64) {
+        let n = self.bins.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True when no observation has been added.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated from bin midpoints.
+    ///
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+/// Computes `(max / mean - 1) * 100` over a slice, the paper's load-imbalance
+/// metric. Returns 0 for an empty or all-zero slice.
+pub fn imbalance_percent(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<Summary>().imbalance_percent()
+}
+
+/// Geometric mean of strictly positive values; returns `None` if the slice is
+/// empty or any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-9);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_neutral() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.imbalance_percent(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_matches_definition() {
+        // busiest = 300, average = 200 -> 50 %
+        let v = [100.0, 200.0, 300.0, 200.0];
+        assert!((imbalance_percent(&v) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_work_is_zero() {
+        assert_eq!(imbalance_percent(&[5.0; 16]), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 8.0, 8);
+        for x in [-1.0, 0.0, 0.5, 3.9, 7.99, 8.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bin_count(0), 3); // -1 clamped, 0, 0.5
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.bin_count(7), 3); // 7.99, 8.0 and 42 clamped
+        assert_eq!(h.total(), 7);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 2.0, "median {median}");
+        assert!(h.quantile(0.0).is_some());
+        assert!(Histogram::new(0.0, 1.0, 2).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+}

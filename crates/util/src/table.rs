@@ -1,0 +1,260 @@
+//! Fixed-width ASCII table and CSV rendering for the experiment harness.
+//!
+//! The experiment binaries print the same rows and series the paper reports;
+//! this module keeps that output aligned and machine-readable.
+
+use std::fmt::Write as _;
+
+/// Column alignment inside a [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Align {
+    /// Left-justified (labels).
+    #[default]
+    Left,
+    /// Right-justified (numbers).
+    Right,
+}
+
+/// An in-memory table that renders either as aligned ASCII or CSV.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_util::table::Table;
+///
+/// let mut t = Table::new(&["scene", "speedup"]);
+/// t.row(&["quake", "12.3"]);
+/// let ascii = t.to_ascii();
+/// assert!(ascii.contains("quake"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("scene,speedup"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers; all columns align
+    /// right except the first.
+    pub fn new(header: &[&str]) -> Self {
+        let aligns = header
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns.len()` differs from the number of columns.
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.header.len(), "alignment arity mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned cells (convenient with `format!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned ASCII with a separator under the header.
+    pub fn to_ascii(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<width$}", cells[i], width = widths[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+                    }
+                }
+            }
+            // Trim trailing padding of left-aligned last columns.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header, &widths, &self.aligns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells that contain
+    /// commas, quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&csv_escape(cell));
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Formats a float with `digits` decimal places, trimming `-0`.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    let s = format!("{x:.digits$}");
+    if s.starts_with("-0.") && s[3..].bytes().all(|b| b == b'0') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// Formats a count with thousands separators (`1234567` → `1,234,567`).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_alignment() {
+        let mut t = Table::new(&["name", "val"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "123"]);
+        let s = t.to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // numbers right-aligned in a 3-wide column
+        assert!(lines[2].ends_with("  1"));
+        assert!(lines[3].ends_with("123"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(-0.0001, 2), "0.00");
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let t = {
+            let mut t = Table::new(&["a", "b"]).with_aligns(&[Align::Right, Align::Left]);
+            t.row(&["1", "x"]);
+            t.row(&["22", "yy"]);
+            t
+        };
+        let s = t.to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].starts_with(" 1"), "right-aligned first column: {s}");
+        assert!(lines[2].contains("x"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment arity mismatch")]
+    fn alignment_arity_checked() {
+        let _ = Table::new(&["a", "b"]).with_aligns(&[Align::Left]);
+    }
+
+    #[test]
+    fn row_owned_and_len() {
+        let mut t = Table::new(&["k", "v"]);
+        assert!(t.is_empty());
+        t.row_owned(vec!["k1".into(), "v1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Evaluating a *custom* workload: build your own scene configuration and
+//! ask which machine draws it fastest.
+//!
+//! The paper's presets model 1999 game frames; this example models a
+//! heavier VR crowd scene (more hotspots, deeper overdraw, denser textures)
+//! and runs the same methodology: measure its Table 1-style stats, then
+//! sweep processor counts with the fixed block-16 distribution the paper
+//! recommends, plus the dynamic-SLI extension for comparison.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use sortmid::{dynamic, CacheKind, Distribution, Machine, MachineConfig};
+use sortmid_scene::{SceneBuilder, SceneConfig, SceneStats};
+use sortmid_util::table::{fmt_f, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dense VR crowd: 1024x1024, heavy clustered overdraw, mid-size
+    // textures sampled near 1 texel/pixel.
+    let config = SceneConfig {
+        name: "vr-crowd".to_string(),
+        width: 1024,
+        height: 1024,
+        target_triangles: 40_000,
+        target_depth: 6.0,
+        texture_count: 400,
+        tex_size_log2: (6, 7),
+        texel_density: 0.9,
+        hotspots: 12,
+        cluster_sigma: 0.05,
+        cluster_fraction: 0.9,
+        background_layers: 2,
+        patch_quads: (2, 7),
+        seed: 2026,
+    };
+    let scene = SceneBuilder::custom(config).scale(0.5).build();
+    let stats = SceneStats::measure(&scene);
+    println!("workload: {stats}\n");
+
+    let stream = scene.rasterize();
+    let baseline = Machine::new(MachineConfig::uniprocessor()).run(&stream);
+
+    let mut table = Table::new(&["procs", "block-16", "sli-4", "dynamic sli", "t/f block-16"]);
+    for procs in [4u32, 8, 16, 32, 64] {
+        let mut row = vec![procs.to_string()];
+        let mut block_tf = 0.0;
+        for dist in [
+            Distribution::block(16),
+            Distribution::sli(4),
+            dynamic::balanced_sli_for(&stream, procs, 4),
+        ] {
+            let cfg = MachineConfig::builder()
+                .processors(procs)
+                .distribution(dist.clone())
+                .cache(CacheKind::PaperL1)
+                .bus_ratio(1.0)
+                .build()?;
+            let report = Machine::new(cfg).run(&stream);
+            if matches!(dist, Distribution::Block { .. }) {
+                block_tf = report.texel_to_fragment();
+            }
+            row.push(fmt_f(report.speedup_vs(&baseline), 2));
+        }
+        row.push(fmt_f(block_tf, 3));
+        table.row_owned(row);
+    }
+    print!("{}", table.to_ascii());
+    println!(
+        "\nBlock-16 needs no tuning as the machine grows; dynamic SLI is the\n\
+         price of making scanline interleaving competitive (paper, Section 9)."
+    );
+    Ok(())
+}

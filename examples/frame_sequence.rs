@@ -1,0 +1,63 @@
+//! Frame sequences and warm caches: how much inter-frame locality survives
+//! camera motion on a parallel machine?
+//!
+//! The paper's closing paragraph predicts that a per-node L2 loses its
+//! inter-frame locality once the viewpoint moves further than the tile
+//! size. This example animates a camera pan over a benchmark scene, runs
+//! the frames back-to-back on machines with warm two-level caches, and
+//! prints per-frame external traffic for a 1-processor and a 16-processor
+//! machine.
+//!
+//! ```text
+//! cargo run --release --example frame_sequence [pan_px_per_frame]
+//! ```
+
+use sortmid::{CacheKind, Distribution, Machine, MachineConfig};
+use sortmid_cache::CacheGeometry;
+use sortmid_scene::animate::{camera_path, CameraStep};
+use sortmid_scene::{Benchmark, SceneBuilder};
+use sortmid_util::table::{fmt_f, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pan: f32 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(24.0);
+    let frames = 5;
+
+    let scene = SceneBuilder::benchmark(Benchmark::TeapotFull).scale(0.25).build();
+    println!("scene: {} panning {pan} px/frame for {frames} frames\n", scene.name());
+    let views = camera_path(&scene, frames, CameraStep::pan(pan, 0.0));
+    let streams: Vec<_> = views.iter().map(|v| v.rasterize()).collect();
+    let refs: Vec<&_> = streams.iter().collect();
+
+    let run = |procs: u32| {
+        let config = MachineConfig::builder()
+            .processors(procs)
+            .distribution(Distribution::block(16))
+            .cache(CacheKind::TwoLevel(
+                CacheGeometry::paper_l1(),
+                CacheGeometry::paper_l2(),
+            ))
+            .infinite_bus()
+            .build()
+            .expect("valid");
+        Machine::new(config).run_sequence(&refs)
+    };
+    let solo = run(1);
+    let parallel = run(16);
+
+    let mut table = Table::new(&["frame", "1p texel/frag", "16p texel/frag"]);
+    for (i, (a, b)) in solo.iter().zip(&parallel).enumerate() {
+        table.row_owned(vec![
+            i.to_string(),
+            fmt_f(a.texel_to_fragment(), 3),
+            fmt_f(b.texel_to_fragment(), 3),
+        ]);
+    }
+    print!("{}", table.to_ascii());
+    println!(
+        "\nFrame 0 is cold everywhere. From frame 1 on, the single L2 retains most\n\
+         of the working set across the pan, while the 16 per-node L2s each face\n\
+         texels that last frame belonged to a *different* node's screen share —\n\
+         the paper's predicted failure mode for multiprocessor L2 caching."
+    );
+    Ok(())
+}

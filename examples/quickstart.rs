@@ -1,0 +1,65 @@
+//! Quickstart: simulate one benchmark frame on a 16-processor sort-middle
+//! machine and print the metrics the paper reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sortmid::{CacheKind, Distribution, Machine, MachineConfig};
+use sortmid_scene::{Benchmark, SceneBuilder, SceneStats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a benchmark scene (a quarter-scale 32massive11255 frame:
+    //    the SPEC APC Quake2 crowd scene with x32-magnified textures).
+    let scene = SceneBuilder::benchmark(Benchmark::Massive32_11255)
+        .scale(0.25)
+        .build();
+    let stats = SceneStats::measure(&scene);
+    println!("scene  : {} ({stats})", scene.name());
+
+    // 2. Rasterize once; the stream replays under any machine config.
+    let stream = scene.rasterize();
+
+    // 3. The paper's single-processor reference machine.
+    let baseline = Machine::new(MachineConfig::uniprocessor()).run(&stream);
+    println!(
+        "1 proc : {} cycles, texel/fragment {:.3}",
+        baseline.total_cycles(),
+        baseline.texel_to_fragment()
+    );
+
+    // 4. A 16-processor machine with the paper's best distribution:
+    //    16x16-pixel interleaved square blocks.
+    let config = MachineConfig::builder()
+        .processors(16)
+        .distribution(Distribution::block(16))
+        .cache(CacheKind::PaperL1)
+        .bus_ratio(1.0)
+        .triangle_buffer(10_000)
+        .build()?;
+    let report = Machine::new(config).run(&stream);
+
+    println!(
+        "16 proc: {} cycles -> speedup {:.2}x, texel/fragment {:.3}, \
+         pixel imbalance {:.1}%, overlap factor {:.2}",
+        report.total_cycles(),
+        report.speedup_vs(&baseline),
+        report.texel_to_fragment(),
+        report.pixel_imbalance_percent(),
+        report.overlap_factor()
+    );
+
+    // 5. Compare against SLI with the group size the paper found best at
+    //    16 processors (8 lines).
+    let sli = MachineConfig::builder()
+        .processors(16)
+        .distribution(Distribution::sli(8))
+        .build()?;
+    let sli_report = Machine::new(sli).run(&stream);
+    println!(
+        "16 proc SLI-8: speedup {:.2}x, texel/fragment {:.3}",
+        sli_report.speedup_vs(&baseline),
+        sli_report.texel_to_fragment()
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Render the benchmark frames (Figure 9) plus their depth-complexity heat
+//! maps and the screen-ownership pattern of a distribution.
+//!
+//! ```text
+//! cargo run --release --example render_frames [out_dir]
+//! ```
+//!
+//! Writes PPM images viewable with any image tool.
+
+use sortmid::{work, Distribution};
+use sortmid_scene::{render, Benchmark, SceneBuilder};
+use sortmid_util::ppm::{heat_color, Image};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/frames"));
+    std::fs::create_dir_all(&out)?;
+
+    for b in [Benchmark::TeapotFull, Benchmark::Room3, Benchmark::Quake] {
+        let scene = SceneBuilder::benchmark(b).scale(0.3).build();
+        let name = b.name().replace('.', "_");
+
+        let color = render::render_color(&scene);
+        let p1 = out.join(format!("{name}.ppm"));
+        color.write_ppm(&p1)?;
+
+        let depth = render::render_depth_map(&scene);
+        let p2 = out.join(format!("{name}_depth.ppm"));
+        depth.write_ppm(&p2)?;
+
+        println!("wrote {} and {}", p1.display(), p2.display());
+    }
+
+    // Ownership maps: who owns which pixel under each distribution
+    // (the paper's Figure 1, as an image).
+    let (w, h) = (256u32, 256u32);
+    for (label, dist) in [
+        ("ownership_block16", Distribution::block(16)),
+        ("ownership_sli4", Distribution::sli(4)),
+    ] {
+        let procs = 16u32;
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let owner = dist.owner(x as i32, y as i32, procs);
+                img.put(x, y, heat_color(owner as f64 / (procs - 1) as f64));
+            }
+        }
+        let p = out.join(format!("{label}.ppm"));
+        img.write_ppm(&p)?;
+        println!("wrote {}", p.display());
+    }
+
+    // Workload maps (Figure 1): each pixel tinted by how loaded its owner
+    // is — big tiles show hot and idle processors, small tiles blend.
+    let scene = SceneBuilder::benchmark(Benchmark::Room3).scale(0.25).build();
+    let stream = scene.rasterize();
+    let (w, h) = (stream.screen().width(), stream.screen().height());
+    for (label, dist) in [
+        ("workload_block64", Distribution::block(64)),
+        ("workload_block16", Distribution::block(16)),
+    ] {
+        let map = work::work_map(&stream, &dist, 16);
+        let max = *map.iter().max().unwrap_or(&1) as f64;
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = map[(y * w + x) as usize] as f64 / max.max(1.0);
+                img.put(x, y, heat_color(v));
+            }
+        }
+        let p = out.join(format!("{label}.ppm"));
+        img.write_ppm(&p)?;
+        println!("wrote {}", p.display());
+    }
+    Ok(())
+}

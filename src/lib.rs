@@ -1,0 +1,26 @@
+//! `sortmid-repro` — facade over the `sortmid` workspace.
+//!
+//! This crate re-exports the full public API of the reproduction of
+//! *“The Best Distribution for a Parallel OpenGL 3D Engine with Texture
+//! Caches”* (HPCA 2000) so that the runnable examples under `examples/` and
+//! the integration tests under `tests/` can reach every subsystem through a
+//! single dependency.
+//!
+//! See the individual crates for the real documentation:
+//!
+//! * [`sortmid`] — the parallel machine simulator (the paper's contribution).
+//! * [`sortmid_scene`] — benchmark scenes calibrated to the paper's Table 1.
+//! * [`sortmid_raster`] — the triangle setup + scanline rasterizer.
+//! * [`sortmid_cache`] — the texture-cache simulator.
+//! * [`sortmid_memsys`] — the cycle-level memory-system substrate.
+//! * [`sortmid_texture`] — the blocked, mipmapped texture model.
+//! * [`sortmid_geom`] / [`sortmid_util`] — geometry and utility foundations.
+
+pub use sortmid;
+pub use sortmid_cache;
+pub use sortmid_geom;
+pub use sortmid_memsys;
+pub use sortmid_raster;
+pub use sortmid_scene;
+pub use sortmid_texture;
+pub use sortmid_util;

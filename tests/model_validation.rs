@@ -1,0 +1,139 @@
+//! Cross-validation of the timing simulation against static bounds.
+//!
+//! The discrete-event machine must sit between the analytic limits the
+//! static analyses (`sortmid::work`, `sortmid::analysis`) compute: it may
+//! never beat the critical-path lower bound, and with ideal buffers and a
+//! perfect cache it must *match* it.
+
+use sortmid::{analysis, work, CacheKind, Distribution, Machine, MachineConfig, SweepGrid};
+use sortmid_raster::FragmentStream;
+use sortmid_scene::{Benchmark, SceneBuilder};
+
+fn stream(b: Benchmark) -> FragmentStream {
+    SceneBuilder::benchmark(b).scale(0.12).build().rasterize()
+}
+
+fn run(stream: &FragmentStream, procs: u32, dist: Distribution, cache: CacheKind, buffer: usize) -> u64 {
+    Machine::new(
+        MachineConfig::builder()
+            .processors(procs)
+            .distribution(dist)
+            .cache(cache)
+            .bus_ratio(1.0)
+            .triangle_buffer(buffer)
+            .build()
+            .expect("valid"),
+    )
+    .run(stream)
+    .total_cycles()
+}
+
+/// With a perfect cache and the near-ideal buffer, machine time equals the
+/// busiest node's engine work exactly (no other resource constrains).
+#[test]
+fn perfect_cache_ideal_buffer_matches_static_work() {
+    let s = stream(Benchmark::Massive11255);
+    for (procs, dist) in [
+        (1u32, Distribution::block(16)),
+        (4, Distribution::block(16)),
+        (16, Distribution::sli(4)),
+        (64, Distribution::block(8)),
+    ] {
+        let simulated = run(&s, procs, dist.clone(), CacheKind::Perfect, 10_000);
+        let bound = work::engine_work(&s, &dist, procs, 25)
+            .into_iter()
+            .max()
+            .unwrap();
+        assert_eq!(simulated, bound, "{dist} {procs}p");
+    }
+}
+
+/// The engine-work critical path lower-bounds every configuration: caches
+/// and small buffers only add time.
+#[test]
+fn static_work_lower_bounds_all_machines() {
+    let s = stream(Benchmark::Truc640);
+    for procs in [4u32, 16] {
+        for dist in [Distribution::block(16), Distribution::sli(2)] {
+            let bound = work::engine_work(&s, &dist, procs, 25)
+                .into_iter()
+                .max()
+                .unwrap();
+            for cache in [CacheKind::Perfect, CacheKind::PaperL1] {
+                for buffer in [1usize, 50, 10_000] {
+                    let t = run(&s, procs, dist.clone(), cache, buffer);
+                    assert!(
+                        t >= bound,
+                        "{dist} {procs}p {cache} buf{buffer}: {t} < bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The single-node serial time upper-bounds every parallel machine with an
+/// ideal buffer (adding processors never hurts when nothing serialises).
+#[test]
+fn serial_time_upper_bounds_ideal_buffer_machines() {
+    let s = stream(Benchmark::Blowout775);
+    let serial = run(&s, 1, Distribution::block(16), CacheKind::Perfect, 10_000);
+    let grid = SweepGrid::new()
+        .processors([2, 4, 16, 64])
+        .distributions([Distribution::block(16), Distribution::sli(4)])
+        .caches([CacheKind::Perfect])
+        .build();
+    for config in grid {
+        let t = Machine::new(config.clone()).run(&s).total_cycles();
+        assert!(t <= serial, "{}: {t} > serial {serial}", config.summary());
+    }
+}
+
+/// The measured routing fan-out matches the machine's own accounting, and
+/// the analytic overlap model stays in its ballpark.
+#[test]
+fn overlap_accounting_is_consistent() {
+    let s = stream(Benchmark::Quake);
+    for dist in [Distribution::block(16), Distribution::sli(4)] {
+        let procs = 16;
+        let report = Machine::new(
+            MachineConfig::builder()
+                .processors(procs)
+                .distribution(dist.clone())
+                .cache(CacheKind::Perfect)
+                .build()
+                .expect("valid"),
+        )
+        .run(&s);
+        let measured = analysis::measured_overlap(&s, &dist, procs);
+        assert!((report.overlap_factor() - measured).abs() < 1e-9, "{dist}");
+        let model = analysis::model_overlap(&s, &dist, procs);
+        assert!(model > 0.9 && (model - measured).abs() / measured < 0.5, "{dist}: model {model} vs {measured}");
+    }
+}
+
+/// Bus work lower-bounds memory-bound machines: a node that fetched L lines
+/// on a 16-cycle bus cannot finish before 16·L.
+#[test]
+fn bus_occupancy_lower_bounds_memory_bound_nodes() {
+    let s = stream(Benchmark::TeapotFull);
+    let report = Machine::new(
+        MachineConfig::builder()
+            .processors(4)
+            .distribution(Distribution::block(16))
+            .cache(CacheKind::PaperL1)
+            .bus_ratio(1.0)
+            .build()
+            .expect("valid"),
+    )
+    .run(&s);
+    for node in report.nodes() {
+        assert!(
+            node.finish >= node.bus_busy_cycles,
+            "node finished at {} with {} bus cycles",
+            node.finish,
+            node.bus_busy_cycles
+        );
+        assert_eq!(node.bus_busy_cycles, node.external_fetches * 16);
+    }
+}

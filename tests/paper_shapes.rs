@@ -1,0 +1,241 @@
+//! Shape tests: the paper's qualitative conclusions must hold in the
+//! reproduction. These mirror EXPERIMENTS.md's success criteria.
+
+use sortmid::{work, CacheKind, Distribution, Machine, MachineConfig, RunReport};
+use sortmid_raster::FragmentStream;
+use sortmid_scene::{Benchmark, SceneBuilder};
+
+const SCALE: f64 = 0.2;
+
+fn stream(b: Benchmark) -> FragmentStream {
+    SceneBuilder::benchmark(b).scale(SCALE).build().rasterize()
+}
+
+fn run(
+    stream: &FragmentStream,
+    procs: u32,
+    dist: Distribution,
+    cache: CacheKind,
+    ratio: f64,
+    buffer: usize,
+) -> RunReport {
+    Machine::new(
+        MachineConfig::builder()
+            .processors(procs)
+            .distribution(dist)
+            .cache(cache)
+            .bus_ratio(ratio)
+            .triangle_buffer(buffer)
+            .build()
+            .expect("valid"),
+    )
+    .run(stream)
+}
+
+fn best_block(stream: &FragmentStream, procs: u32, baseline: &RunReport) -> (u32, f64) {
+    [4u32, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&w| {
+            let r = run(stream, procs, Distribution::block(w), CacheKind::PaperL1, 1.0, 10_000);
+            (w, r.speedup_vs(baseline))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty")
+}
+
+fn best_sli(stream: &FragmentStream, procs: u32, baseline: &RunReport) -> (u32, f64) {
+    [1u32, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&l| {
+            let r = run(stream, procs, Distribution::sli(l), CacheKind::PaperL1, 1.0, 10_000);
+            (l, r.speedup_vs(baseline))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty")
+}
+
+/// Paper conclusion (i): both distributions reach similar peaks below 16
+/// processors, square block wins at 64.
+#[test]
+fn block_wins_at_64_processors_ties_below() {
+    let s = stream(Benchmark::Truc640);
+    let baseline = run(&s, 1, Distribution::block(16), CacheKind::PaperL1, 1.0, 10_000);
+
+    let (_, block16) = best_block(&s, 16, &baseline);
+    let (_, sli16) = best_sli(&s, 16, &baseline);
+    let tie = (block16 - sli16).abs() / block16.max(sli16);
+    assert!(tie < 0.15, "16p should be close: block {block16:.2} vs sli {sli16:.2}");
+
+    let (_, block64) = best_block(&s, 64, &baseline);
+    let (_, sli64) = best_sli(&s, 64, &baseline);
+    assert!(
+        block64 > sli64,
+        "64p: block ({block64:.2}) must beat SLI ({sli64:.2})"
+    );
+}
+
+/// Paper conclusion (ii): the best block width is ~16 regardless of the
+/// processor count, while the best SLI group size shrinks as the machine
+/// grows — SLI is unsuitable for a fixed-parameter scalable chip.
+#[test]
+fn best_block_is_stable_best_sli_shrinks() {
+    // This shape needs enough tiles per processor to be meaningful at
+    // width 16 and 64 processors, so it runs at a larger scale than the
+    // other tests.
+    let s = SceneBuilder::benchmark(Benchmark::Massive32_11255)
+        .scale(0.3)
+        .build()
+        .rasterize();
+    let baseline = run(&s, 1, Distribution::block(16), CacheKind::PaperL1, 1.0, 10_000);
+
+    // At 64 processors the optimum is sharp and sits near 16; at low
+    // processor counts the curve is broad (the paper's 4p panels are nearly
+    // flat), so the operative claim is that width 16 stays near-optimal at
+    // *every* machine size — no retuning needed.
+    let (w64, _) = best_block(&s, 64, &baseline);
+    assert!(
+        (8..=32).contains(&w64),
+        "best width at 64p should hover near 16: {w64}"
+    );
+    for procs in [4u32, 16, 64] {
+        let (_, best) = best_block(&s, procs, &baseline);
+        let at16 = run(&s, procs, Distribution::block(16), CacheKind::PaperL1, 1.0, 10_000)
+            .speedup_vs(&baseline);
+        assert!(
+            at16 >= 0.9 * best,
+            "{procs}p: width 16 ({at16:.2}) should be within 10% of the best ({best:.2})"
+        );
+    }
+
+    let (l4, _) = best_sli(&s, 4, &baseline);
+    let (l64, _) = best_sli(&s, 64, &baseline);
+    assert!(
+        l64 < l4,
+        "best SLI group must shrink with processor count: {l4} at 4p vs {l64} at 64p"
+    );
+}
+
+/// Figure 5's worst case: SLI-32 at 64 processors shows severe imbalance,
+/// far beyond block-16's.
+#[test]
+fn sli32_is_the_imbalance_worst_case() {
+    let s = stream(Benchmark::Quake);
+    let sli32 = work::pixel_imbalance(&s, &Distribution::sli(32), 64);
+    let block16 = work::pixel_imbalance(&s, &Distribution::block(16), 64);
+    assert!(
+        sli32 > 3.0 * block16,
+        "sli-32 ({sli32:.0}%) should dwarf block-16 ({block16:.0}%)"
+    );
+    assert!(sli32 > 100.0, "sli-32 imbalance should be severe: {sli32:.0}%");
+}
+
+/// Figure 6's second observation: with big-enough blocks, splitting the
+/// frame over many caches *relieves* per-node capacity pressure — scenes
+/// whose working set is heavily reused stop degrading (teapot.full even
+/// improves), and small-dataset scenes (blowout775) degrade far less at
+/// width 128 than at width 32. (The paper's strict monotone decrease for
+/// blowout needs its longer-range texture reuse; see EXPERIMENTS.md.)
+#[test]
+fn small_datasets_benefit_from_replication() {
+    // teapot.full, width 128: 64 caches beat one cache outright.
+    let teapot = stream(Benchmark::TeapotFull);
+    let one = run(&teapot, 1, Distribution::block(128), CacheKind::PaperL1, 1.0, 10_000);
+    let many = run(&teapot, 64, Distribution::block(128), CacheKind::PaperL1, 1.0, 10_000);
+    assert!(
+        many.texel_to_fragment() <= 1.05 * one.texel_to_fragment(),
+        "teapot at 64p/width-128 ({:.3}) should not exceed 1p ({:.3})",
+        many.texel_to_fragment(),
+        one.texel_to_fragment()
+    );
+
+    // blowout775: the 64p degradation shrinks dramatically as blocks grow.
+    let blowout = stream(Benchmark::Blowout775);
+    let ratio_at = |width: u32, procs: u32| {
+        run(&blowout, procs, Distribution::block(width), CacheKind::PaperL1, 1.0, 10_000)
+            .texel_to_fragment()
+    };
+    let growth_32 = ratio_at(32, 64) / ratio_at(32, 1).max(1e-6);
+    let growth_128 = ratio_at(128, 64) / ratio_at(128, 1).max(1e-6);
+    assert!(
+        growth_128 < 0.5 * growth_32,
+        "width 128 growth ({growth_128:.1}x) should be far below width 32 ({growth_32:.1}x)"
+    );
+}
+
+/// Section 8: ~500-entry buffers recover the ideal-buffer performance;
+/// 20-entry buffers lose a lot and shift the best width downward.
+#[test]
+fn buffer_500_matches_ideal_and_small_buffers_shift_best_width() {
+    let s = stream(Benchmark::Truc640);
+    let widths = [2u32, 4, 8, 16, 32];
+    let speedup_at = |width: u32, buffer: usize| {
+        run(&s, 64, Distribution::block(width), CacheKind::PaperL1, 2.0, buffer).total_cycles()
+    };
+
+    // 500 entries within 5 % of the 10000-entry machine at width 16.
+    let t500 = speedup_at(16, 500) as f64;
+    let tideal = speedup_at(16, 10_000) as f64;
+    assert!(
+        (t500 - tideal) / tideal < 0.05,
+        "500-entry buffer should match ideal: {t500} vs {tideal}"
+    );
+
+    // Best width with a 5-entry buffer is smaller than with the ideal one.
+    let best = |buffer: usize| {
+        widths
+            .iter()
+            .map(|&w| (w, speedup_at(w, buffer)))
+            .min_by_key(|&(_, t)| t)
+            .expect("non-empty")
+            .0
+    };
+    let tiny = best(5);
+    let ideal = best(10_000);
+    assert!(
+        tiny < ideal,
+        "small buffer should shrink the best width: {tiny} vs {ideal}"
+    );
+}
+
+/// The locality trend of Figure 6 holds across texture-heavy scenes: the
+/// texel-to-fragment ratio rises monotonically-ish as tiles shrink.
+#[test]
+fn texel_traffic_rises_as_tiles_shrink() {
+    for b in [Benchmark::TeapotFull, Benchmark::Room3] {
+        let s = stream(b);
+        let ratios: Vec<f64> = [128u32, 32, 8, 4]
+            .iter()
+            .map(|&w| {
+                run(&s, 16, Distribution::block(w), CacheKind::PaperL1, 1.0, 10_000)
+                    .texel_to_fragment()
+            })
+            .collect();
+        for pair in ratios.windows(2) {
+            assert!(
+                pair[1] >= pair[0] * 0.95,
+                "{b}: ratio should rise as blocks shrink: {ratios:?}"
+            );
+        }
+        assert!(
+            ratios[3] > ratios[0] * 1.3,
+            "{b}: width 4 should clearly exceed width 128: {ratios:?}"
+        );
+    }
+}
+
+/// SLI-2 always fetches more texels than block-16 at scale (the paper's
+/// direct comparison of the two "good load balance" configurations).
+#[test]
+fn sli2_fetches_more_than_block16() {
+    for b in [Benchmark::TeapotFull, Benchmark::Massive32_11255] {
+        let s = stream(b);
+        let block = run(&s, 64, Distribution::block(16), CacheKind::PaperL1, 1.0, 10_000);
+        let sli = run(&s, 64, Distribution::sli(2), CacheKind::PaperL1, 1.0, 10_000);
+        assert!(
+            sli.texel_to_fragment() > block.texel_to_fragment(),
+            "{b}: sli-2 {:.3} should exceed block-16 {:.3}",
+            sli.texel_to_fragment(),
+            block.texel_to_fragment()
+        );
+    }
+}

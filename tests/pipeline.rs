@@ -1,0 +1,187 @@
+//! End-to-end pipeline tests: scene generation → rasterization → machine
+//! simulation, across benchmarks, distributions and cache models.
+
+use sortmid::{CacheKind, Distribution, Machine, MachineConfig};
+use sortmid_scene::{Benchmark, SceneBuilder, SceneStats};
+
+const SCALE: f64 = 0.12;
+
+fn machine(procs: u32, dist: Distribution, cache: CacheKind, ratio: f64) -> Machine {
+    Machine::new(
+        MachineConfig::builder()
+            .processors(procs)
+            .distribution(dist)
+            .cache(cache)
+            .bus_ratio(ratio)
+            .build()
+            .expect("valid"),
+    )
+}
+
+#[test]
+fn every_benchmark_runs_end_to_end() {
+    for b in Benchmark::ALL {
+        let scene = SceneBuilder::benchmark(b).scale(SCALE).build();
+        let stream = scene.rasterize();
+        assert!(stream.fragment_count() > 0, "{b}: no fragments");
+        let report = machine(4, Distribution::block(16), CacheKind::PaperL1, 1.0).run(&stream);
+        assert!(report.total_cycles() > 0, "{b}: no cycles");
+        let drawn: u64 = report.nodes().iter().map(|n| n.pixels).sum();
+        assert_eq!(drawn, stream.fragment_count(), "{b}: fragments lost");
+    }
+}
+
+#[test]
+fn fragments_partition_exactly_across_processors() {
+    let stream = SceneBuilder::benchmark(Benchmark::Room3)
+        .scale(SCALE)
+        .build()
+        .rasterize();
+    for procs in [2u32, 5, 16, 64, 128] {
+        for dist in [Distribution::block(4), Distribution::block(16), Distribution::sli(1), Distribution::sli(8)] {
+            let report = machine(procs, dist.clone(), CacheKind::Perfect, 1.0).run(&stream);
+            let drawn: u64 = report.nodes().iter().map(|n| n.pixels).sum();
+            assert_eq!(drawn, stream.fragment_count(), "{dist} {procs}p");
+            assert_eq!(report.nodes().len(), procs as usize);
+        }
+    }
+}
+
+#[test]
+fn single_processor_is_distribution_invariant() {
+    let stream = SceneBuilder::benchmark(Benchmark::Quake)
+        .scale(SCALE)
+        .build()
+        .rasterize();
+    let reference = machine(1, Distribution::block(16), CacheKind::PaperL1, 1.0).run(&stream);
+    for dist in [Distribution::block(1), Distribution::block(128), Distribution::sli(1), Distribution::sli(32)] {
+        let run = machine(1, dist.clone(), CacheKind::PaperL1, 1.0).run(&stream);
+        assert_eq!(run.total_cycles(), reference.total_cycles(), "{dist}");
+        assert_eq!(
+            run.cache_totals().misses(),
+            reference.cache_totals().misses(),
+            "{dist}"
+        );
+    }
+}
+
+#[test]
+fn speedup_never_exceeds_processor_count() {
+    let stream = SceneBuilder::benchmark(Benchmark::Truc640)
+        .scale(SCALE)
+        .build()
+        .rasterize();
+    let baseline = machine(1, Distribution::block(16), CacheKind::Perfect, 1.0).run(&stream);
+    for procs in [2u32, 4, 8, 16] {
+        let run = machine(procs, Distribution::block(16), CacheKind::Perfect, 1.0).run(&stream);
+        let speedup = run.speedup_vs(&baseline);
+        assert!(
+            speedup <= procs as f64 + 1e-9,
+            "{procs}p: impossible speedup {speedup}"
+        );
+        assert!(speedup >= 1.0, "{procs}p: slowdown {speedup}");
+    }
+}
+
+#[test]
+fn faster_bus_never_slows_the_machine() {
+    let stream = SceneBuilder::benchmark(Benchmark::TeapotFull)
+        .scale(SCALE)
+        .build()
+        .rasterize();
+    let mut previous = u64::MAX;
+    for ratio in [0.5, 1.0, 2.0, 4.0] {
+        let run = machine(8, Distribution::block(16), CacheKind::PaperL1, ratio).run(&stream);
+        assert!(
+            run.total_cycles() <= previous,
+            "ratio {ratio} slower: {} > {previous}",
+            run.total_cycles()
+        );
+        previous = run.total_cycles();
+    }
+}
+
+#[test]
+fn perfect_cache_bounds_real_cache() {
+    let stream = SceneBuilder::benchmark(Benchmark::Massive32_11255)
+        .scale(SCALE)
+        .build()
+        .rasterize();
+    for procs in [1u32, 16] {
+        let perfect = machine(procs, Distribution::block(16), CacheKind::Perfect, 1.0).run(&stream);
+        let real = machine(procs, Distribution::block(16), CacheKind::PaperL1, 1.0).run(&stream);
+        assert!(
+            perfect.total_cycles() <= real.total_cycles(),
+            "{procs}p: perfect cache must be a lower bound"
+        );
+        assert_eq!(perfect.texel_to_fragment(), 0.0);
+        assert!(real.texel_to_fragment() > 0.0);
+    }
+}
+
+#[test]
+fn scene_stats_survive_the_full_pipeline() {
+    let scene = SceneBuilder::benchmark(Benchmark::Blowout775).scale(SCALE).build();
+    let stream = scene.rasterize();
+    let stats = SceneStats::measure_stream(&scene, &stream);
+    assert_eq!(stats.pixels_rendered, stream.fragment_count());
+    // The machine's fragment accounting matches the scene's.
+    let report = machine(4, Distribution::sli(4), CacheKind::PaperL1, 2.0).run(&stream);
+    assert_eq!(report.fragments(), stats.pixels_rendered);
+}
+
+#[test]
+fn empty_streams_are_handled_gracefully() {
+    use sortmid_geom::Rect;
+    use sortmid_texture::TextureRegistry;
+
+    let reg = TextureRegistry::new();
+    let empty = sortmid_raster::rasterize(&[], &reg, Rect::of_size(64, 64));
+    assert_eq!(empty.fragment_count(), 0);
+    let report = machine(8, Distribution::block(16), CacheKind::PaperL1, 1.0).run(&empty);
+    assert_eq!(report.total_cycles(), 0);
+    assert_eq!(report.fragments(), 0);
+    assert_eq!(report.texel_to_fragment(), 0.0);
+    assert_eq!(report.pixel_imbalance_percent(), 0.0);
+}
+
+#[test]
+fn fully_offscreen_scene_costs_nothing() {
+    use sortmid_geom::{Rect, Triangle, Vertex};
+    use sortmid_texture::{TextureDesc, TextureRegistry};
+
+    let mut reg = TextureRegistry::new();
+    let id = reg.register(TextureDesc::new(16, 16).unwrap()).unwrap();
+    let tri = Triangle::new(
+        id.0,
+        [
+            Vertex::new(1000.0, 1000.0, 0.0, 0.0),
+            Vertex::new(1100.0, 1000.0, 16.0, 0.0),
+            Vertex::new(1000.0, 1100.0, 0.0, 16.0),
+        ],
+    );
+    let stream = sortmid_raster::rasterize(&[tri], &reg, Rect::of_size(64, 64));
+    assert_eq!(stream.fragment_count(), 0);
+    assert!(stream.triangles()[0].is_culled());
+    // Culled triangles are never sent: no setup, no FIFO slot.
+    let report = machine(4, Distribution::block(16), CacheKind::Perfect, 1.0).run(&stream);
+    assert_eq!(report.total_cycles(), 0);
+    assert_eq!(report.triangles_routed(), 0);
+    for node in report.nodes() {
+        assert_eq!(node.triangles + node.discarded, 0);
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let mk = || {
+        let stream = SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(SCALE)
+            .build()
+            .rasterize();
+        machine(16, Distribution::block(16), CacheKind::PaperL1, 1.0)
+            .run(&stream)
+            .total_cycles()
+    };
+    assert_eq!(mk(), mk());
+}

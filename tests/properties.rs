@@ -1,0 +1,123 @@
+//! Cross-crate property tests on randomized machine configurations.
+
+use proptest::prelude::*;
+use sortmid::{CacheKind, Distribution, Machine, MachineConfig};
+use sortmid_raster::FragmentStream;
+use sortmid_scene::{Benchmark, SceneBuilder};
+use std::sync::OnceLock;
+
+/// One small shared stream (building scenes per proptest case is too slow).
+fn stream() -> &'static FragmentStream {
+    static STREAM: OnceLock<FragmentStream> = OnceLock::new();
+    STREAM.get_or_init(|| {
+        SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.08)
+            .build()
+            .rasterize()
+    })
+}
+
+fn arb_distribution() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        (1u32..200).prop_map(Distribution::block),
+        (1u32..64).prop_map(Distribution::sli),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every fragment is drawn exactly once whatever the configuration.
+    #[test]
+    fn fragments_conserved(
+        dist in arb_distribution(),
+        procs in 1u32..96,
+        buffer in prop_oneof![Just(1usize), Just(7), Just(100), Just(10_000)],
+    ) {
+        let s = stream();
+        let config = MachineConfig::builder()
+            .processors(procs)
+            .distribution(dist)
+            .cache(CacheKind::PaperL1)
+            .bus_ratio(1.0)
+            .triangle_buffer(buffer)
+            .build()
+            .expect("valid");
+        let report = Machine::new(config).run(s);
+        let drawn: u64 = report.nodes().iter().map(|n| n.pixels).sum();
+        prop_assert_eq!(drawn, s.fragment_count());
+    }
+
+    /// Machine time is monotone: a bigger triangle buffer never slows the
+    /// machine down.
+    #[test]
+    fn buffer_monotonicity(
+        dist in arb_distribution(),
+        procs in 2u32..64,
+    ) {
+        let s = stream();
+        let time = |buffer: usize| {
+            let config = MachineConfig::builder()
+                .processors(procs)
+                .distribution(dist.clone())
+                .cache(CacheKind::PaperL1)
+                .bus_ratio(1.0)
+                .triangle_buffer(buffer)
+                .build()
+                .expect("valid");
+            Machine::new(config).run(s).total_cycles()
+        };
+        let small = time(2);
+        let medium = time(50);
+        let large = time(10_000);
+        prop_assert!(medium <= small, "50-entry ({medium}) vs 2-entry ({small})");
+        prop_assert!(large <= medium, "ideal ({large}) vs 50-entry ({medium})");
+    }
+
+    /// A perfect cache is a strict lower bound on machine time, and the
+    /// texel traffic of a real cache is at least the unique-line floor.
+    #[test]
+    fn perfect_cache_is_a_lower_bound(
+        dist in arb_distribution(),
+        procs in 1u32..64,
+    ) {
+        let s = stream();
+        let run = |cache: CacheKind| {
+            let config = MachineConfig::builder()
+                .processors(procs)
+                .distribution(dist.clone())
+                .cache(cache)
+                .bus_ratio(1.0)
+                .build()
+                .expect("valid");
+            Machine::new(config).run(s)
+        };
+        let perfect = run(CacheKind::Perfect);
+        let real = run(CacheKind::PaperL1);
+        prop_assert!(perfect.total_cycles() <= real.total_cycles());
+        prop_assert!(real.texel_to_fragment() >= 0.0);
+    }
+
+    /// Total routed + discarded equals (procs x live triangles): broadcast
+    /// accounting never loses a primitive.
+    #[test]
+    fn broadcast_accounting(dist in arb_distribution(), procs in 1u32..32) {
+        let s = stream();
+        let live = s.triangles().iter().filter(|t| !t.is_culled()).count() as u64;
+        let config = MachineConfig::builder()
+            .processors(procs)
+            .distribution(dist)
+            .cache(CacheKind::Perfect)
+            .build()
+            .expect("valid");
+        let report = Machine::new(config).run(s);
+        let handled: u64 = report
+            .nodes()
+            .iter()
+            .map(|n| n.triangles + n.discarded)
+            .sum();
+        prop_assert_eq!(handled, live * procs as u64);
+        prop_assert_eq!(report.triangles_routed(),
+            report.nodes().iter().map(|n| n.triangles).sum::<u64>());
+    }
+}

@@ -1,0 +1,83 @@
+//! Golden-value regression tests.
+//!
+//! The whole stack (generator → rasterizer → cache → timing) is
+//! deterministic, so exact cycle and miss counts for a fixed scene pin the
+//! model: any unintended change to the RNG stream, the fill rule, the
+//! footprint math, the LRU policy or the FIFO semantics shows up here.
+//! When a change to the *model* is intentional, update the constants and
+//! say why in the commit.
+
+use sortmid::{CacheKind, Distribution, Machine, MachineConfig, RunReport};
+use sortmid_raster::FragmentStream;
+use sortmid_scene::{Benchmark, SceneBuilder};
+
+fn stream() -> FragmentStream {
+    SceneBuilder::benchmark(Benchmark::Quake)
+        .scale(0.1)
+        .build()
+        .rasterize()
+}
+
+fn run(
+    stream: &FragmentStream,
+    procs: u32,
+    dist: Distribution,
+    cache: CacheKind,
+    ratio: f64,
+    buffer: usize,
+) -> RunReport {
+    Machine::new(
+        MachineConfig::builder()
+            .processors(procs)
+            .distribution(dist)
+            .cache(cache)
+            .bus_ratio(ratio)
+            .triangle_buffer(buffer)
+            .build()
+            .expect("valid"),
+    )
+    .run(stream)
+}
+
+#[test]
+fn scene_shape_is_pinned() {
+    let s = stream();
+    assert_eq!(s.fragment_count(), 18_059);
+    assert_eq!(s.triangle_count(), 58);
+}
+
+#[test]
+fn uniprocessor_run_is_pinned() {
+    let s = stream();
+    let r = run(&s, 1, Distribution::block(16), CacheKind::PaperL1, 1.0, 10_000);
+    assert_eq!(r.total_cycles(), 37_379);
+    assert_eq!(r.cache_totals().misses(), 1_967);
+    assert_eq!(r.triangles_routed(), 56);
+}
+
+#[test]
+fn parallel_block_run_is_pinned() {
+    let s = stream();
+    let r = run(&s, 16, Distribution::block(16), CacheKind::PaperL1, 1.0, 10_000);
+    assert_eq!(r.total_cycles(), 6_120);
+    assert_eq!(r.cache_totals().misses(), 4_296);
+    assert_eq!(r.triangles_routed(), 338);
+}
+
+#[test]
+fn sli_with_small_buffer_is_pinned() {
+    let s = stream();
+    let r = run(&s, 16, Distribution::sli(4), CacheKind::PaperL1, 2.0, 500);
+    assert_eq!(r.total_cycles(), 2_921);
+    assert_eq!(r.cache_totals().misses(), 3_265);
+    assert_eq!(r.triangles_routed(), 384);
+}
+
+#[test]
+fn perfect_cache_tiny_buffer_is_pinned() {
+    let s = stream();
+    let r = run(&s, 64, Distribution::block(8), CacheKind::Perfect, 1.0, 20);
+    assert_eq!(r.total_cycles(), 835);
+    assert_eq!(r.cache_totals().misses(), 0);
+    assert_eq!(r.triangles_routed(), 891);
+}

@@ -1,0 +1,66 @@
+//! Capture/replay round trips through the on-disk trace formats.
+
+use sortmid::{CacheKind, Distribution, Machine, MachineConfig};
+use sortmid_raster::{read_stream, write_stream};
+use sortmid_scene::{read_scene, write_scene, Benchmark, SceneBuilder};
+
+#[test]
+fn scene_file_round_trip_replays_identically() {
+    let scene = SceneBuilder::benchmark(Benchmark::Massive11255).scale(0.08).build();
+    let dir = std::env::temp_dir().join("sortmid_trace_io_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scene.smsc");
+
+    let file = std::fs::File::create(&path).unwrap();
+    write_scene(std::io::BufWriter::new(file), &scene).unwrap();
+    let back = read_scene(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+
+    let config = MachineConfig::builder()
+        .processors(8)
+        .distribution(Distribution::block(16))
+        .cache(CacheKind::PaperL1)
+        .build()
+        .unwrap();
+    let a = Machine::new(config.clone()).run(&scene.rasterize());
+    let b = Machine::new(config).run(&back.rasterize());
+    assert_eq!(a.total_cycles(), b.total_cycles());
+    assert_eq!(a.cache_totals().misses(), b.cache_totals().misses());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_file_round_trip_replays_identically() {
+    let stream = SceneBuilder::benchmark(Benchmark::Quake)
+        .scale(0.08)
+        .build()
+        .rasterize();
+    let mut buf = Vec::new();
+    write_stream(&mut buf, &stream).unwrap();
+    let back = read_stream(buf.as_slice()).unwrap();
+
+    let config = MachineConfig::builder()
+        .processors(16)
+        .distribution(Distribution::sli(4))
+        .cache(CacheKind::PaperL1)
+        .triangle_buffer(50)
+        .build()
+        .unwrap();
+    let a = Machine::new(config.clone()).run(&stream);
+    let b = Machine::new(config).run(&back);
+    assert_eq!(a.total_cycles(), b.total_cycles());
+    assert_eq!(a.texel_to_fragment(), b.texel_to_fragment());
+}
+
+#[test]
+fn stream_files_are_compact() {
+    // 40-byte fragments plus small fixed overhead: the format should not
+    // balloon beyond ~44 bytes per fragment.
+    let stream = SceneBuilder::benchmark(Benchmark::Blowout775)
+        .scale(0.08)
+        .build()
+        .rasterize();
+    let mut buf = Vec::new();
+    write_stream(&mut buf, &stream).unwrap();
+    let per_fragment = buf.len() as f64 / stream.fragment_count() as f64;
+    assert!(per_fragment < 44.0, "{per_fragment:.1} bytes/fragment");
+}
