@@ -5,32 +5,27 @@
 //! * two-level cache hierarchies,
 //! * cache geometry around the Hakura-Gupta point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sortmid::{dynamic, work, CacheKind, Distribution, Machine, MachineConfig};
 use sortmid_bench::{run_machine, stream};
 use sortmid_cache::CacheGeometry;
+use sortmid_devharness::Suite;
 use sortmid_scene::Benchmark;
 use std::hint::black_box;
 
-fn bench_prefetch(c: &mut Criterion) {
+fn bench_prefetch(suite: &mut Suite) {
     let s = stream(Benchmark::Massive32_11255);
-    let mut group = c.benchmark_group("ablations/prefetch");
-    group.sample_size(10);
     for window in [Some(1usize), Some(32), None] {
         let label = window.map_or("unbounded".to_string(), |w| w.to_string());
-        group.bench_function(format!("window-{label}"), |b| {
-            b.iter(|| {
-                let mut cfg = MachineConfig::builder();
-                cfg.processors(16)
-                    .distribution(Distribution::block(16))
-                    .cache(CacheKind::PaperL1)
-                    .bus_ratio(1.0);
-                cfg.prefetch_window(window);
-                black_box(Machine::new(cfg.build().unwrap()).run(&s))
-            });
+        suite.bench(&format!("prefetch/window-{label}"), || {
+            let mut cfg = MachineConfig::builder();
+            cfg.processors(16)
+                .distribution(Distribution::block(16))
+                .cache(CacheKind::PaperL1)
+                .bus_ratio(1.0);
+            cfg.prefetch_window(window);
+            black_box(Machine::new(cfg.build().unwrap()).run(&s))
         });
     }
-    group.finish();
 
     println!("\nPrefetch-window ablation (32massive11255, 16p, block-16, 1x bus):");
     for window in [Some(1usize), Some(4), Some(32), None] {
@@ -50,17 +45,12 @@ fn bench_prefetch(c: &mut Criterion) {
     }
 }
 
-fn bench_dynamic_sli(c: &mut Criterion) {
+fn bench_dynamic_sli(suite: &mut Suite) {
     let s = stream(Benchmark::Room3);
-    let mut group = c.benchmark_group("ablations/dynamic-sli");
-    group.sample_size(10);
-    group.bench_function("profile+build+run/16p", |b| {
-        b.iter(|| {
-            let dist = dynamic::balanced_sli_for(&s, 16, 4);
-            black_box(run_machine(&s, 16, dist, CacheKind::PaperL1, Some(1.0), 10_000))
-        });
+    suite.bench("dynamic-sli/profile+build+run/16p", || {
+        let dist = dynamic::balanced_sli_for(&s, 16, 4);
+        black_box(run_machine(&s, 16, dist, CacheKind::PaperL1, Some(1.0), 10_000))
     });
-    group.finish();
 
     let procs = 16;
     let band = Distribution::sli((s.screen().height() / (4 * procs)).max(1));
@@ -70,23 +60,18 @@ fn bench_dynamic_sli(c: &mut Criterion) {
     println!("  dynamic bands: {:.1}% imbalance", work::pixel_imbalance(&s, &dynamic_dist, procs));
 }
 
-fn bench_l2(c: &mut Criterion) {
+fn bench_l2(suite: &mut Suite) {
     let s = stream(Benchmark::TeapotFull);
-    let mut group = c.benchmark_group("ablations/l2");
-    group.sample_size(10);
-    group.bench_function("two-level/16p", |b| {
-        b.iter(|| {
-            black_box(run_machine(
-                &s,
-                16,
-                Distribution::block(16),
-                CacheKind::TwoLevel(CacheGeometry::paper_l1(), CacheGeometry::paper_l2()),
-                None,
-                10_000,
-            ))
-        });
+    suite.bench("l2/two-level/16p", || {
+        black_box(run_machine(
+            &s,
+            16,
+            Distribution::block(16),
+            CacheKind::TwoLevel(CacheGeometry::paper_l1(), CacheGeometry::paper_l2()),
+            None,
+            10_000,
+        ))
     });
-    group.finish();
 
     let l1 = run_machine(&s, 16, Distribution::block(16), CacheKind::PaperL1, None, 10_000);
     let l2 = run_machine(
@@ -104,43 +89,37 @@ fn bench_l2(c: &mut Criterion) {
     );
 }
 
-fn bench_cache_geometry(c: &mut Criterion) {
+fn bench_cache_geometry(suite: &mut Suite) {
     let s = stream(Benchmark::Massive32_11255);
-    let mut group = c.benchmark_group("ablations/cache-geometry");
-    group.sample_size(10);
-    for (label, size_kb, ways) in [("4KB-1way", 4u32, 1u32), ("16KB-4way", 16, 4), ("64KB-8way", 64, 8)] {
-        group.bench_function(label, |b| {
-            let g = CacheGeometry::new(size_kb * 1024, ways, 64).unwrap();
-            b.iter(|| {
-                black_box(run_machine(
-                    &s,
-                    16,
-                    Distribution::block(16),
-                    CacheKind::SetAssoc(g),
-                    None,
-                    10_000,
-                ))
-            });
+    for (label, size_kb, ways) in
+        [("4KB-1way", 4u32, 1u32), ("16KB-4way", 16, 4), ("64KB-8way", 64, 8)]
+    {
+        let g = CacheGeometry::new(size_kb * 1024, ways, 64).unwrap();
+        suite.bench(&format!("cache-geometry/{label}"), || {
+            black_box(run_machine(
+                &s,
+                16,
+                Distribution::block(16),
+                CacheKind::SetAssoc(g),
+                None,
+                10_000,
+            ))
         });
     }
-    group.finish();
 }
 
-fn bench_sort_last(c: &mut Criterion) {
+fn bench_sort_last(suite: &mut Suite) {
     use sortmid::sortlast::{run_sort_last, TriangleAssignment};
 
     let s = stream(Benchmark::Massive32_11255);
-    let mut group = c.benchmark_group("ablations/sort-last");
-    group.sample_size(10);
     let config = {
         let mut b = MachineConfig::builder();
         b.processors(16).cache(CacheKind::PaperL1).bus_ratio(1.0);
         b.build().unwrap()
     };
-    group.bench_function("round-robin/16p", |b| {
-        b.iter(|| black_box(run_sort_last(&s, &config, TriangleAssignment::RoundRobin)));
+    suite.bench("sort-last/round-robin/16p", || {
+        black_box(run_sort_last(&s, &config, TriangleAssignment::RoundRobin))
     });
-    group.finish();
 
     let sm = run_machine(&s, 16, Distribution::block(16), CacheKind::PaperL1, Some(1.0), 10_000);
     let sl = run_sort_last(&s, &config, TriangleAssignment::RoundRobin);
@@ -151,12 +130,12 @@ fn bench_sort_last(c: &mut Criterion) {
     );
 }
 
-criterion_group!(
-    benches,
-    bench_prefetch,
-    bench_dynamic_sli,
-    bench_l2,
-    bench_cache_geometry,
-    bench_sort_last
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("ablations");
+    bench_prefetch(&mut suite);
+    bench_dynamic_sli(&mut suite);
+    bench_l2(&mut suite);
+    bench_cache_geometry(&mut suite);
+    bench_sort_last(&mut suite);
+    suite.finish();
+}

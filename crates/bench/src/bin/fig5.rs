@@ -1,0 +1,46 @@
+//! Figure 5 bench: load-balance analysis and perfect-cache speedups.
+
+use sortmid::{work, CacheKind, Distribution};
+use sortmid_bench::{run_machine, stream};
+use sortmid_devharness::Suite;
+use sortmid_scene::Benchmark;
+use std::hint::black_box;
+
+fn main() {
+    let s = stream(Benchmark::Massive32_11255);
+    let mut suite = Suite::new("fig5");
+
+    suite.bench("imbalance/block-16/64p", || {
+        black_box(work::pixel_imbalance(&s, &Distribution::block(16), 64))
+    });
+    suite.bench("imbalance/sli-4/64p", || {
+        black_box(work::pixel_imbalance(&s, &Distribution::sli(4), 64))
+    });
+    suite.bench_with_elements("speedup/perfect/block-16/64p", s.fragment_count(), || {
+        black_box(run_machine(
+            &s,
+            64,
+            Distribution::block(16),
+            CacheKind::Perfect,
+            Some(1.0),
+            10_000,
+        ))
+    });
+
+    // One-shot artefact: the imbalance series of Figure 5 at bench scale.
+    println!("\nFigure 5 imbalance (32massive11255, 64 processors):");
+    for w in [4u32, 8, 16, 32, 64, 128] {
+        println!(
+            "  block-{w:<3} {:>8.1}%",
+            work::pixel_imbalance(&s, &Distribution::block(w), 64)
+        );
+    }
+    for l in [1u32, 2, 4, 8, 16, 32] {
+        println!(
+            "  sli-{l:<5} {:>8.1}%",
+            work::pixel_imbalance(&s, &Distribution::sli(l), 64)
+        );
+    }
+
+    suite.finish();
+}

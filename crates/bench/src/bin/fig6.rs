@@ -1,31 +1,30 @@
 //! Figure 6 bench: texel-to-fragment ratio under infinite bus bandwidth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sortmid::{CacheKind, Distribution};
 use sortmid_bench::{run_machine, stream};
+use sortmid_devharness::Suite;
 use sortmid_scene::Benchmark;
 use std::hint::black_box;
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     let teapot = stream(Benchmark::TeapotFull);
     let massive = stream(Benchmark::Massive32_11255);
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
+    let mut suite = Suite::new("fig6");
 
-    group.bench_function("locality/teapot/block-16/16p", |b| {
-        b.iter(|| {
-            black_box(run_machine(
-                &teapot,
-                16,
-                Distribution::block(16),
-                CacheKind::PaperL1,
-                None,
-                10_000,
-            ))
-        });
+    suite.bench_with_elements("locality/teapot/block-16/16p", teapot.fragment_count(), || {
+        black_box(run_machine(
+            &teapot,
+            16,
+            Distribution::block(16),
+            CacheKind::PaperL1,
+            None,
+            10_000,
+        ))
     });
-    group.bench_function("locality/32massive/sli-2/16p", |b| {
-        b.iter(|| {
+    suite.bench_with_elements(
+        "locality/32massive/sli-2/16p",
+        massive.fragment_count(),
+        || {
             black_box(run_machine(
                 &massive,
                 16,
@@ -34,9 +33,8 @@ fn bench_fig6(c: &mut Criterion) {
                 None,
                 10_000,
             ))
-        });
-    });
-    group.finish();
+        },
+    );
 
     println!("\nFigure 6 texel/fragment at 16 processors (bench scale):");
     for (name, s) in [("teapot.full", &teapot), ("32massive11255", &massive)] {
@@ -47,7 +45,6 @@ fn bench_fig6(c: &mut Criterion) {
         let r1 = run_machine(s, 1, Distribution::block(16), CacheKind::PaperL1, None, 10_000);
         println!("  {name:<16} 1-proc    {:.3}", r1.texel_to_fragment());
     }
-}
 
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,54 +1,57 @@
 //! Figure 7 bench: full-machine speedups with a bounded bus.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sortmid::{CacheKind, Distribution};
 use sortmid_bench::{run_machine, stream};
+use sortmid_devharness::Suite;
 use sortmid_scene::Benchmark;
 use std::hint::black_box;
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
     let s = stream(Benchmark::Truc640);
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
+    let mut suite = Suite::new("fig7");
 
     for (label, procs, dist) in [
         ("block-16/16p", 16u32, Distribution::block(16)),
         ("sli-8/16p", 16, Distribution::sli(8)),
         ("block-16/64p", 64, Distribution::block(16)),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(run_machine(
-                    &s,
-                    procs,
-                    dist.clone(),
-                    CacheKind::PaperL1,
-                    Some(1.0),
-                    10_000,
-                ))
-            });
+        suite.bench_with_elements(label, s.fragment_count(), || {
+            black_box(run_machine(
+                &s,
+                procs,
+                dist.clone(),
+                CacheKind::PaperL1,
+                Some(1.0),
+                10_000,
+            ))
         });
     }
-    group.finish();
 
     // The artefact: the headline comparison at bench scale.
     let base = run_machine(&s, 1, Distribution::block(16), CacheKind::PaperL1, Some(1.0), 10_000);
     println!("\nFigure 7 speedups (truc640, 1 texel/pixel bus, bench scale):");
     for procs in [4u32, 16, 64] {
-        let block = run_machine(&s, procs, Distribution::block(16), CacheKind::PaperL1, Some(1.0), 10_000);
+        let block =
+            run_machine(&s, procs, Distribution::block(16), CacheKind::PaperL1, Some(1.0), 10_000);
         let sli_param = match procs {
             4 => 16,
             16 => 8,
             _ => 4,
         };
-        let sli = run_machine(&s, procs, Distribution::sli(sli_param), CacheKind::PaperL1, Some(1.0), 10_000);
+        let sli = run_machine(
+            &s,
+            procs,
+            Distribution::sli(sli_param),
+            CacheKind::PaperL1,
+            Some(1.0),
+            10_000,
+        );
         println!(
             "  {procs:>2}p: block-16 {:.2}x vs sli-{sli_param} {:.2}x",
             block.speedup_vs(&base),
             sli.speedup_vs(&base)
         );
     }
-}
 
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);
+    suite.finish();
+}

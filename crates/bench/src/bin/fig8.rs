@@ -1,19 +1,20 @@
 //! Figure 8 bench: triangle-buffer size effect.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sortmid::{CacheKind, Distribution};
 use sortmid_bench::{run_machine, stream};
+use sortmid_devharness::Suite;
 use sortmid_scene::Benchmark;
 use std::hint::black_box;
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
     let s = stream(Benchmark::Truc640);
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
+    let mut suite = Suite::new("fig8");
 
     for buffer in [20usize, 500, 10_000] {
-        group.bench_function(format!("buffer-{buffer}/block-16/64p"), |b| {
-            b.iter(|| {
+        suite.bench_with_elements(
+            &format!("buffer-{buffer}/block-16/64p"),
+            s.fragment_count(),
+            || {
                 black_box(run_machine(
                     &s,
                     64,
@@ -22,10 +23,9 @@ fn bench_fig8(c: &mut Criterion) {
                     Some(2.0),
                     buffer,
                 ))
-            });
-        });
+            },
+        );
     }
-    group.finish();
 
     let base = run_machine(&s, 1, Distribution::block(16), CacheKind::PaperL1, Some(2.0), 10_000);
     println!("\nFigure 8 speedups (truc640, 64p, block-16, 2 texel/pixel, bench scale):");
@@ -33,7 +33,6 @@ fn bench_fig8(c: &mut Criterion) {
         let r = run_machine(&s, 64, Distribution::block(16), CacheKind::PaperL1, Some(2.0), buffer);
         println!("  buffer {buffer:>6}: {:.2}x", r.speedup_vs(&base));
     }
-}
 
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,20 +1,18 @@
 //! Figure 9 bench: benchmark image rendering.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sortmid_bench::scene;
+use sortmid_devharness::Suite;
 use sortmid_scene::{render, Benchmark};
 use std::hint::black_box;
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9");
-    group.sample_size(10);
+fn main() {
+    let mut suite = Suite::new("fig9");
     for b in [Benchmark::TeapotFull, Benchmark::Room3, Benchmark::Quake] {
         let s = scene(b);
-        group.bench_function(format!("render/{}", b.name()), |bencher| {
-            bencher.iter(|| black_box(render::render_color(&s)));
+        suite.bench(&format!("render/{}", b.name()), || {
+            black_box(render::render_color(&s))
         });
     }
-    group.finish();
 
     // Write the images once so the bench run leaves the artefact behind.
     let out = std::path::Path::new("target/fig9-bench");
@@ -26,7 +24,6 @@ fn bench_fig9(c: &mut Criterion) {
         img.write_ppm(&path).expect("write ppm");
         println!("wrote {}", path.display());
     }
-}
 
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -4,25 +4,21 @@
 //! representative subset of the benchmarks and reports the measured
 //! statistics alongside the timing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sortmid_bench::{scene, BENCH_SCALE};
+use sortmid_devharness::Suite;
 use sortmid_scene::{Benchmark, SceneStats};
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn main() {
+    let mut suite = Suite::new("table1");
     for b in [Benchmark::Quake, Benchmark::Massive32_11255, Benchmark::Room3] {
-        group.bench_function(b.name(), |bencher| {
-            bencher.iter(|| {
-                let s = scene(black_box(b));
-                black_box(SceneStats::measure(&s))
-            });
+        suite.bench(b.name(), || {
+            let s = scene(black_box(b));
+            black_box(SceneStats::measure(&s))
         });
     }
-    group.finish();
 
-    // Print the table rows once so `cargo bench` output shows the artefact.
+    // Print the table rows once so the bench run shows the artefact.
     println!("\nTable 1 (measured at scale {BENCH_SCALE}, density columns are scale-invariant):");
     for b in Benchmark::ALL {
         let stats = SceneStats::measure(&scene(b));
@@ -38,7 +34,6 @@ fn bench_table1(c: &mut Criterion) {
             mb,
         );
     }
-}
 
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -99,7 +99,8 @@ impl LineCache for SetAssocCache {
 mod tests {
     use super::*;
     use crate::geometry::CacheGeometry;
-    use proptest::prelude::*;
+    use sortmid_devharness::prop::{check, Config};
+    use sortmid_devharness::prop_assert;
 
     fn tiny() -> SetAssocCache {
         // 4 sets x 2 ways x 64B lines = 512B.
@@ -179,42 +180,56 @@ mod tests {
         assert_eq!(c.stats().misses(), before + 3);
     }
 
-    proptest! {
-        /// Residency never exceeds capacity and a just-accessed line is
-        /// always resident.
-        #[test]
-        fn prop_capacity_and_mru(lines in proptest::collection::vec(0u32..64, 1..200)) {
-            let mut c = tiny();
-            for &l in &lines {
-                c.access_line(l);
-                prop_assert!(c.probe(l));
-                prop_assert!(c.resident_lines() <= 8);
-            }
-        }
+    /// Residency never exceeds capacity and a just-accessed line is
+    /// always resident.
+    #[test]
+    fn prop_capacity_and_mru() {
+        check(
+            "capacity_and_mru",
+            &Config::default(),
+            |g| g.vec(1..200, |g| g.u32_in(0..64)),
+            |lines| {
+                let mut c = tiny();
+                for &l in lines {
+                    c.access_line(l);
+                    prop_assert!(c.probe(l));
+                    prop_assert!(c.resident_lines() <= 8);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// The W most recent distinct lines of one set are all resident
-        /// (true-LRU inclusion property).
-        #[test]
-        fn prop_lru_inclusion(seq in proptest::collection::vec(0u32..6, 1..100)) {
-            let mut c = tiny(); // 2 ways
-            // Map everything into set 0 so recency is the only factor.
-            let seq: Vec<u32> = seq.iter().map(|&x| x * 4).collect();
-            for (i, &l) in seq.iter().enumerate() {
-                c.access_line(l);
-                // Find the last 2 distinct lines ending at i.
-                let mut distinct = Vec::new();
-                for &p in seq[..=i].iter().rev() {
-                    if !distinct.contains(&p) {
-                        distinct.push(p);
+    /// The W most recent distinct lines of one set are all resident
+    /// (true-LRU inclusion property).
+    #[test]
+    fn prop_lru_inclusion() {
+        check(
+            "lru_inclusion",
+            &Config::default(),
+            |g| g.vec(1..100, |g| g.u32_in(0..6)),
+            |seq| {
+                let mut c = tiny(); // 2 ways
+                // Map everything into set 0 so recency is the only factor.
+                let seq: Vec<u32> = seq.iter().map(|&x| x * 4).collect();
+                for (i, &l) in seq.iter().enumerate() {
+                    c.access_line(l);
+                    // Find the last 2 distinct lines ending at i.
+                    let mut distinct = Vec::new();
+                    for &p in seq[..=i].iter().rev() {
+                        if !distinct.contains(&p) {
+                            distinct.push(p);
+                        }
+                        if distinct.len() == 2 {
+                            break;
+                        }
                     }
-                    if distinct.len() == 2 {
-                        break;
+                    for &d in &distinct {
+                        prop_assert!(c.probe(d), "line {d} should be resident after step {i}");
                     }
                 }
-                for &d in &distinct {
-                    prop_assert!(c.probe(d), "line {d} should be resident after step {i}");
-                }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

@@ -343,7 +343,8 @@ impl std::str::FromStr for Distribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sortmid_devharness::prop::{check, Config};
+    use sortmid_devharness::{prop_assert, prop_assert_eq};
 
     #[test]
     fn block_partitions_every_pixel() {
@@ -571,39 +572,57 @@ mod tests {
         Distribution::dynamic_sli(vec![10, 10]);
     }
 
-    proptest! {
-        /// Every pixel has exactly one owner below the processor count, and
-        /// single-processor machines own everything.
-        #[test]
-        fn prop_owner_in_range(
-            x in 0i32..2048,
-            y in 0i32..2048,
-            procs in 1u32..128,
-            width in 1u32..64,
-        ) {
-            let b = Distribution::block(width);
-            prop_assert!(b.owner(x, y, procs) < procs);
-            prop_assert_eq!(b.owner(x, y, 1), 0);
-            let s = Distribution::sli(width);
-            prop_assert!(s.owner(x, y, procs) < procs);
-        }
+    /// Every pixel has exactly one owner below the processor count, and
+    /// single-processor machines own everything.
+    #[test]
+    fn prop_owner_in_range() {
+        check(
+            "owner_in_range",
+            &Config::default(),
+            |g| {
+                (
+                    g.i32_in(0..2048),
+                    g.i32_in(0..2048),
+                    g.u32_in(1..128),
+                    g.u32_in(1..64),
+                )
+            },
+            |&(x, y, procs, width)| {
+                let b = Distribution::block(width);
+                prop_assert!(b.owner(x, y, procs) < procs);
+                prop_assert_eq!(b.owner(x, y, 1), 0);
+                let s = Distribution::sli(width);
+                prop_assert!(s.owner(x, y, procs) < procs);
+                Ok(())
+            },
+        );
+    }
 
-        /// The overlap mask always contains the owner of every pixel in the
-        /// bbox (no triangle is ever dropped).
-        #[test]
-        fn prop_mask_covers_owners(
-            x0 in 0i32..200, y0 in 0i32..200,
-            w in 1i32..60, h in 1i32..60,
-            procs in 1u32..65,
-            param in 1u32..40,
-        ) {
-            let bbox = Rect::new(x0, y0, x0 + w, y0 + h);
-            for d in [Distribution::block(param), Distribution::sli(param)] {
-                let mask = d.overlap_mask(&bbox, procs);
-                for (x, y) in bbox.pixels() {
-                    prop_assert!(mask & (1 << d.owner(x, y, procs)) != 0);
+    /// The overlap mask always contains the owner of every pixel in the
+    /// bbox (no triangle is ever dropped).
+    #[test]
+    fn prop_mask_covers_owners() {
+        check(
+            "mask_covers_owners",
+            &Config::default(),
+            |g| {
+                (
+                    (g.i32_in(0..200), g.i32_in(0..200)),
+                    (g.i32_in(1..60), g.i32_in(1..60)),
+                    g.u32_in(1..65),
+                    g.u32_in(1..40),
+                )
+            },
+            |&((x0, y0), (w, h), procs, param)| {
+                let bbox = Rect::new(x0, y0, x0 + w, y0 + h);
+                for d in [Distribution::block(param), Distribution::sli(param)] {
+                    let mask = d.overlap_mask(&bbox, procs);
+                    for (x, y) in bbox.pixels() {
+                        prop_assert!(mask & (1 << d.owner(x, y, procs)) != 0);
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

@@ -56,7 +56,7 @@ pub use config::{CacheKind, ConfigError, MachineConfig, MachineConfigBuilder};
 pub use distribution::Distribution;
 pub use machine::Machine;
 pub use report::{NodeReport, RunReport};
-pub use sweep::{run_sweep, SweepGrid};
+pub use sweep::{run_sweep, run_sweep_with_threads, SweepGrid};
 
 /// Maximum processor count the machine supports (the paper evaluates up to
 /// 64; the overlap masks are 128-bit).

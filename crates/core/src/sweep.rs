@@ -149,8 +149,26 @@ impl Default for SweepGrid {
 pub fn run_sweep(stream: &FragmentStream, configs: &[MachineConfig]) -> Vec<RunReport> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(configs.len().max(1));
+        .unwrap_or(4);
+    run_sweep_with_threads(stream, configs, threads)
+}
+
+/// [`run_sweep`] with an explicit host-thread count.
+///
+/// Exists so tests can pin the schedule: the simulated machines are
+/// deterministic, so the reports must be byte-identical whatever `threads`
+/// is — host parallelism only reorders independent runs.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn run_sweep_with_threads(
+    stream: &FragmentStream,
+    configs: &[MachineConfig],
+    threads: usize,
+) -> Vec<RunReport> {
+    assert!(threads > 0, "need at least one host thread");
+    let threads = threads.min(configs.len().max(1));
     if threads <= 1 || configs.len() <= 1 {
         return configs
             .iter()

@@ -1,0 +1,328 @@
+//! Criterion-style bench runner with machine-readable output.
+//!
+//! A [`Suite`] groups named benchmarks; each benchmark runs a warmup, then N
+//! timed iterations, and reports median/p10/p90 wall time plus optional
+//! throughput. [`Suite::finish`] writes everything to `BENCH_<name>.json`
+//! (in `SORTMID_BENCH_DIR`, default the current directory) so the perf
+//! trajectory can be compared across PRs, and prints a human-readable table.
+//!
+//! Environment knobs:
+//!
+//! * `SORTMID_BENCH_SAMPLES` — timed iterations per benchmark (default 10);
+//! * `SORTMID_BENCH_WARMUP` — warmup iterations (default 2);
+//! * `SORTMID_BENCH_DIR` — output directory for `BENCH_*.json`.
+
+use crate::json::Json;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Per-suite run parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Untimed warmup iterations before sampling.
+    pub warmup_iters: u32,
+    /// Timed iterations per benchmark.
+    pub samples: u32,
+}
+
+impl BenchConfig {
+    /// Defaults (2 warmup, 10 samples) overridden by the environment.
+    pub fn from_env() -> Self {
+        let get = |key: &str, default: u32| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(default)
+        };
+        BenchConfig {
+            warmup_iters: get("SORTMID_BENCH_WARMUP", 2),
+            samples: get("SORTMID_BENCH_SAMPLES", 10),
+        }
+    }
+}
+
+/// One benchmark's measurements, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id within the suite (e.g. `"imbalance/block-16/64p"`).
+    pub id: String,
+    /// Raw per-iteration wall times, in sample order.
+    pub samples_ns: Vec<u64>,
+    /// Median of `samples_ns`.
+    pub median_ns: u64,
+    /// 10th percentile (nearest-rank).
+    pub p10_ns: u64,
+    /// 90th percentile (nearest-rank).
+    pub p90_ns: u64,
+    /// Elements processed per iteration, when declared.
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Median throughput in elements per second, when declared.
+    ///
+    /// For fragment-processing benches this is the *fragments/sec* figure
+    /// the perf trajectory tracks.
+    pub fn throughput_per_sec(&self) -> Option<f64> {
+        let elements = self.elements?;
+        if self.median_ns == 0 {
+            return None;
+        }
+        Some(elements as f64 * 1e9 / self.median_ns as f64)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::str(self.id.clone())),
+            ("median_ns".to_string(), Json::U64(self.median_ns)),
+            ("p10_ns".to_string(), Json::U64(self.p10_ns)),
+            ("p90_ns".to_string(), Json::U64(self.p90_ns)),
+            (
+                "samples_ns".to_string(),
+                Json::arr(self.samples_ns.iter().map(|&ns| Json::U64(ns))),
+            ),
+        ];
+        if let Some(elements) = self.elements {
+            fields.push(("elements".to_string(), Json::U64(elements)));
+        }
+        if let Some(tput) = self.throughput_per_sec() {
+            fields.push(("throughput_per_sec".to_string(), Json::F64(tput)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample set.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A named collection of benchmarks producing one `BENCH_<name>.json`.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_devharness::bench::Suite;
+///
+/// let mut suite = Suite::new("doc-example");
+/// suite.bench("sum-1k", || (0..1000u64).sum::<u64>());
+/// let result = suite.results().last().unwrap();
+/// assert!(result.median_ns > 0 || result.samples_ns.iter().all(|&s| s == 0));
+/// ```
+#[derive(Debug)]
+pub struct Suite {
+    name: String,
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Suite {
+    /// A suite named `name` with [`BenchConfig::from_env`] parameters.
+    pub fn new(name: &str) -> Self {
+        Suite {
+            name: name.to_string(),
+            config: BenchConfig::from_env(),
+            results: Vec::new(),
+        }
+    }
+
+    /// A suite with explicit parameters (tests use this).
+    pub fn with_config(name: &str, config: BenchConfig) -> Self {
+        Suite {
+            name: name.to_string(),
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Results measured so far, in registration order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Measures `f` (warmup, then N timed iterations) under `id`.
+    pub fn bench<R>(&mut self, id: &str, f: impl FnMut() -> R) -> &BenchResult {
+        self.run(id, None, f)
+    }
+
+    /// Like [`Suite::bench`] with a declared per-iteration element count,
+    /// enabling the throughput (elements/sec) column.
+    pub fn bench_with_elements<R>(
+        &mut self,
+        id: &str,
+        elements: u64,
+        f: impl FnMut() -> R,
+    ) -> &BenchResult {
+        self.run(id, Some(elements), f)
+    }
+
+    fn run<R>(&mut self, id: &str, elements: Option<u64>, mut f: impl FnMut() -> R) -> &BenchResult {
+        for _ in 0..self.config.warmup_iters {
+            black_box(f());
+        }
+        let mut samples_ns = Vec::with_capacity(self.config.samples as usize);
+        for _ in 0..self.config.samples {
+            let start = Instant::now();
+            black_box(f());
+            samples_ns.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        let mut sorted = samples_ns.clone();
+        sorted.sort_unstable();
+        let result = BenchResult {
+            id: id.to_string(),
+            median_ns: percentile(&sorted, 50.0),
+            p10_ns: percentile(&sorted, 10.0),
+            p90_ns: percentile(&sorted, 90.0),
+            samples_ns,
+            elements,
+        };
+        eprintln!(
+            "bench {}/{id}: median {} (p10 {}, p90 {}){}",
+            self.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p10_ns),
+            fmt_ns(result.p90_ns),
+            result
+                .throughput_per_sec()
+                .map(|t| format!(", {:.3e} elem/s", t))
+                .unwrap_or_default(),
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Serialises the suite to a [`Json`] document (what `finish` writes).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("suite", Json::str(self.name.clone())),
+            ("warmup_iters", Json::U64(self.config.warmup_iters as u64)),
+            ("samples", Json::U64(self.config.samples as u64)),
+            (
+                "benchmarks",
+                Json::arr(self.results.iter().map(BenchResult::to_json)),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<name>.json` and returns its path.
+    ///
+    /// The output directory is `SORTMID_BENCH_DIR` when set, else the
+    /// current directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a bench run whose artefact is
+    /// silently missing would poison the perf trajectory.
+    pub fn finish(self) -> PathBuf {
+        let dir = std::env::var_os("SORTMID_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("create bench dir {}: {e}", dir.display()));
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let body = self.to_json().render();
+        std::fs::write(&path, body.as_bytes())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+        path
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config() -> BenchConfig {
+        BenchConfig {
+            warmup_iters: 1,
+            samples: 5,
+        }
+    }
+
+    #[test]
+    fn measures_and_orders_percentiles() {
+        let mut suite = Suite::with_config("unit", quiet_config());
+        let r = suite.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(r.samples_ns.len(), 5);
+        assert!(r.p10_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p90_ns);
+    }
+
+    #[test]
+    fn throughput_uses_median() {
+        let r = BenchResult {
+            id: "x".into(),
+            samples_ns: vec![2_000_000; 3],
+            median_ns: 2_000_000,
+            p10_ns: 2_000_000,
+            p90_ns: 2_000_000,
+            elements: Some(1_000),
+        };
+        let tput = r.throughput_per_sec().unwrap();
+        assert!((tput - 500_000.0).abs() < 1e-6, "{tput}");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&s, 10.0), 10);
+        assert_eq!(percentile(&s, 50.0), 30);
+        assert_eq!(percentile(&s, 90.0), 50);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn json_document_has_the_contract_fields() {
+        let mut suite = Suite::with_config("contract", quiet_config());
+        suite.bench_with_elements("t", 100, || 1 + 1);
+        let doc = suite.to_json().render();
+        for key in [
+            "\"suite\":\"contract\"",
+            "\"samples\":5",
+            "\"benchmarks\":[",
+            "\"median_ns\":",
+            "\"p10_ns\":",
+            "\"p90_ns\":",
+            "\"elements\":100",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+
+    #[test]
+    fn finish_writes_the_artifact() {
+        let dir = std::env::temp_dir().join(format!("sortmid-bench-test-{}", std::process::id()));
+        // The env var is process-global; this is the only test that sets it.
+        std::env::set_var("SORTMID_BENCH_DIR", &dir);
+        let mut suite = Suite::with_config("write-test", quiet_config());
+        suite.bench("noop", || ());
+        let path = suite.finish();
+        std::env::remove_var("SORTMID_BENCH_DIR");
+        let body = std::fs::read_to_string(&path).expect("artifact readable");
+        assert!(path.ends_with("BENCH_write-test.json"), "{}", path.display());
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal JSON document model for the bench writer.
+//!
+//! Only what `BENCH_<name>.json` needs: objects, arrays, strings, integers
+//! and floats, rendered with deterministic key order (insertion order) so
+//! diffs between PRs stay readable.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_devharness::json::Json;
+///
+/// let doc = Json::obj([
+///     ("name", Json::str("fig5")),
+///     ("samples", Json::arr([Json::U64(3), Json::U64(4)])),
+/// ]);
+/// assert_eq!(doc.render(), r#"{"name":"fig5","samples":[3,4]}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer, rendered exactly (no float rounding).
+    U64(u64),
+    /// A float, rendered via Rust's shortest-roundtrip formatting.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keeping their order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders the document as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                // JSON has no NaN/Infinity; clamp to null like serde_json.
+                if x.is_finite() {
+                    let mut s = String::new();
+                    let _ = write!(s, "{x}");
+                    // "2" would read back as an integer; keep floats floats.
+                    if !s.contains(['.', 'e', 'E']) {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::U64(18_446_744_073_709_551_615).render(), "18446744073709551615");
+        assert_eq!(Json::F64(1.5).render(), "1.5");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(Json::F64(2.0).render(), "2.0");
+        assert_eq!(Json::F64(-3.0).render(), "-3.0");
+        assert_eq!(Json::F64(0.0).render(), "0.0");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nesting_renders_in_order() {
+        let doc = Json::obj([
+            ("b", Json::U64(1)),
+            ("a", Json::arr([Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(doc.render(), r#"{"b":1,"a":[null,false]}"#);
+    }
+}

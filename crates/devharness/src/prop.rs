@@ -1,0 +1,516 @@
+//! Property-test runner over a recorded choice tape.
+//!
+//! A property is a pair of closures: a **generator** that builds a value by
+//! drawing from a [`Gen`], and a **predicate** returning `Ok(())` or
+//! `Err(reason)`. The runner records every raw `u64` the generator draws (the
+//! *choice tape*); when a case fails it minimises the tape — each entry
+//! shrinks towards zero, and generator helpers map a zero draw to the lowest
+//! value of their range — then replays the generator on the minimal tape to
+//! print a small counterexample. This is the internal-shrinking design of
+//! Hypothesis: shrinking never needs type-specific shrinkers because every
+//! generated structure shrinks through the integers that produced it.
+//!
+//! Failures report the base seed; setting `DEVHARNESS_SEED` replays the run.
+
+use crate::rng::{mix64, Xoshiro256};
+use std::fmt::Debug;
+
+/// Default base seed when `DEVHARNESS_SEED` is unset.
+const DEFAULT_SEED: u64 = 0x5EED_5EED_5EED_5EED;
+
+/// Runner configuration: case count, base seed, shrink effort.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_devharness::prop::Config;
+///
+/// let c = Config::with_cases(32);
+/// assert_eq!(c.cases, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; case `i` derives its tape from `mix64(seed ^ i)`.
+    pub seed: u64,
+    /// Cap on candidate tapes tried while minimising a counterexample.
+    pub max_shrink_attempts: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases with the environment seed.
+    ///
+    /// The seed comes from `DEVHARNESS_SEED` (decimal, or hex with a `0x`
+    /// prefix) when set, else a fixed default — test runs are deterministic
+    /// either way.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            seed: seed_from_env(),
+            max_shrink_attempts: 2_000,
+        }
+    }
+}
+
+impl Default for Config {
+    /// 64 cases with the environment seed.
+    fn default() -> Self {
+        Config::with_cases(64)
+    }
+}
+
+fn seed_from_env() -> u64 {
+    match std::env::var("DEVHARNESS_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("DEVHARNESS_SEED '{s}' is not a u64"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// The raw-draw source handed to generators: recorded draws first, then the
+/// RNG; frozen tapes (shrink replays) return 0 past the end.
+#[derive(Debug)]
+struct Tape {
+    draws: Vec<u64>,
+    pos: usize,
+    rng: Option<Xoshiro256>,
+}
+
+impl Tape {
+    fn fresh(seed: u64) -> Self {
+        Tape {
+            draws: Vec::new(),
+            pos: 0,
+            rng: Some(Xoshiro256::seed_from_u64(seed)),
+        }
+    }
+
+    fn replay(draws: &[u64]) -> Self {
+        Tape {
+            draws: draws.to_vec(),
+            pos: 0,
+            rng: None,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let v = if self.pos < self.draws.len() {
+            self.draws[self.pos]
+        } else {
+            match &mut self.rng {
+                Some(rng) => {
+                    let v = rng.next_u64();
+                    self.draws.push(v);
+                    v
+                }
+                // Frozen replay ran past the recorded tape: the maximally
+                // shrunk draw keeps the structure deterministic.
+                None => 0,
+            }
+        };
+        self.pos += 1;
+        v
+    }
+}
+
+/// The value source generators draw from.
+///
+/// Every helper maps the raw draw monotonically enough that a zero draw
+/// yields the low end of the requested range — that is what makes tape
+/// shrinking produce small counterexamples.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_devharness::prop::{check, Config};
+///
+/// check("sum is commutative", &Config::with_cases(50),
+///     |g| (g.u32_in(0..1000), g.u32_in(0..1000)),
+///     |&(a, b)| {
+///         if a + b == b + a { Ok(()) } else { Err("!".into()) }
+///     });
+/// ```
+#[derive(Debug)]
+pub struct Gen {
+    tape: Tape,
+}
+
+impl Gen {
+    /// The next raw 64-bit draw.
+    pub fn bits(&mut self) -> u64 {
+        self.tape.next()
+    }
+
+    /// A uniform `u64` in `[0, bound)`; a zero draw maps to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "u64_below bound must be positive");
+        // Multiply-shift keeps draw 0 at value 0 (no rejection loop: the
+        // tape length must not depend on the draw values).
+        (((self.bits() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// A uniform `u32` in `range`; empty ranges panic.
+    pub fn u32_in(&mut self, range: std::ops::Range<u32>) -> u32 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.u64_below((range.end - range.start) as u64) as u32
+    }
+
+    /// A uniform `i32` in `range`; empty ranges panic.
+    pub fn i32_in(&mut self, range: std::ops::Range<i32>) -> i32 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end as i64 - range.start as i64) as u64;
+        range.start + self.u64_below(span) as i32
+    }
+
+    /// A uniform `usize` in `range`; empty ranges panic.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.u64_below((range.end - range.start) as u64) as usize
+    }
+
+    /// A uniform `f64` in `[lo, hi)`; a zero draw maps to `lo`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+        let unit = (self.bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+
+    /// A uniform `f32` in `[lo, hi)`; a zero draw maps to `lo`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        self.f64_in(lo as f64, hi as f64) as f32
+    }
+
+    /// A fair boolean; a zero draw maps to `false`.
+    pub fn bool(&mut self) -> bool {
+        self.bits() & (1 << 63) != 0
+    }
+
+    /// A uniform index into a choice set of `n` alternatives; a zero draw
+    /// picks alternative 0, so list the simplest alternative first.
+    pub fn choice(&mut self, n: usize) -> usize {
+        self.usize_in(0..n)
+    }
+
+    /// One item cloned from a non-empty slice.
+    pub fn pick<T: Clone>(&mut self, items: &[T]) -> T {
+        items[self.choice(items.len())].clone()
+    }
+
+    /// A vector whose length is drawn from `len` and whose items come from
+    /// `item`; shrinking drives both the length and the items down.
+    pub fn vec<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut item: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| item(self)).collect()
+    }
+}
+
+/// Runs `prop` against `cases` values built by `gen`, shrinking and
+/// reporting the seed on failure.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when the property is falsified,
+/// with the minimal counterexample, the failure reason, the base seed and
+/// the replay instructions in the message.
+pub fn check<T: Debug>(
+    name: &str,
+    config: &Config,
+    mut gen: impl FnMut(&mut Gen) -> T,
+    mut prop: impl FnMut(&T) -> Result<(), String>,
+) {
+    for case in 0..config.cases {
+        let case_seed = mix64(config.seed ^ case as u64);
+        let mut g = Gen {
+            tape: Tape::fresh(case_seed),
+        };
+        let value = gen(&mut g);
+        if let Err(reason) = prop(&value) {
+            let tape = std::mem::take(&mut g.tape.draws);
+            let minimal = shrink(tape, config.max_shrink_attempts, &mut gen, &mut prop);
+            let mut rg = Gen {
+                tape: Tape::replay(&minimal),
+            };
+            let small = gen(&mut rg);
+            let small_reason = prop(&small).err().unwrap_or(reason);
+            panic!(
+                "property '{name}' falsified at case {case}/{} (base seed {:#018x})\n  \
+                 counterexample: {small:?}\n  \
+                 error: {small_reason}\n  \
+                 replay: DEVHARNESS_SEED={:#x} cargo test -q",
+                config.cases, config.seed, config.seed,
+            );
+        }
+    }
+}
+
+/// Greedy tape minimisation: truncate the tail, then shrink each entry
+/// towards zero (0, halving, decrement), keeping any tape that still fails.
+fn shrink<T: Debug>(
+    mut best: Vec<u64>,
+    max_attempts: u32,
+    gen: &mut impl FnMut(&mut Gen) -> T,
+    prop: &mut impl FnMut(&T) -> Result<(), String>,
+) -> Vec<u64> {
+    let mut attempts = 0u32;
+    let mut still_fails = |draws: &[u64], attempts: &mut u32| -> bool {
+        *attempts += 1;
+        let mut g = Gen {
+            tape: Tape::replay(draws),
+        };
+        let value = gen(&mut g);
+        prop(&value).is_err()
+    };
+
+    let mut improved = true;
+    while improved && attempts < max_attempts {
+        improved = false;
+
+        // Pass 1: drop suffixes (halving the cut each time) — shorter tapes
+        // mean structurally smaller values (shorter vectors, fewer items).
+        let mut cut = best.len();
+        while cut > 0 && attempts < max_attempts {
+            cut = cut.min(best.len());
+            if cut == 0 {
+                break;
+            }
+            let candidate = best[..best.len() - cut].to_vec();
+            if still_fails(&candidate, &mut attempts) {
+                best = candidate;
+                improved = true;
+            } else {
+                cut /= 2;
+            }
+        }
+
+        // Pass 2: shrink each draw towards zero — zero outright if the
+        // failure survives, else binary-search the smallest failing value.
+        for i in 0..best.len() {
+            if attempts >= max_attempts {
+                break;
+            }
+            let original = best[i];
+            if original == 0 {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate[i] = 0;
+            if still_fails(&candidate, &mut attempts) {
+                best = candidate;
+                improved = true;
+                continue;
+            }
+            let mut lo = 0u64;
+            let mut hi = original;
+            while hi - lo > 1 && attempts < max_attempts {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.clone();
+                candidate[i] = mid;
+                if still_fails(&candidate, &mut attempts) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            if hi != original {
+                best[i] = hi;
+                improved = true;
+            }
+        }
+    }
+    best
+}
+
+/// Asserts a condition inside a property predicate, returning `Err` with the
+/// stringified condition (and optional formatted context) instead of
+/// panicking — the runner needs the `Err` to drive shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property predicate; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}; {})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        check(
+            "u32_in stays in range",
+            &Config::with_cases(200),
+            |g| g.u32_in(5..100),
+            |&v| {
+                count += 1;
+                if (5..100).contains(&v) {
+                    Ok(())
+                } else {
+                    Err(format!("{v} out of range"))
+                }
+            },
+        );
+        assert_eq!(count, 200);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_counterexample() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "all values are below 10",
+                &Config::with_cases(100),
+                |g| g.u32_in(0..1000),
+                |&v| if v < 10 { Ok(()) } else { Err(format!("{v} >= 10")) },
+            );
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("falsified"), "{msg}");
+        assert!(msg.contains("base seed"), "{msg}");
+        assert!(msg.contains("DEVHARNESS_SEED"), "{msg}");
+        // Shrinking drives the counterexample to the boundary.
+        assert!(msg.contains("counterexample: 10"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimises_vectors() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "no vector sums past 100",
+                &Config::with_cases(100),
+                |g| g.vec(0..40, |g| g.u32_in(0..50)),
+                |v| {
+                    if v.iter().sum::<u32>() <= 100 {
+                        Ok(())
+                    } else {
+                        Err("sum too big".into())
+                    }
+                },
+            );
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        // The minimal failing vector has a handful of elements, not 40.
+        let counter = msg
+            .lines()
+            .find(|l| l.contains("counterexample"))
+            .expect("counterexample line");
+        let elements = counter.matches(',').count() + 1;
+        assert!(elements <= 8, "poorly shrunk: {counter}");
+    }
+
+    #[test]
+    fn zero_draw_maps_to_range_start() {
+        let mut g = Gen {
+            tape: Tape::replay(&[]),
+        };
+        assert_eq!(g.u32_in(7..30), 7);
+        assert_eq!(g.i32_in(-5..5), -5);
+        assert_eq!(g.usize_in(3..9), 3);
+        assert_eq!(g.f64_in(2.5, 9.0), 2.5);
+        assert!(!g.bool());
+        assert!(g.vec(0..10, |g| g.bits()).is_empty());
+    }
+
+    #[test]
+    fn tape_replay_reproduces_values() {
+        let mut a = Gen {
+            tape: Tape::fresh(77),
+        };
+        let va: Vec<u32> = (0..20).map(|_| a.u32_in(0..1_000_000)).collect();
+        let draws = a.tape.draws.clone();
+        let mut b = Gen {
+            tape: Tape::replay(&draws),
+        };
+        let vb: Vec<u32> = (0..20).map(|_| b.u32_in(0..1_000_000)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn macros_return_err_not_panic() {
+        fn inner(x: u32) -> Result<(), String> {
+            prop_assert!(x < 5, "x was {x}");
+            prop_assert_eq!(x % 2, 0);
+            Ok(())
+        }
+        assert!(inner(2).is_ok());
+        assert!(inner(9).unwrap_err().contains("x was 9"));
+        assert!(inner(3).unwrap_err().contains("x % 2"));
+    }
+
+    #[test]
+    fn different_base_seeds_give_different_cases() {
+        let draw = |seed: u64| {
+            let mut g = Gen {
+                tape: Tape::fresh(mix64(seed)),
+            };
+            (0..8).map(|_| g.bits()).collect::<Vec<_>>()
+        };
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        let mut g = Gen {
+            tape: Tape::fresh(0),
+        };
+        g.u64_below(0);
+    }
+}

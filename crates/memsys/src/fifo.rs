@@ -165,19 +165,31 @@ mod tests {
 
     #[test]
     fn gate_is_monotone_under_ordered_starts() {
-        use proptest::prelude::*;
-        proptest!(|(capacity in 1usize..32, deltas in proptest::collection::vec(0u64..50, 1..100))| {
-            let mut fifo = TriangleFifo::new(capacity);
-            let mut t = 0u64;
-            let mut last_gate = 0u64;
-            for d in deltas {
-                t += d;
-                fifo.record_start(t);
-                let gate = fifo.earliest_send();
-                prop_assert!(gate >= last_gate, "gate went backwards: {gate} < {last_gate}");
-                prop_assert!(gate <= t, "gate beyond the newest start");
-                last_gate = gate;
-            }
-        });
+        use sortmid_devharness::prop::{check, Config};
+        use sortmid_devharness::prop_assert;
+        check(
+            "gate_is_monotone_under_ordered_starts",
+            &Config::default(),
+            |g| {
+                (
+                    g.usize_in(1..32),
+                    g.vec(1..100, |g| g.u64_below(50)),
+                )
+            },
+            |(capacity, deltas)| {
+                let mut fifo = TriangleFifo::new(*capacity);
+                let mut t = 0u64;
+                let mut last_gate = 0u64;
+                for &d in deltas {
+                    t += d;
+                    fifo.record_start(t);
+                    let gate = fifo.earliest_send();
+                    prop_assert!(gate >= last_gate, "gate went backwards: {gate} < {last_gate}");
+                    prop_assert!(gate <= t, "gate beyond the newest start");
+                    last_gate = gate;
+                }
+                Ok(())
+            },
+        );
     }
 }

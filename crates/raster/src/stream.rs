@@ -188,7 +188,8 @@ pub fn rasterize(triangles: &[Triangle], registry: &TextureRegistry, screen: Rec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sortmid_devharness::prop::{check, Config};
+    use sortmid_devharness::prop_assert_eq;
     use sortmid_geom::Vertex;
     use sortmid_texture::TextureDesc;
 
@@ -291,24 +292,30 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Fragment count is invariant under triangle order permutation
-        /// (rasterization is per-triangle), and every fragment's pixel is
-        /// covered by its triangle's bbox.
-        #[test]
-        fn prop_fragment_totals_are_per_triangle(
-            xs in proptest::collection::vec((0f32..56.0, 0f32..56.0), 3..12)
-        ) {
-            let reg = registry();
-            let tris: Vec<Triangle> = xs
-                .windows(3)
-                .map(|w| tri(0, [(w[0].0, w[0].1), (w[1].0 + 4.0, w[1].1), (w[2].0, w[2].1 + 4.0)]))
-                .collect();
-            let forward = rasterize(&tris, &reg, Rect::of_size(64, 64));
-            let mut reversed_tris = tris.clone();
-            reversed_tris.reverse();
-            let backward = rasterize(&reversed_tris, &reg, Rect::of_size(64, 64));
-            prop_assert_eq!(forward.fragment_count(), backward.fragment_count());
-        }
+    /// Fragment count is invariant under triangle order permutation
+    /// (rasterization is per-triangle), and every fragment's pixel is
+    /// covered by its triangle's bbox.
+    #[test]
+    fn prop_fragment_totals_are_per_triangle() {
+        check(
+            "fragment_totals_are_per_triangle",
+            &Config::default(),
+            |g| g.vec(3..12, |g| (g.f32_in(0.0, 56.0), g.f32_in(0.0, 56.0))),
+            |xs| {
+                let reg = registry();
+                let tris: Vec<Triangle> = xs
+                    .windows(3)
+                    .map(|w| {
+                        tri(0, [(w[0].0, w[0].1), (w[1].0 + 4.0, w[1].1), (w[2].0, w[2].1 + 4.0)])
+                    })
+                    .collect();
+                let forward = rasterize(&tris, &reg, Rect::of_size(64, 64));
+                let mut reversed_tris = tris.clone();
+                reversed_tris.reverse();
+                let backward = rasterize(&reversed_tris, &reg, Rect::of_size(64, 64));
+                prop_assert_eq!(forward.fragment_count(), backward.fragment_count());
+                Ok(())
+            },
+        );
     }
 }

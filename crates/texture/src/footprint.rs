@@ -152,15 +152,28 @@ mod tests {
 
     #[test]
     fn footprints_stay_inside_the_registry() {
-        use proptest::prelude::*;
+        use sortmid_devharness::prop::{check, Config};
+        use sortmid_devharness::prop_assert;
         let (reg, id) = setup(128, 32);
         let total = reg.total_texels() as u32;
         let s = TrilinearSampler::new(&reg);
-        proptest!(|(u in -500.0f32..500.0, v in -500.0f32..500.0, lod in -2.0f32..12.0)| {
-            for addr in s.footprint(id, u, v, lod) {
-                prop_assert!(addr.index() < total);
-            }
-        });
+        check(
+            "footprints_stay_inside_the_registry",
+            &Config::default(),
+            |g| {
+                (
+                    g.f32_in(-500.0, 500.0),
+                    g.f32_in(-500.0, 500.0),
+                    g.f32_in(-2.0, 12.0),
+                )
+            },
+            |&(u, v, lod)| {
+                for addr in s.footprint(id, u, v, lod) {
+                    prop_assert!(addr.index() < total);
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -287,7 +287,8 @@ impl TextureRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sortmid_devharness::prop::{check, Config};
+    use sortmid_devharness::{prop_assert, prop_assert_eq};
     use std::collections::HashSet;
 
     fn reg_one(w: u32, h: u32) -> (TextureRegistry, TextureId) {
@@ -440,40 +441,50 @@ mod tests {
         assert!(m.total_texels() > r.total_texels());
     }
 
-    proptest! {
-        /// The address map is a bijection between (u, v) pairs and a
-        /// contiguous range of blocked addresses on every level.
-        #[test]
-        fn prop_level_addressing_is_injective(
-            wlog in 0u32..7,
-            hlog in 0u32..7,
-            level in 0u32..3,
-        ) {
-            let w = 1u32 << wlog;
-            let h = 1u32 << hlog;
-            let (reg, id) = reg_one(w, h);
-            let level = level.min(reg.mip_levels(id) - 1);
-            let (lw, lh) = reg.level_dims(id, level);
-            let mut seen = HashSet::new();
-            for v in 0..lh as i32 {
-                for u in 0..lw as i32 {
-                    prop_assert!(seen.insert(reg.texel_addr(id, level, u, v)));
+    /// The address map is a bijection between (u, v) pairs and a
+    /// contiguous range of blocked addresses on every level.
+    #[test]
+    fn prop_level_addressing_is_injective() {
+        check(
+            "level_addressing_is_injective",
+            &Config::default(),
+            |g| (g.u32_in(0..7), g.u32_in(0..7), g.u32_in(0..3)),
+            |&(wlog, hlog, level)| {
+                let w = 1u32 << wlog;
+                let h = 1u32 << hlog;
+                let (reg, id) = reg_one(w, h);
+                let level = level.min(reg.mip_levels(id) - 1);
+                let (lw, lh) = reg.level_dims(id, level);
+                let mut seen = HashSet::new();
+                for v in 0..lh as i32 {
+                    for u in 0..lw as i32 {
+                        prop_assert!(seen.insert(reg.texel_addr(id, level, u, v)));
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
+    }
 
-        /// Every 4x4-aligned block maps onto exactly one line.
-        #[test]
-        fn prop_block_line_coherence(u0 in 0i32..28, v0 in 0i32..28) {
-            let (reg, id) = reg_one(32, 32);
-            let bu = (u0 / 4) * 4;
-            let bv = (v0 / 4) * 4;
-            let line = reg.texel_addr(id, 0, bu, bv).line();
-            for dv in 0..4 {
-                for du in 0..4 {
-                    prop_assert_eq!(reg.texel_addr(id, 0, bu + du, bv + dv).line(), line);
+    /// Every 4x4-aligned block maps onto exactly one line.
+    #[test]
+    fn prop_block_line_coherence() {
+        check(
+            "block_line_coherence",
+            &Config::default(),
+            |g| (g.i32_in(0..28), g.i32_in(0..28)),
+            |&(u0, v0)| {
+                let (reg, id) = reg_one(32, 32);
+                let bu = (u0 / 4) * 4;
+                let bv = (v0 / 4) * 4;
+                let line = reg.texel_addr(id, 0, bu, bv).line();
+                for dv in 0..4 {
+                    for du in 0..4 {
+                        prop_assert_eq!(reg.texel_addr(id, 0, bu + du, bv + dv).line(), line);
+                    }
                 }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 gate: offline release build + tests (+ clippy when available).
+#
+# The workspace has no registry dependencies, so everything here must pass
+# on a machine with no network access. Run from anywhere:
+#
+#   scripts/tier1.sh
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint step"
+fi
+
+echo "tier1: OK"

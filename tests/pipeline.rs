@@ -185,3 +185,56 @@ fn deterministic_across_runs() {
     };
     assert_eq!(mk(), mk());
 }
+
+#[test]
+fn sweep_reports_are_identical_across_host_thread_counts() {
+    // Host parallelism is a scheduling detail: the same MachineConfig grid
+    // over the same FragmentStream must produce byte-identical RunReports
+    // on 1 thread and on every available core.
+    use sortmid::{run_sweep_with_threads, SweepGrid};
+
+    let stream = SceneBuilder::benchmark(Benchmark::Quake)
+        .scale(SCALE)
+        .build()
+        .rasterize();
+    let configs = SweepGrid::new()
+        .processors([1, 4, 16])
+        .distributions([Distribution::block(16), Distribution::sli(4)])
+        .buffers([100, 10_000])
+        .build();
+    let serial = run_sweep_with_threads(&stream, &configs, 1);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let parallel = run_sweep_with_threads(&stream, &configs, threads);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "config {i} diverged between 1 and {threads} host threads");
+        // Belt and braces: the Debug rendering (every field, every node
+        // counter) must match byte for byte too.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "config {i} Debug differs");
+    }
+}
+
+#[test]
+fn warm_cache_second_frame_strictly_reduces_misses() {
+    // Machine::run_sequence keeps node caches warm across frames. Replaying
+    // an identical stream must turn some of frame 1's compulsory misses
+    // into hits: strictly fewer misses, never more cycles. Scale 0.1 keeps
+    // the per-node working set near the paper L1 capacity without tipping
+    // over it (larger scenes evict every line between reuses and frame 2
+    // re-misses everything).
+    let stream = SceneBuilder::benchmark(Benchmark::Quake)
+        .scale(0.1)
+        .build()
+        .rasterize();
+    let machine = machine(4, Distribution::block(16), CacheKind::PaperL1, 1.0);
+    let reports = machine.run_sequence(&[&stream, &stream]);
+    assert_eq!(reports.len(), 2);
+    let cold = reports[0].cache_totals().misses();
+    let warm = reports[1].cache_totals().misses();
+    assert!(cold > 0, "frame 1 must have compulsory misses");
+    assert!(
+        warm < cold,
+        "warm caches must strictly reduce misses: frame 2 {warm} vs frame 1 {cold}"
+    );
+    assert!(reports[1].total_cycles() <= reports[0].total_cycles());
+}

@@ -1,12 +1,15 @@
-//! Cross-crate property tests on randomized machine configurations.
+//! Cross-crate property tests on randomized machine configurations, running
+//! on the in-repo `sortmid-devharness` runner (fully offline).
 
-use proptest::prelude::*;
 use sortmid::{CacheKind, Distribution, Machine, MachineConfig};
+use sortmid_devharness::prop::{check, Config, Gen};
+use sortmid_devharness::{prop_assert, prop_assert_eq};
+use sortmid_geom::Rect;
 use sortmid_raster::FragmentStream;
 use sortmid_scene::{Benchmark, SceneBuilder};
 use std::sync::OnceLock;
 
-/// One small shared stream (building scenes per proptest case is too slow).
+/// One small shared stream (building scenes per property case is too slow).
 fn stream() -> &'static FragmentStream {
     static STREAM: OnceLock<FragmentStream> = OnceLock::new();
     STREAM.get_or_init(|| {
@@ -17,107 +20,181 @@ fn stream() -> &'static FragmentStream {
     })
 }
 
-fn arb_distribution() -> impl Strategy<Value = Distribution> {
-    prop_oneof![
-        (1u32..200).prop_map(Distribution::block),
-        (1u32..64).prop_map(Distribution::sli),
-    ]
+/// Block with width 1..200 or SLI with 1..64 lines (block listed first so
+/// shrinking lands on `block-1`).
+fn arb_distribution(g: &mut Gen) -> Distribution {
+    match g.choice(2) {
+        0 => Distribution::block(g.u32_in(1..200)),
+        _ => Distribution::sli(g.u32_in(1..64)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn machine_cases() -> Config {
+    Config::with_cases(24)
+}
 
-    /// Every fragment is drawn exactly once whatever the configuration.
-    #[test]
-    fn fragments_conserved(
-        dist in arb_distribution(),
-        procs in 1u32..96,
-        buffer in prop_oneof![Just(1usize), Just(7), Just(100), Just(10_000)],
-    ) {
-        let s = stream();
-        let config = MachineConfig::builder()
-            .processors(procs)
-            .distribution(dist)
-            .cache(CacheKind::PaperL1)
-            .bus_ratio(1.0)
-            .triangle_buffer(buffer)
-            .build()
-            .expect("valid");
-        let report = Machine::new(config).run(s);
-        let drawn: u64 = report.nodes().iter().map(|n| n.pixels).sum();
-        prop_assert_eq!(drawn, s.fragment_count());
-    }
-
-    /// Machine time is monotone: a bigger triangle buffer never slows the
-    /// machine down.
-    #[test]
-    fn buffer_monotonicity(
-        dist in arb_distribution(),
-        procs in 2u32..64,
-    ) {
-        let s = stream();
-        let time = |buffer: usize| {
+/// Every fragment is drawn exactly once whatever the configuration.
+#[test]
+fn fragments_conserved() {
+    check(
+        "fragments_conserved",
+        &machine_cases(),
+        |g| {
+            (
+                arb_distribution(g),
+                g.u32_in(1..96),
+                g.pick(&[1usize, 7, 100, 10_000]),
+            )
+        },
+        |(dist, procs, buffer)| {
+            let s = stream();
             let config = MachineConfig::builder()
-                .processors(procs)
+                .processors(*procs)
                 .distribution(dist.clone())
                 .cache(CacheKind::PaperL1)
                 .bus_ratio(1.0)
-                .triangle_buffer(buffer)
+                .triangle_buffer(*buffer)
                 .build()
                 .expect("valid");
-            Machine::new(config).run(s).total_cycles()
-        };
-        let small = time(2);
-        let medium = time(50);
-        let large = time(10_000);
-        prop_assert!(medium <= small, "50-entry ({medium}) vs 2-entry ({small})");
-        prop_assert!(large <= medium, "ideal ({large}) vs 50-entry ({medium})");
-    }
+            let report = Machine::new(config).run(s);
+            let drawn: u64 = report.nodes().iter().map(|n| n.pixels).sum();
+            prop_assert_eq!(drawn, s.fragment_count());
+            Ok(())
+        },
+    );
+}
 
-    /// A perfect cache is a strict lower bound on machine time, and the
-    /// texel traffic of a real cache is at least the unique-line floor.
-    #[test]
-    fn perfect_cache_is_a_lower_bound(
-        dist in arb_distribution(),
-        procs in 1u32..64,
-    ) {
-        let s = stream();
-        let run = |cache: CacheKind| {
+/// Machine time is monotone: a bigger triangle buffer never slows the
+/// machine down.
+#[test]
+fn buffer_monotonicity() {
+    check(
+        "buffer_monotonicity",
+        &machine_cases(),
+        |g| (arb_distribution(g), g.u32_in(2..64)),
+        |(dist, procs)| {
+            let s = stream();
+            let time = |buffer: usize| {
+                let config = MachineConfig::builder()
+                    .processors(*procs)
+                    .distribution(dist.clone())
+                    .cache(CacheKind::PaperL1)
+                    .bus_ratio(1.0)
+                    .triangle_buffer(buffer)
+                    .build()
+                    .expect("valid");
+                Machine::new(config).run(s).total_cycles()
+            };
+            let small = time(2);
+            let medium = time(50);
+            let large = time(10_000);
+            prop_assert!(medium <= small, "50-entry ({medium}) vs 2-entry ({small})");
+            prop_assert!(large <= medium, "ideal ({large}) vs 50-entry ({medium})");
+            Ok(())
+        },
+    );
+}
+
+/// A perfect cache is a strict lower bound on machine time, and the
+/// texel traffic of a real cache is at least the unique-line floor.
+#[test]
+fn perfect_cache_is_a_lower_bound() {
+    check(
+        "perfect_cache_is_a_lower_bound",
+        &machine_cases(),
+        |g| (arb_distribution(g), g.u32_in(1..64)),
+        |(dist, procs)| {
+            let s = stream();
+            let run = |cache: CacheKind| {
+                let config = MachineConfig::builder()
+                    .processors(*procs)
+                    .distribution(dist.clone())
+                    .cache(cache)
+                    .bus_ratio(1.0)
+                    .build()
+                    .expect("valid");
+                Machine::new(config).run(s)
+            };
+            let perfect = run(CacheKind::Perfect);
+            let real = run(CacheKind::PaperL1);
+            prop_assert!(perfect.total_cycles() <= real.total_cycles());
+            prop_assert!(real.texel_to_fragment() >= 0.0);
+            Ok(())
+        },
+    );
+}
+
+/// Total routed + discarded equals (procs x live triangles): broadcast
+/// accounting never loses a primitive.
+#[test]
+fn broadcast_accounting() {
+    check(
+        "broadcast_accounting",
+        &machine_cases(),
+        |g| (arb_distribution(g), g.u32_in(1..32)),
+        |(dist, procs)| {
+            let s = stream();
+            let live = s.triangles().iter().filter(|t| !t.is_culled()).count() as u64;
             let config = MachineConfig::builder()
-                .processors(procs)
+                .processors(*procs)
                 .distribution(dist.clone())
-                .cache(cache)
-                .bus_ratio(1.0)
+                .cache(CacheKind::Perfect)
                 .build()
                 .expect("valid");
-            Machine::new(config).run(s)
-        };
-        let perfect = run(CacheKind::Perfect);
-        let real = run(CacheKind::PaperL1);
-        prop_assert!(perfect.total_cycles() <= real.total_cycles());
-        prop_assert!(real.texel_to_fragment() >= 0.0);
-    }
+            let report = Machine::new(config).run(s);
+            let handled: u64 = report
+                .nodes()
+                .iter()
+                .map(|n| n.triangles + n.discarded)
+                .sum();
+            prop_assert_eq!(handled, live * *procs as u64);
+            prop_assert_eq!(
+                report.triangles_routed(),
+                report.nodes().iter().map(|n| n.triangles).sum::<u64>()
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Total routed + discarded equals (procs x live triangles): broadcast
-    /// accounting never loses a primitive.
-    #[test]
-    fn broadcast_accounting(dist in arb_distribution(), procs in 1u32..32) {
-        let s = stream();
-        let live = s.triangles().iter().filter(|t| !t.is_culled()).count() as u64;
-        let config = MachineConfig::builder()
-            .processors(procs)
-            .distribution(dist)
-            .cache(CacheKind::Perfect)
-            .build()
-            .expect("valid");
-        let report = Machine::new(config).run(s);
-        let handled: u64 = report
-            .nodes()
-            .iter()
-            .map(|n| n.triangles + n.discarded)
-            .sum();
-        prop_assert_eq!(handled, live * procs as u64);
-        prop_assert_eq!(report.triangles_routed(),
-            report.nodes().iter().map(|n| n.triangles).sum::<u64>());
-    }
+/// Tiling invariant: for block(w) and sli(g) at every paper machine size,
+/// each screen pixel is owned by exactly one node — the owner is always a
+/// valid node index, and the routing layer agrees (a one-pixel bounding box
+/// overlaps exactly the owner's region and nobody else's).
+#[test]
+fn tiling_partitions_the_screen() {
+    const PROC_COUNTS: [u32; 4] = [1, 4, 16, 64];
+    check(
+        "tiling_partitions_the_screen",
+        &Config::with_cases(48),
+        |g| {
+            (
+                arb_distribution(g),
+                (g.i32_in(0..1536), g.i32_in(0..1152)),
+            )
+        },
+        |(dist, (px, py))| {
+            let (px, py) = (*px, *py);
+            for procs in PROC_COUNTS {
+                // A 12x12 patch around the sampled point: exhaustive over
+                // the patch, sampled over the screen.
+                for y in py..py + 12 {
+                    for x in px..px + 12 {
+                        let owner = dist.owner(x, y, procs);
+                        prop_assert!(
+                            owner < procs,
+                            "{dist} assigned ({x},{y}) to node {owner} of {procs}"
+                        );
+                        let mask = dist.overlap_mask(&Rect::new(x, y, x + 1, y + 1), procs);
+                        prop_assert_eq!(
+                            mask,
+                            1u128 << owner,
+                            "one-pixel bbox at ({x},{y}) must route only to its owner"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
 }

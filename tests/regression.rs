@@ -81,3 +81,47 @@ fn perfect_cache_tiny_buffer_is_pinned() {
     assert_eq!(r.cache_totals().misses(), 0);
     assert_eq!(r.triangles_routed(), 891);
 }
+
+/// Regression for the seed's tier-1 failure: the workspace pulled `proptest`
+/// and `criterion` from crates-io, so `cargo build` died at dependency
+/// resolution on any machine without registry access and *no* test could
+/// even compile. Every dependency in every manifest must resolve inside the
+/// repository (a `path =` entry, or `workspace = true` pointing at one).
+#[test]
+fn workspace_manifests_resolve_offline() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        let dir = entry.expect("dir entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(manifests.len() >= 11, "expected the whole workspace, got {manifests:?}");
+
+    for manifest in manifests {
+        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
+        let mut in_dep_section = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_dep_section = line.contains("dependencies");
+                continue;
+            }
+            if !in_dep_section || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let local = line.contains("workspace = true")
+                || line.ends_with(".workspace = true")
+                || line.contains("path =");
+            assert!(
+                local,
+                "{}:{}: registry dependency '{}' would break offline builds",
+                manifest.display(),
+                lineno + 1,
+                line
+            );
+        }
+    }
+}
