@@ -1,0 +1,116 @@
+//! CI validator for `BENCH_*.json` artefacts.
+//!
+//! Parses every `BENCH_*.json` in a directory (argument, or the current
+//! directory) with the devharness JSON reader and checks the schema that
+//! [`sortmid_devharness::bench::Suite`] emits: top-level `suite`,
+//! `warmup_iters`, `samples`, and a `benchmarks` array whose entries carry
+//! `id`, `median_ns`, `p10_ns`, `p90_ns` and a non-empty `samples_ns`
+//! array. Exits non-zero (listing every problem) if any artefact is
+//! malformed, so a bench binary that silently emits garbage fails tier-1.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use sortmid_devharness::json::Json;
+
+/// Checks one parsed artefact, appending human-readable problems.
+fn check_doc(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    let mut need = |key: &str, ok: bool| {
+        if !ok {
+            problems.push(format!("{name}: missing or mistyped key '{key}'"));
+        }
+    };
+    need("suite", doc.get("suite").and_then(Json::as_str).is_some());
+    need(
+        "warmup_iters",
+        doc.get("warmup_iters").and_then(Json::as_u64).is_some(),
+    );
+    need("samples", doc.get("samples").and_then(Json::as_u64).is_some());
+
+    let Some(benches) = doc.get("benchmarks").and_then(Json::as_arr) else {
+        problems.push(format!("{name}: missing or mistyped key 'benchmarks'"));
+        return;
+    };
+    if benches.is_empty() {
+        problems.push(format!("{name}: 'benchmarks' is empty"));
+    }
+    for (i, b) in benches.iter().enumerate() {
+        let id = b.get("id").and_then(Json::as_str);
+        let label = id.map_or_else(|| format!("{name}#{i}"), |id| format!("{name}/{id}"));
+        if id.is_none() {
+            problems.push(format!("{label}: missing or mistyped key 'id'"));
+        }
+        for key in ["median_ns", "p10_ns", "p90_ns"] {
+            if b.get(key).and_then(Json::as_u64).is_none() {
+                problems.push(format!("{label}: missing or mistyped key '{key}'"));
+            }
+        }
+        match b.get("samples_ns").and_then(Json::as_arr) {
+            None => problems.push(format!("{label}: missing or mistyped key 'samples_ns'")),
+            Some([]) => problems.push(format!("{label}: 'samples_ns' is empty")),
+            Some(s) => {
+                if s.iter().any(|v| v.as_u64().is_none()) {
+                    problems.push(format!("{label}: non-integer entry in 'samples_ns'"));
+                }
+            }
+        }
+    }
+}
+
+fn run(dir: &Path) -> Result<usize, String> {
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    entries.sort();
+
+    for path in &entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                problems.push(format!("{name}: unreadable: {e}"));
+                continue;
+            }
+        };
+        match Json::parse(&text) {
+            Ok(doc) => {
+                check_doc(&name, &doc, &mut problems);
+                checked += 1;
+            }
+            Err(e) => problems.push(format!("{name}: {e}")),
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(checked)
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    match run(Path::new(&dir)) {
+        Ok(0) => {
+            eprintln!("bench_check: no BENCH_*.json artefacts found in {dir}");
+            ExitCode::FAILURE
+        }
+        Ok(n) => {
+            println!("bench_check: {n} artefact(s) OK in {dir}");
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            eprintln!("bench_check: invalid artefacts:\n{problems}");
+            ExitCode::FAILURE
+        }
+    }
+}

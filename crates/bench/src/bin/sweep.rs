@@ -1,0 +1,96 @@
+//! Sweep bench: end-to-end wall time of a Figure-5-shaped config grid.
+//!
+//! Every figure in the paper is a sweep of dozens of machine configurations
+//! over one fragment stream. This bench times the whole grid — routing,
+//! partitioning and simulation for every config — so the perf trajectory
+//! captures sweep throughput, not just single-machine speed.
+//!
+//! Two series are emitted into `BENCH_sweep.json`:
+//!
+//! * `grid/shared-plan` — [`run_sweep_with_threads`]: configs grouped by
+//!   `(distribution, processors)`, one shared [`RoutingPlan`] per group;
+//! * `grid/per-config` — the pre-optimization baseline: every config
+//!   re-derives per-fragment ownership and re-partitions the stream from
+//!   scratch (what `run_sweep` did before routing plans existed).
+//!
+//! The ratio of the two medians is the plan-reuse speedup on this grid.
+
+use sortmid::{run_sweep_with_threads, CacheKind, Distribution, Machine, MachineConfig, SweepGrid};
+use sortmid_bench::stream;
+use sortmid_devharness::Suite;
+use sortmid_raster::FragmentStream;
+use sortmid_scene::Benchmark;
+use std::hint::black_box;
+
+/// The reference grid: the shape of the Figure 5/7 sweeps (processor counts
+/// × distributions) with the cache and buffer axes the ablations add.
+fn reference_grid() -> Vec<MachineConfig> {
+    SweepGrid::new()
+        .processors([4, 16, 64])
+        .distributions([
+            Distribution::block(8),
+            Distribution::block(16),
+            Distribution::block(32),
+            Distribution::sli(1),
+            Distribution::sli(4),
+        ])
+        .caches([CacheKind::Perfect, CacheKind::PaperL1])
+        .buffers([100, 10_000])
+        .build()
+}
+
+/// The pre-plan sweep: every config runs [`Machine::run`] independently,
+/// re-deriving ownership per fragment, on the same host-thread schedule.
+fn run_grid_per_config(
+    stream: &FragmentStream,
+    configs: &[MachineConfig],
+    threads: usize,
+) -> Vec<Option<sortmid::RunReport>> {
+    let mut out: Vec<Option<sortmid::RunReport>> = vec![None; configs.len()];
+    let chunk = configs.len().div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        for (slots, cfgs) in out.chunks_mut(chunk).zip(configs.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, config) in slots.iter_mut().zip(cfgs) {
+                    *slot = Some(Machine::new(config.clone()).run(stream));
+                }
+            });
+        }
+    });
+    out
+}
+
+fn main() {
+    let s = stream(Benchmark::Quake);
+    let configs = reference_grid();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    eprintln!(
+        "sweep bench: {} configs, {} fragments, {} host threads",
+        configs.len(),
+        s.fragment_count(),
+        threads
+    );
+
+    let mut suite = Suite::new("sweep");
+    let grid_work = s.fragment_count() * configs.len() as u64;
+    suite.bench_with_elements("grid/shared-plan", grid_work, || {
+        black_box(run_sweep_with_threads(&s, &configs, threads))
+    });
+    suite.bench_with_elements("grid/per-config", grid_work, || {
+        black_box(run_grid_per_config(&s, &configs, threads))
+    });
+
+    let results = suite.results();
+    if let [plan, direct] = results {
+        let speedup = direct.median_ns as f64 / plan.median_ns.max(1) as f64;
+        println!(
+            "\nsweep grid ({} configs): shared-plan {:.1} ms vs per-config {:.1} ms -> {speedup:.2}x",
+            configs.len(),
+            plan.median_ns as f64 / 1e6,
+            direct.median_ns as f64 / 1e6,
+        );
+    }
+    suite.finish();
+}

@@ -1,0 +1,209 @@
+//! Concrete enum dispatch over the built-in cache models.
+//!
+//! The machine probes a node's cache 8 times per fragment (once per texel
+//! of the trilinear footprint). Through `Box<dyn LineCache>` every probe is
+//! a virtual call the compiler cannot inline; [`AnyCache`] replaces that
+//! with a `match` on a concrete enum, so the dominant [`SetAssocCache`] and
+//! [`PerfectCache`] probes inline straight into the texel loop.
+//!
+//! Exotic or user-provided models still fit: the [`AnyCache::Dyn`] variant
+//! carries any boxed [`LineCache`], paying the old virtual call only for
+//! caches the enum does not know.
+
+use crate::classify::ClassifyingCache;
+use crate::hierarchy::TwoLevelCache;
+use crate::perfect::PerfectCache;
+use crate::set_assoc::SetAssocCache;
+use crate::stats::{CacheStats, MissBreakdown};
+use crate::victim::VictimCache;
+use crate::LineCache;
+
+/// A cache model dispatched by `match` instead of vtable.
+///
+/// Implements [`LineCache`] itself, so it drops in anywhere a boxed cache
+/// was used; the difference is that `access_line` on the known variants is
+/// a direct (inlinable) call.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_cache::{AnyCache, LineCache, PerfectCache};
+///
+/// let mut cache = AnyCache::from(PerfectCache::new());
+/// assert!(cache.access_line(7));
+/// assert_eq!(cache.stats().misses(), 0);
+/// ```
+pub enum AnyCache {
+    /// The always-hit model.
+    Perfect(PerfectCache),
+    /// The set-associative LRU simulator (the paper's L1).
+    SetAssoc(SetAssocCache),
+    /// Set-associative with three-C miss classification.
+    Classifying(ClassifyingCache),
+    /// The two-level hierarchy.
+    TwoLevel(TwoLevelCache),
+    /// Set-associative L1 plus victim buffer.
+    Victim(VictimCache),
+    /// Escape hatch: any other [`LineCache`], dispatched virtually.
+    Dyn(Box<dyn LineCache + Send>),
+}
+
+impl std::fmt::Debug for AnyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyCache::Perfect(c) => c.fmt(f),
+            AnyCache::SetAssoc(c) => c.fmt(f),
+            AnyCache::Classifying(c) => c.fmt(f),
+            AnyCache::TwoLevel(c) => c.fmt(f),
+            AnyCache::Victim(c) => c.fmt(f),
+            AnyCache::Dyn(_) => f.write_str("AnyCache::Dyn(..)"),
+        }
+    }
+}
+
+impl From<PerfectCache> for AnyCache {
+    fn from(c: PerfectCache) -> Self {
+        AnyCache::Perfect(c)
+    }
+}
+
+impl From<SetAssocCache> for AnyCache {
+    fn from(c: SetAssocCache) -> Self {
+        AnyCache::SetAssoc(c)
+    }
+}
+
+impl From<ClassifyingCache> for AnyCache {
+    fn from(c: ClassifyingCache) -> Self {
+        AnyCache::Classifying(c)
+    }
+}
+
+impl From<TwoLevelCache> for AnyCache {
+    fn from(c: TwoLevelCache) -> Self {
+        AnyCache::TwoLevel(c)
+    }
+}
+
+impl From<VictimCache> for AnyCache {
+    fn from(c: VictimCache) -> Self {
+        AnyCache::Victim(c)
+    }
+}
+
+impl From<Box<dyn LineCache + Send>> for AnyCache {
+    fn from(c: Box<dyn LineCache + Send>) -> Self {
+        AnyCache::Dyn(c)
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $c:ident => $body:expr) => {
+        match $self {
+            AnyCache::Perfect($c) => $body,
+            AnyCache::SetAssoc($c) => $body,
+            AnyCache::Classifying($c) => $body,
+            AnyCache::TwoLevel($c) => $body,
+            AnyCache::Victim($c) => $body,
+            AnyCache::Dyn($c) => $body,
+        }
+    };
+}
+
+impl LineCache for AnyCache {
+    #[inline]
+    fn access_line(&mut self, line: u32) -> bool {
+        match self {
+            AnyCache::Perfect(c) => c.access_line(line),
+            AnyCache::SetAssoc(c) => c.access_line(line),
+            AnyCache::Classifying(c) => c.access_line(line),
+            AnyCache::TwoLevel(c) => c.access_line(line),
+            AnyCache::Victim(c) => c.access_line(line),
+            AnyCache::Dyn(c) => c.access_line(line),
+        }
+    }
+
+    #[inline]
+    fn stats(&self) -> &CacheStats {
+        dispatch!(self, c => c.stats())
+    }
+
+    #[inline]
+    fn external_fetches(&self) -> u64 {
+        dispatch!(self, c => c.external_fetches())
+    }
+
+    fn breakdown(&self) -> Option<MissBreakdown> {
+        // UFCS: `ClassifyingCache` also has an *inherent* `breakdown`
+        // returning the bare struct, which would shadow the trait method.
+        match self {
+            AnyCache::Perfect(c) => LineCache::breakdown(c),
+            AnyCache::SetAssoc(c) => LineCache::breakdown(c),
+            AnyCache::Classifying(c) => LineCache::breakdown(c),
+            AnyCache::TwoLevel(c) => LineCache::breakdown(c),
+            AnyCache::Victim(c) => LineCache::breakdown(c),
+            AnyCache::Dyn(c) => c.as_ref().breakdown(),
+        }
+    }
+
+    fn reset(&mut self) {
+        dispatch!(self, c => c.reset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+
+    fn all_kinds() -> Vec<AnyCache> {
+        vec![
+            AnyCache::from(PerfectCache::new()),
+            AnyCache::from(SetAssocCache::new(CacheGeometry::paper_l1())),
+            AnyCache::from(ClassifyingCache::new(CacheGeometry::paper_l1())),
+            AnyCache::from(TwoLevelCache::new(
+                CacheGeometry::paper_l1(),
+                CacheGeometry::paper_l2(),
+            )),
+            AnyCache::from(VictimCache::new(CacheGeometry::paper_l1(), 4)),
+            AnyCache::from(Box::new(PerfectCache::new()) as Box<dyn LineCache + Send>),
+        ]
+    }
+
+    #[test]
+    fn enum_behaves_like_the_inner_model() {
+        for mut any in all_kinds() {
+            any.access_line(3);
+            any.access_line(3);
+            assert_eq!(any.stats().accesses(), 2, "{any:?}");
+            // Second access to the same line hits in every model.
+            assert!(any.stats().hits() >= 1, "{any:?}");
+            any.reset();
+            assert_eq!(any.stats().accesses(), 0, "{any:?}");
+        }
+    }
+
+    #[test]
+    fn enum_matches_direct_set_assoc() {
+        let geometry = CacheGeometry::new(512, 2, 64).unwrap();
+        let mut direct = SetAssocCache::new(geometry);
+        let mut via_enum = AnyCache::from(SetAssocCache::new(geometry));
+        let mut x = 1u32;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let line = (x >> 16) % 96;
+            assert_eq!(direct.access_line(line), via_enum.access_line(line));
+        }
+        assert_eq!(direct.stats().misses(), via_enum.stats().misses());
+    }
+
+    #[test]
+    fn classifying_breakdown_survives_dispatch() {
+        let mut any = AnyCache::from(ClassifyingCache::new(CacheGeometry::paper_l1()));
+        any.access_line(1);
+        let b = any.breakdown().expect("classifying model tracks misses");
+        assert_eq!(b.compulsory, 1);
+        // Non-classifying models report no breakdown.
+        assert!(AnyCache::from(PerfectCache::new()).breakdown().is_none());
+    }
+}

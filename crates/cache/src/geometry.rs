@@ -119,6 +119,7 @@ impl CacheGeometry {
     }
 
     /// The set index of a line address.
+    #[inline]
     pub fn set_of(&self, line: u32) -> u32 {
         line & (self.sets() - 1)
     }

@@ -59,6 +59,7 @@ impl TwoLevelCache {
 }
 
 impl LineCache for TwoLevelCache {
+    #[inline]
     fn access_line(&mut self, line: u32) -> bool {
         let hit = self.l1.access_line(line);
         if !hit {

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod classify;
+pub mod dispatch;
 pub mod geometry;
 pub mod hierarchy;
 pub mod perfect;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod victim;
 
 pub use classify::ClassifyingCache;
+pub use dispatch::AnyCache;
 pub use geometry::{CacheGeometry, CacheGeometryError};
 pub use hierarchy::TwoLevelCache;
 pub use perfect::PerfectCache;

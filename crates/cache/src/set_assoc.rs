@@ -27,6 +27,11 @@ const EMPTY: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
+    /// `sets() - 1`, precomputed: the per-access set lookup must not pay
+    /// the division hiding inside [`CacheGeometry::sets`].
+    set_mask: u32,
+    /// `geometry.ways()`, precomputed for the same reason.
+    ways: usize,
     /// `sets * ways` tags, each set's ways contiguous in recency order.
     tags: Vec<u32>,
     stats: CacheStats,
@@ -37,6 +42,8 @@ impl SetAssocCache {
     pub fn new(geometry: CacheGeometry) -> Self {
         SetAssocCache {
             geometry,
+            set_mask: geometry.sets() - 1,
+            ways: geometry.ways() as usize,
             tags: vec![EMPTY; (geometry.sets() * geometry.ways()) as usize],
             stats: CacheStats::new(),
         }
@@ -63,15 +70,20 @@ impl SetAssocCache {
 }
 
 impl LineCache for SetAssocCache {
+    #[inline]
     fn access_line(&mut self, line: u32) -> bool {
         debug_assert_ne!(line, EMPTY, "line address clashes with the empty sentinel");
-        let ways = self.geometry.ways() as usize;
-        let base = self.geometry.set_of(line) as usize * ways;
+        let ways = self.ways;
+        let base = (line & self.set_mask) as usize * ways;
         let set = &mut self.tags[base..base + ways];
         let hit = match set.iter().position(|&t| t == line) {
             Some(pos) => {
-                // Move to front (most recently used).
-                set[..=pos].rotate_right(1);
+                // Move to front (most recently used); hits on the MRU way
+                // — the common case under texture locality — skip the
+                // rotate entirely.
+                if pos != 0 {
+                    set[..=pos].rotate_right(1);
+                }
                 true
             }
             None => {

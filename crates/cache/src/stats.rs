@@ -57,6 +57,7 @@ impl CacheStats {
     }
 
     /// Records one access (`hit == true` for a hit).
+    #[inline]
     pub fn record(&mut self, hit: bool) {
         self.accesses += 1;
         if !hit {

@@ -95,6 +95,7 @@ impl VictimCache {
 }
 
 impl LineCache for VictimCache {
+    #[inline]
     fn access_line(&mut self, line: u32) -> bool {
         debug_assert_ne!(line, EMPTY);
         let ways = self.geometry.ways() as usize;

@@ -47,6 +47,7 @@ pub mod distribution;
 pub mod dynamic;
 pub mod machine;
 pub mod node;
+pub mod plan;
 pub mod report;
 pub mod sortlast;
 pub mod sweep;
@@ -55,6 +56,7 @@ pub mod work;
 pub use config::{CacheKind, ConfigError, MachineConfig, MachineConfigBuilder};
 pub use distribution::Distribution;
 pub use machine::Machine;
+pub use plan::{OwnerLut, RoutingPlan};
 pub use report::{NodeReport, RunReport};
 pub use sweep::{run_sweep, run_sweep_with_threads, SweepGrid};
 

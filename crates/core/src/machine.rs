@@ -2,6 +2,7 @@
 
 use crate::config::MachineConfig;
 use crate::node::Node;
+use crate::plan::RoutingPlan;
 use crate::report::RunReport;
 use sortmid_memsys::Cycle;
 use sortmid_raster::{Fragment, FragmentStream};
@@ -49,6 +50,41 @@ impl Machine {
             .map(|_| Node::new(&self.config))
             .collect();
         let routed = self.run_frame(stream, &mut nodes);
+        let total_cycles = nodes.iter().map(Node::finish_time).max().unwrap_or(0);
+        let node_reports: Vec<_> = nodes.iter().map(Node::report).collect();
+        RunReport::new(
+            self.config.summary(),
+            total_cycles,
+            node_reports,
+            stream.fragment_count(),
+            stream.triangle_count() as u64,
+            routed,
+        )
+    }
+
+    /// Simulates the stream by replaying a precomputed [`RoutingPlan`],
+    /// skipping all per-fragment ownership math. The report is identical
+    /// to [`run`](Self::run) — same node timing, same counters, same
+    /// summary string — the plan only precomputes *where* work goes, never
+    /// *how long* it takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different distribution or
+    /// processor count than this machine's configuration.
+    pub fn run_planned(&self, stream: &FragmentStream, plan: &RoutingPlan) -> RunReport {
+        assert!(
+            plan.matches(&self.config.distribution, self.config.processors),
+            "plan built for {}x{} does not fit machine {}x{}",
+            plan.distribution(),
+            plan.procs(),
+            self.config.distribution,
+            self.config.processors,
+        );
+        let mut nodes: Vec<Node> = (0..self.config.processors)
+            .map(|_| Node::new(&self.config))
+            .collect();
+        let routed = self.run_frame_planned(stream, plan, &mut nodes);
         let total_cycles = nodes.iter().map(Node::finish_time).max().unwrap_or(0);
         let node_reports: Vec<_> = nodes.iter().map(Node::report).collect();
         RunReport::new(
@@ -137,12 +173,9 @@ impl Machine {
             let mut m = mask;
             for (i, node) in nodes.iter_mut().enumerate() {
                 if m & 1 != 0 {
-                    let frags = std::mem::take(&mut scratch[i]);
-                    node.process_triangle(send, &frags);
-                    // Reuse the allocation.
-                    let mut frags = frags;
-                    frags.clear();
-                    scratch[i] = frags;
+                    // Drain keeps the allocation alive for the next
+                    // triangle while handing out `&Fragment` items.
+                    node.process_triangle(send, scratch[i].drain(..));
                 } else {
                     node.discard_triangle(send);
                 }
@@ -150,6 +183,62 @@ impl Machine {
             }
         }
         routed
+    }
+
+    /// Replays one stream over existing nodes following a routing plan.
+    /// Node-for-node, cycle-for-cycle identical to
+    /// [`run_frame`](Self::run_frame): triangles arrive in stream order,
+    /// broadcast gating and discard timing are unchanged, and each owner
+    /// scans its fragments in stream order — only the ownership math is
+    /// precomputed.
+    fn run_frame_planned(
+        &self,
+        stream: &FragmentStream,
+        plan: &RoutingPlan,
+        nodes: &mut [Node],
+    ) -> u64 {
+        let fragments = stream.fragments();
+        let triangles = stream.triangles();
+        let mut send_time: Cycle = 0;
+
+        for pt in &plan.triangles {
+            let mut send = send_time + self.config.geometry_cycles_per_triangle;
+            for node in nodes.iter() {
+                send = send.max(node.earliest_send());
+            }
+            send_time = send;
+
+            // Walk the triangle's per-owner buckets in lockstep with the
+            // node loop: segments are stored in ascending owner order.
+            let tri = &triangles[pt.tri as usize];
+            let mut seg = pt.seg_start as usize;
+            let seg_end = pt.seg_end as usize;
+            let mut bucket_start = tri.frag_start as usize;
+
+            let mut m = pt.mask;
+            for (i, node) in nodes.iter_mut().enumerate() {
+                if m & 1 != 0 {
+                    if seg < seg_end && plan.segments[seg].owner == i as u32 {
+                        let end = plan.segments[seg].end as usize;
+                        seg += 1;
+                        let bucket = &plan.frag_order[bucket_start..end];
+                        bucket_start = end;
+                        node.process_triangle(
+                            send,
+                            bucket.iter().map(|&fi| &fragments[fi as usize]),
+                        );
+                    } else {
+                        // Bounding-box overlap without owned fragments:
+                        // the setup floor still applies.
+                        node.process_triangle(send, [].iter());
+                    }
+                } else {
+                    node.discard_triangle(send);
+                }
+                m >>= 1;
+            }
+        }
+        plan.routed()
     }
 }
 

@@ -2,14 +2,19 @@
 
 use crate::config::MachineConfig;
 use crate::report::NodeReport;
-use sortmid_cache::{CacheStats, LineCache};
+use sortmid_cache::{AnyCache, CacheStats, LineCache};
 use sortmid_memsys::{Cycle, EngineTiming, TriangleFifo};
 use sortmid_raster::Fragment;
 
 /// The simulation state of one node.
+///
+/// The cache is stored as a concrete [`AnyCache`] enum rather than a
+/// `Box<dyn LineCache>`: the texel probe loop runs 8 times per fragment, so
+/// devirtualizing `access_line` lets the common set-associative and
+/// perfect-cache probes inline into [`Node::process_triangle`].
 pub(crate) struct Node {
     engine: EngineTiming,
-    cache: Box<dyn LineCache + Send>,
+    cache: AnyCache,
     fifo: TriangleFifo,
     setup_cycles: Cycle,
     pixel_work: u64,
@@ -26,7 +31,7 @@ impl Node {
         };
         Node {
             engine,
-            cache: config.cache.build(),
+            cache: config.cache.build_model(),
             fifo: TriangleFifo::new(config.triangle_buffer),
             setup_cycles: config.setup_cycles,
             pixel_work: 0,
@@ -42,25 +47,32 @@ impl Node {
     }
 
     /// Processes one routed triangle: `arrival` is its send time, `frags`
-    /// the fragments this node owns (possibly empty — the setup floor still
-    /// applies). Returns the cycle the engine dequeued it.
-    pub(crate) fn process_triangle(&mut self, arrival: Cycle, frags: &[&Fragment]) -> Cycle {
+    /// yields the fragments this node owns, in stream order (possibly none
+    /// — the setup floor still applies). Returns the cycle the engine
+    /// dequeued it.
+    ///
+    /// Generic over the fragment source so both the legacy partition-per-
+    /// triangle path and the [`RoutingPlan`](crate::plan::RoutingPlan)
+    /// index-range path feed the same (inlined) texel loop.
+    pub(crate) fn process_triangle<'a, I>(&mut self, arrival: Cycle, frags: I) -> Cycle
+    where
+        I: ExactSizeIterator<Item = &'a Fragment>,
+    {
         let start = self.engine.start_triangle(arrival);
         self.fifo.record_start(start);
         self.triangles_routed += 1;
-        for frag in frags {
-            let mut miss_lines = [0u32; 8];
-            let mut misses = 0usize;
-            for texel in &frag.texels {
-                let line = texel.line();
-                if !self.cache.access_line(line) {
-                    miss_lines[misses] = line;
-                    misses += 1;
-                }
-            }
-            self.engine.fragment_lines(&miss_lines[..misses]);
-        }
         self.pixel_work += frags.len() as u64;
+        // Dispatch on the cache variant once per *triangle*, not once per
+        // texel: each arm monomorphizes `scan_fragments`, so the 8-probe
+        // loop inlines the concrete `access_line`.
+        match &mut self.cache {
+            AnyCache::Perfect(c) => scan_fragments(c, &mut self.engine, frags),
+            AnyCache::SetAssoc(c) => scan_fragments(c, &mut self.engine, frags),
+            AnyCache::Classifying(c) => scan_fragments(c, &mut self.engine, frags),
+            AnyCache::TwoLevel(c) => scan_fragments(c, &mut self.engine, frags),
+            AnyCache::Victim(c) => scan_fragments(c, &mut self.engine, frags),
+            AnyCache::Dyn(c) => scan_fragments(c.as_mut(), &mut self.engine, frags),
+        }
         self.engine.finish_triangle(self.setup_cycles);
         start
     }
@@ -128,6 +140,29 @@ fn cache_stats_copy(stats: &CacheStats) -> CacheStats {
     *stats
 }
 
+/// The texel hot loop, generic over the concrete cache model so the probe
+/// fully inlines (`?Sized` keeps the `Box<dyn LineCache>` escape hatch
+/// usable through the same code path).
+#[inline]
+fn scan_fragments<'a, C, I>(cache: &mut C, engine: &mut EngineTiming, frags: I)
+where
+    C: LineCache + ?Sized,
+    I: Iterator<Item = &'a Fragment>,
+{
+    for frag in frags {
+        let mut miss_lines = [0u32; 8];
+        let mut misses = 0usize;
+        for texel in &frag.texels {
+            let line = texel.line();
+            if !cache.access_line(line) {
+                miss_lines[misses] = line;
+                misses += 1;
+            }
+        }
+        engine.fragment_lines(&miss_lines[..misses]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +196,7 @@ mod tests {
         let mut node = Node::new(&config(CacheKind::Perfect));
         let f = fragment(&reg, 0, 0);
         let frags: Vec<&Fragment> = vec![&f; 5];
-        node.process_triangle(0, &frags);
+        node.process_triangle(0, frags.iter().copied());
         // 5 pixels < 25-cycle floor.
         assert_eq!(node.finish_time(), 25);
         assert_eq!(node.report().pixels, 5);
@@ -181,8 +216,7 @@ mod tests {
                 Fragment { x: 0, y: 0, texels: [a; 8] }
             })
             .collect();
-        let refs: Vec<&Fragment> = frags.iter().collect();
-        node.process_triangle(0, &refs);
+        node.process_triangle(0, frags.iter());
         let rep = node.report();
         assert_eq!(rep.cache.misses(), 64);
         assert_eq!(rep.external_fetches, 64);
@@ -193,8 +227,8 @@ mod tests {
     #[test]
     fn empty_triangle_still_costs_setup() {
         let mut node = Node::new(&config(CacheKind::Perfect));
-        node.process_triangle(0, &[]);
-        node.process_triangle(0, &[]);
+        node.process_triangle(0, [].iter());
+        node.process_triangle(0, [].iter());
         assert_eq!(node.finish_time(), 50);
         assert_eq!(node.report().pixels, 0);
         assert_eq!(node.report().triangles, 2);

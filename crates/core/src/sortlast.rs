@@ -85,10 +85,9 @@ pub fn run_sort_last(
         }
         let owner = assignment.owner(index, procs) as usize;
         index += 1;
-        let frags: Vec<_> = stream.fragments_of(tri).iter().collect();
         // Sort-last nodes run independently: the geometry stage routes each
         // triangle to exactly one node, so no broadcast backpressure.
-        nodes[owner].process_triangle(0, &frags);
+        nodes[owner].process_triangle(0, stream.fragments_of(tri).iter());
     }
     let total_cycles = nodes.iter().map(Node::finish_time).max().unwrap_or(0);
     let node_reports: Vec<_> = nodes.iter().map(Node::report).collect();

@@ -4,10 +4,19 @@
 //! scene. Each run only *reads* the stream, so sweeps parallelise trivially
 //! across host threads (the simulated machines stay deterministic — host
 //! parallelism only reorders independent runs).
+//!
+//! Routing — which nodes a triangle overlaps, which node owns each
+//! fragment — depends only on the `(distribution, processors)` axes, never
+//! on cache, bus or buffer parameters. The sweep therefore groups its
+//! config grid by those two axes, builds one [`RoutingPlan`] per group, and
+//! replays it read-only from every config in the group: a grid that varies
+//! caches and buffers over a handful of distributions pays the per-fragment
+//! ownership math once per distribution instead of once per cell.
 
 use crate::config::{CacheKind, MachineConfig};
 use crate::distribution::Distribution;
 use crate::machine::Machine;
+use crate::plan::RoutingPlan;
 use crate::report::RunReport;
 use sortmid_raster::FragmentStream;
 
@@ -126,6 +135,17 @@ impl Default for SweepGrid {
 /// Runs every configuration against `stream`, in parallel across host
 /// threads, preserving input order in the output.
 ///
+/// Configs sharing a `(distribution, processors)` pair share one
+/// precomputed [`RoutingPlan`] (built once, read-only afterwards).
+///
+/// # Determinism
+///
+/// The reports are **byte-identical** to running [`Machine::run`] on each
+/// config sequentially, whatever the host-thread count: plans precompute
+/// *where* fragments go, not *how long* they take, and host parallelism
+/// only reorders independent runs. Tests pin this with
+/// [`run_sweep_with_threads`].
+///
 /// # Examples
 ///
 /// ```
@@ -168,32 +188,62 @@ pub fn run_sweep_with_threads(
     threads: usize,
 ) -> Vec<RunReport> {
     assert!(threads > 0, "need at least one host thread");
-    let threads = threads.min(configs.len().max(1));
+    if configs.is_empty() {
+        return Vec::new();
+    }
+
+    // Group the grid by (distribution, processors): one routing plan per
+    // group serves every cache/bus/buffer variation. Grids are small, so a
+    // linear key scan beats hashing Distribution (which holds an Arc axis).
+    let mut plans: Vec<RoutingPlan> = Vec::new();
+    let mut plan_of: Vec<usize> = Vec::with_capacity(configs.len());
+    for config in configs {
+        let idx = plans
+            .iter()
+            .position(|p| p.matches(&config.distribution, config.processors))
+            .unwrap_or_else(|| {
+                plans.push(RoutingPlan::build(
+                    stream,
+                    &config.distribution,
+                    config.processors,
+                ));
+                plans.len() - 1
+            });
+        plan_of.push(idx);
+    }
+    let plans = &plans[..];
+
+    let threads = threads.min(configs.len());
     if threads <= 1 || configs.len() <= 1 {
         return configs
             .iter()
-            .map(|c| Machine::new(c.clone()).run(stream))
+            .zip(&plan_of)
+            .map(|(c, &pi)| Machine::new(c.clone()).run_planned(stream, &plans[pi]))
             .collect();
     }
+
+    // Static chunked schedule: each thread owns a disjoint slice of the
+    // output, so the writes need no locks — the borrow checker can see
+    // they never alias.
     let mut out: Vec<Option<RunReport>> = vec![None; configs.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_cells: Vec<std::sync::Mutex<&mut Option<RunReport>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
+    let chunk = configs.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
+        for ((out_chunk, cfg_chunk), idx_chunk) in out
+            .chunks_mut(chunk)
+            .zip(configs.chunks(chunk))
+            .zip(plan_of.chunks(chunk))
+        {
+            scope.spawn(move || {
+                for ((slot, config), &pi) in
+                    out_chunk.iter_mut().zip(cfg_chunk).zip(idx_chunk)
+                {
+                    *slot = Some(Machine::new(config.clone()).run_planned(stream, &plans[pi]));
                 }
-                let report = Machine::new(configs[i].clone()).run(stream);
-                **out_cells[i].lock().expect("no poisoning") = Some(report);
             });
         }
     });
-    drop(out_cells);
     out.into_iter()
-        .map(|r| r.expect("every index was processed"))
+        .map(|r| r.expect("every chunk was processed"))
         .collect()
 }
 
@@ -226,6 +276,28 @@ mod tests {
             let sequential = Machine::new(config.clone()).run(&stream);
             assert_eq!(report.total_cycles(), sequential.total_cycles());
             assert_eq!(report.texel_to_fragment(), sequential.texel_to_fragment());
+        }
+    }
+
+    #[test]
+    fn grouped_plans_match_direct_runs_on_a_mixed_grid() {
+        // A grid varying every axis: plan grouping must not change a
+        // single report relative to the direct (unplanned) path.
+        let stream = SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.1)
+            .build()
+            .rasterize();
+        let configs = SweepGrid::new()
+            .processors([3, 8])
+            .distributions([Distribution::block(8), Distribution::sli(4)])
+            .caches([CacheKind::Perfect, CacheKind::PaperL1])
+            .buffers([4, 10_000])
+            .build();
+        assert_eq!(configs.len(), 16);
+        let swept = run_sweep_with_threads(&stream, &configs, 3);
+        for (config, report) in configs.iter().zip(&swept) {
+            let direct = Machine::new(config.clone()).run(&stream);
+            assert_eq!(report, &direct, "{}", config.summary());
         }
     }
 

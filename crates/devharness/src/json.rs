@@ -2,8 +2,10 @@
 //!
 //! Only what `BENCH_<name>.json` needs: objects, arrays, strings, integers
 //! and floats, rendered with deterministic key order (insertion order) so
-//! diffs between PRs stay readable.
+//! diffs between PRs stay readable. [`Json::parse`] reads the same dialect
+//! back, so CI can validate emitted artefacts without external crates.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 /// A JSON value.
@@ -51,6 +53,81 @@ impl Json {
     /// An object from `(key, value)` pairs, keeping their order.
     pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Parses a JSON document (the dialect [`render`](Self::render) emits:
+    /// standard JSON minus `\uXXXX` surrogate pairs outside the BMP).
+    /// Numbers parse as [`Json::U64`] when they are unsigned integral,
+    /// else as [`Json::F64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] with a byte offset on malformed input or
+    /// trailing garbage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sortmid_devharness::json::Json;
+    ///
+    /// let doc = Json::parse(r#"{"suite":"fig5","samples":[3,4.5]}"#).unwrap();
+    /// assert_eq!(doc.get("suite").and_then(Json::as_str), Some("fig5"));
+    /// assert_eq!(doc.render(), r#"{"suite":"fig5","samples":[3,4.5]}"#);
+    /// ```
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks a key up in an object (`None` for missing keys and
+    /// non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, when this is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Renders the document as compact JSON.
@@ -124,6 +201,218 @@ impl Json {
     }
 }
 
+/// A parse failure with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        c => return Err(self.err(format!("unknown escape '\\{}'", c as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err(format!("invalid number '{text}'")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +446,73 @@ mod tests {
             ("a", Json::arr([Json::Null, Json::Bool(false)])),
         ]);
         assert_eq!(doc.render(), r#"{"b":1,"a":[null,false]}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_a_bench_style_document() {
+        let doc = Json::obj([
+            ("suite", Json::str("sweep")),
+            ("warmup_iters", Json::U64(1)),
+            ("samples", Json::U64(5)),
+            (
+                "benchmarks",
+                Json::arr([Json::obj([
+                    ("id", Json::str("grid/shared-plan")),
+                    ("median_ns", Json::U64(44_700_000)),
+                    ("p10_ns", Json::U64(44_000_000)),
+                    ("p90_ns", Json::U64(46_000_000)),
+                    ("samples_ns", Json::arr([Json::U64(1), Json::U64(2)])),
+                    ("throughput_per_sec", Json::F64(1342.5)),
+                ])]),
+            ),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.render(), text);
+        let benches = back.get("benchmarks").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            benches[0].get("id").and_then(Json::as_str),
+            Some("grid/shared-plan")
+        );
+        assert_eq!(
+            benches[0].get("median_ns").and_then(Json::as_u64),
+            Some(44_700_000)
+        );
+        assert_eq!(
+            benches[0].get("throughput_per_sec").and_then(Json::as_f64),
+            Some(1342.5)
+        );
+    }
+
+    #[test]
+    fn parse_handles_whitespace_escapes_and_numbers() {
+        let doc = Json::parse(
+            " { \"a\\n\\\"b\" : [ -1.5 , 2e3 , 7 , \"\\u0041\" ] , \"t\" : true } ",
+        )
+        .unwrap();
+        assert_eq!(doc.get("t"), Some(&Json::Bool(true)));
+        let arr = doc.get("a\n\"b").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0], Json::F64(-1.5));
+        assert_eq!(arr[1], Json::F64(2000.0));
+        assert_eq!(arr[2], Json::U64(7));
+        assert_eq!(arr[3], Json::str("A"));
+    }
+
+    #[test]
+    fn as_f64_widens_integers() {
+        assert_eq!(Json::U64(3).as_f64(), Some(3.0));
+        assert_eq!(Json::F64(0.5).as_u64(), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let e = Json::parse("[1,]").unwrap_err();
+        assert_eq!(e.offset, 3);
+        let e = Json::parse("{\"a\":1} x").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+        let e = Json::parse("\"open").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("nul").is_err());
     }
 }

@@ -8,11 +8,15 @@
 //! a real cache.
 
 use crate::common::{machine, PreparedScene, BLOCK_WIDTHS_FULL, BUFFER_SIZES};
-use sortmid::{CacheKind, Distribution, Machine};
+use sortmid::{run_sweep, CacheKind, Distribution, Machine, SweepGrid};
 use sortmid_scene::Benchmark;
 use sortmid_util::table::{fmt_f, Table};
 
 /// One panel: speedup for every block width (rows) × buffer size (columns).
+///
+/// Every row fixes `(procs, width)` and only varies the buffer, so the grid
+/// is swept with [`run_sweep`]: each width's routing plan is built once and
+/// shared across all buffer sizes.
 pub fn buffer_panel(scene: &PreparedScene, procs: u32, cache: CacheKind, bus_ratio: f64) -> Table {
     let mut header = vec!["width".to_string()];
     header.extend(BUFFER_SIZES.iter().map(|b| b.to_string()));
@@ -28,17 +32,19 @@ pub fn buffer_panel(scene: &PreparedScene, procs: u32, cache: CacheKind, bus_rat
     ))
     .run(&scene.stream);
 
-    for &width in &BLOCK_WIDTHS_FULL {
+    let configs = SweepGrid::new()
+        .processors([procs])
+        .distributions(BLOCK_WIDTHS_FULL.iter().map(|&w| Distribution::block(w)))
+        .caches([cache])
+        .bus_ratios([Some(bus_ratio)])
+        .buffers(BUFFER_SIZES)
+        .build();
+    let reports = run_sweep(&scene.stream, &configs);
+
+    // Row-major grid order: distributions outermost, buffers innermost.
+    for (width, row_reports) in BLOCK_WIDTHS_FULL.iter().zip(reports.chunks(BUFFER_SIZES.len())) {
         let mut row = vec![width.to_string()];
-        for &buffer in &BUFFER_SIZES {
-            let report = Machine::new(machine(
-                procs,
-                Distribution::block(width),
-                cache,
-                Some(bus_ratio),
-                buffer,
-            ))
-            .run(&scene.stream);
+        for report in row_reports {
             row.push(fmt_f(report.speedup_vs(&baseline), 2));
         }
         t.row_owned(row);

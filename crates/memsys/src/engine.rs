@@ -45,15 +45,23 @@ impl CompletionRing {
         self.slots[self.head]
     }
 
+    #[inline]
     fn pop(&mut self) {
         debug_assert!(self.len > 0);
-        self.head = (self.head + 1) % self.slots.len();
+        self.head += 1;
+        if self.head == self.slots.len() {
+            self.head = 0;
+        }
         self.len -= 1;
     }
 
+    #[inline]
     fn push(&mut self, completion: Cycle) {
         debug_assert!(!self.is_full());
-        let tail = (self.head + self.len) % self.slots.len();
+        let mut tail = self.head + self.len;
+        if tail >= self.slots.len() {
+            tail -= self.slots.len();
+        }
         self.slots[tail] = completion;
         self.len += 1;
     }
@@ -160,6 +168,7 @@ impl EngineTiming {
     }
 
     /// Scans one fragment whose texel reads produced `misses` line fills.
+    #[inline]
     pub fn fragment(&mut self, misses: u32) {
         // Engine wants the next cycle; if the fragment FIFO is full it must
         // wait for the oldest in-flight fragment's fills to complete.
@@ -199,6 +208,7 @@ impl EngineTiming {
     /// addresses. Identical to [`fragment`](Self::fragment) on a flat bus;
     /// with [`with_dram`](Self::with_dram) the per-fill cost depends on
     /// DRAM row locality of the addresses.
+    #[inline]
     pub fn fragment_lines(&mut self, miss_lines: &[u32]) {
         if self.dram.is_none() {
             self.fragment(miss_lines.len() as u32);

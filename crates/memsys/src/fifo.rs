@@ -33,6 +33,8 @@ use crate::Cycle;
 pub struct TriangleFifo {
     capacity: usize,
     /// Start (dequeue) times of the last `capacity` triangles, ring-ordered.
+    /// Grows lazily up to `capacity`: a deep FIFO on a short stream never
+    /// pays for (or zero-fills) slots it does not reach.
     starts: Vec<Cycle>,
     head: usize,
     len: usize,
@@ -49,7 +51,7 @@ impl TriangleFifo {
         assert!(capacity > 0, "triangle FIFO needs at least one entry");
         TriangleFifo {
             capacity,
-            starts: vec![0; capacity],
+            starts: Vec::new(),
             head: 0,
             len: 0,
             total_sent: 0,
@@ -78,12 +80,25 @@ impl TriangleFifo {
     /// the machine computes start times eagerly.
     pub fn record_start(&mut self, start: Cycle) {
         if self.len == self.capacity {
-            self.head = (self.head + 1) % self.capacity;
-            self.len -= 1;
+            // Full: the oldest entry leaves and the new one takes its slot
+            // (single-step ring advance — no modulo on the hot path).
+            self.starts[self.head] = start;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        } else {
+            let mut tail = self.head + self.len;
+            if tail >= self.capacity {
+                tail -= self.capacity;
+            }
+            if tail == self.starts.len() {
+                self.starts.push(start);
+            } else {
+                self.starts[tail] = start;
+            }
+            self.len += 1;
         }
-        let tail = (self.head + self.len) % self.capacity;
-        self.starts[tail] = start;
-        self.len += 1;
         self.total_sent += 1;
     }
 

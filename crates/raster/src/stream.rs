@@ -63,21 +63,25 @@ impl FragmentStream {
     }
 
     /// The screen the stream was rasterized against.
+    #[inline]
     pub fn screen(&self) -> Rect {
         self.screen
     }
 
     /// All triangle records, in the geometry stage's stream order.
+    #[inline]
     pub fn triangles(&self) -> &[TriangleRecord] {
         &self.triangles
     }
 
     /// All fragments, grouped by triangle in stream order.
+    #[inline]
     pub fn fragments(&self) -> &[Fragment] {
         &self.fragments
     }
 
     /// The fragments of one triangle.
+    #[inline]
     pub fn fragments_of(&self, tri: &TriangleRecord) -> &[Fragment] {
         &self.fragments[tri.frag_start as usize..tri.frag_end as usize]
     }

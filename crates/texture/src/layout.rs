@@ -43,6 +43,7 @@ impl TexelAddr {
     }
 
     /// The cache-line (= 4×4 block) address containing this texel.
+    #[inline]
     pub fn line(self) -> u32 {
         self.0 / TEXELS_PER_LINE
     }
