@@ -1,12 +1,24 @@
-//! CI validator for `BENCH_*.json` artefacts.
+//! CI validator for `BENCH_*.json` and `TRACE_*.json` artefacts.
 //!
 //! Parses every `BENCH_*.json` in a directory (argument, or the current
 //! directory) with the devharness JSON reader and checks the schema that
 //! [`sortmid_devharness::bench::Suite`] emits: top-level `suite`,
 //! `warmup_iters`, `samples`, and a `benchmarks` array whose entries carry
 //! `id`, `median_ns`, `p10_ns`, `p90_ns` and a non-empty `samples_ns`
-//! array. Exits non-zero (listing every problem) if any artefact is
-//! malformed, so a bench binary that silently emits garbage fails tier-1.
+//! array. The sweep artefact must additionally carry the observability
+//! extras: `cycle_breakdowns` (per config, per node
+//! `[setup, busy, bus_stall, starved, idle, finish]` — the first five must
+//! sum *exactly* to the sixth, and the machine total must be the max node
+//! finish) and a `reference` comparison against the pre-tracing median.
+//!
+//! `TRACE_*.json` files are checked for Chrome-trace-event structure (what
+//! ui.perfetto.dev loads): a non-empty `traceEvents` array whose entries
+//! all carry a `ph` phase and a `pid`, duration (`X`) events with
+//! `ts`/`dur`/`name`, counter (`C`) events with an `args` object, and at
+//! least one metadata (`M`) event naming a track.
+//!
+//! Exits non-zero (listing every problem) if any artefact is malformed, so
+//! a bench or trace binary that silently emits garbage fails tier-1.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -55,6 +67,125 @@ fn check_doc(name: &str, doc: &Json, problems: &mut Vec<String>) {
             }
         }
     }
+
+    // The sweep artefact carries the tracing extras; enforce them there.
+    if doc.get("suite").and_then(Json::as_str) == Some("sweep") {
+        check_sweep_extras(name, doc, problems);
+    }
+}
+
+/// Validates the sweep artefact's `cycle_breakdowns` and `reference`
+/// fields, including the exact per-node accounting identity.
+fn check_sweep_extras(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    match doc.get("reference") {
+        None => problems.push(format!("{name}: missing 'reference' comparison")),
+        Some(r) => {
+            for key in ["pre_pr_median_ns", "median_ns"] {
+                if r.get(key).and_then(Json::as_u64).is_none() {
+                    problems.push(format!("{name}/reference: missing or mistyped '{key}'"));
+                }
+            }
+            if r.get("ratio").and_then(Json::as_f64).is_none() {
+                problems.push(format!("{name}/reference: missing or mistyped 'ratio'"));
+            }
+        }
+    }
+
+    let Some(configs) = doc.get("cycle_breakdowns").and_then(Json::as_arr) else {
+        problems.push(format!("{name}: missing or mistyped 'cycle_breakdowns'"));
+        return;
+    };
+    if configs.is_empty() {
+        problems.push(format!("{name}: 'cycle_breakdowns' is empty"));
+    }
+    for (i, entry) in configs.iter().enumerate() {
+        let label = entry
+            .get("config")
+            .and_then(Json::as_str)
+            .map_or_else(|| format!("{name}/breakdown#{i}"), |c| format!("{name}/{c}"));
+        let Some(total) = entry.get("total_cycles").and_then(Json::as_u64) else {
+            problems.push(format!("{label}: missing or mistyped 'total_cycles'"));
+            continue;
+        };
+        let Some(nodes) = entry.get("nodes").and_then(Json::as_arr) else {
+            problems.push(format!("{label}: missing or mistyped 'nodes'"));
+            continue;
+        };
+        let mut max_finish = 0;
+        for (n, row) in nodes.iter().enumerate() {
+            let cells: Option<Vec<u64>> = row
+                .as_arr()
+                .map(|r| r.iter().filter_map(Json::as_u64).collect());
+            match cells.as_deref() {
+                Some([setup, busy, bus_stall, starved, idle, finish]) => {
+                    let sum = setup + busy + bus_stall + starved + idle;
+                    if sum != *finish {
+                        problems.push(format!(
+                            "{label}/node{n}: breakdown sums to {sum}, finish is {finish}"
+                        ));
+                    }
+                    max_finish = max_finish.max(*finish);
+                }
+                _ => problems.push(format!(
+                    "{label}/node{n}: expected 6 integers [setup, busy, bus_stall, starved, idle, finish]"
+                )),
+            }
+        }
+        if !nodes.is_empty() && max_finish != total {
+            problems.push(format!(
+                "{label}: total_cycles {total} != max node finish {max_finish}"
+            ));
+        }
+    }
+}
+
+/// Validates one `TRACE_*.json` Chrome-trace-event document.
+fn check_trace(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        problems.push(format!("{name}: missing or mistyped 'traceEvents'"));
+        return;
+    };
+    if events.is_empty() {
+        problems.push(format!("{name}: 'traceEvents' is empty"));
+        return;
+    }
+    let mut metadata = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let Some(ph) = e.get("ph").and_then(Json::as_str) else {
+            problems.push(format!("{name}#{i}: event without 'ph' phase"));
+            continue;
+        };
+        if e.get("pid").and_then(Json::as_u64).is_none() {
+            problems.push(format!("{name}#{i}: event without integer 'pid'"));
+        }
+        match ph {
+            "M" => metadata += 1,
+            "X" => {
+                for key in ["ts", "dur"] {
+                    if e.get(key).and_then(Json::as_u64).is_none() {
+                        problems.push(format!("{name}#{i}: X event without integer '{key}'"));
+                    }
+                }
+                if e.get("name").and_then(Json::as_str).is_none() {
+                    problems.push(format!("{name}#{i}: X event without 'name'"));
+                }
+            }
+            "C" => {
+                if !matches!(e.get("args"), Some(Json::Obj(_))) {
+                    problems.push(format!("{name}#{i}: C event without 'args' object"));
+                }
+            }
+            "i" => {
+                if e.get("ts").and_then(Json::as_u64).is_none() {
+                    problems.push(format!("{name}#{i}: i event without integer 'ts'"));
+                }
+            }
+            other => problems.push(format!("{name}#{i}: unexpected phase '{other}'")),
+        }
+    }
+    if metadata == 0 {
+        problems.push(format!("{name}: no metadata (M) events naming tracks"));
+    }
 }
 
 fn run(dir: &Path) -> Result<usize, String> {
@@ -67,7 +198,9 @@ fn run(dir: &Path) -> Result<usize, String> {
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .is_some_and(|n| {
+                    (n.starts_with("BENCH_") || n.starts_with("TRACE_")) && n.ends_with(".json")
+                })
         })
         .collect();
     entries.sort();
@@ -83,7 +216,11 @@ fn run(dir: &Path) -> Result<usize, String> {
         };
         match Json::parse(&text) {
             Ok(doc) => {
-                check_doc(&name, &doc, &mut problems);
+                if name.starts_with("TRACE_") {
+                    check_trace(&name, &doc, &mut problems);
+                } else {
+                    check_doc(&name, &doc, &mut problems);
+                }
                 checked += 1;
             }
             Err(e) => problems.push(format!("{name}: {e}")),
@@ -101,7 +238,7 @@ fn main() -> ExitCode {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
     match run(Path::new(&dir)) {
         Ok(0) => {
-            eprintln!("bench_check: no BENCH_*.json artefacts found in {dir}");
+            eprintln!("bench_check: no BENCH_*.json or TRACE_*.json artefacts found in {dir}");
             ExitCode::FAILURE
         }
         Ok(n) => {

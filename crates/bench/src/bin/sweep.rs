@@ -14,13 +14,30 @@
 //!   scratch (what `run_sweep` did before routing plans existed).
 //!
 //! The ratio of the two medians is the plan-reuse speedup on this grid.
+//!
+//! The artefact also carries two observability extras:
+//!
+//! * `cycle_breakdowns` — for every config, each node's cycles attributed
+//!   to `[setup, busy, bus_stall, starved, idle]` (summing exactly to that
+//!   node's finish cycle — `bench_check` enforces the identity);
+//! * `reference` — the `grid/shared-plan` median against the pre-tracing
+//!   recorded median, guarding that the `NullSink` event plumbing stays
+//!   monomorphized away.
 
-use sortmid::{run_sweep_with_threads, CacheKind, Distribution, Machine, MachineConfig, SweepGrid};
+use sortmid::{
+    run_sweep_with_threads, CacheKind, Distribution, Machine, MachineConfig, RunReport, SweepGrid,
+};
 use sortmid_bench::stream;
-use sortmid_devharness::Suite;
+use sortmid_devharness::{Json, Suite};
 use sortmid_raster::FragmentStream;
 use sortmid_scene::Benchmark;
 use std::hint::black_box;
+
+/// `grid/shared-plan` median recorded before the tracing subsystem landed
+/// (same grid, same scene scale). The `reference.ratio` field in the
+/// artefact is measured/recorded; a drift well past noise means the traced
+/// hot path stopped compiling down to the untraced one.
+const PRE_TRACING_MEDIAN_NS: u64 = 41_855_505;
 
 /// The reference grid: the shape of the Figure 5/7 sweeps (processor counts
 /// × distributions) with the cache and buffer axes the ablations add.
@@ -83,8 +100,10 @@ fn main() {
     });
 
     let results = suite.results();
+    let mut plan_median_ns = 0;
     if let [plan, direct] = results {
         let speedup = direct.median_ns as f64 / plan.median_ns.max(1) as f64;
+        plan_median_ns = plan.median_ns;
         println!(
             "\nsweep grid ({} configs): shared-plan {:.1} ms vs per-config {:.1} ms -> {speedup:.2}x",
             configs.len(),
@@ -92,5 +111,46 @@ fn main() {
             direct.median_ns as f64 / 1e6,
         );
     }
-    suite.finish();
+
+    // One more (untimed) sweep to attach per-config cycle breakdowns.
+    let reports = run_sweep_with_threads(&s, &configs, threads);
+    suite.finish_with([
+        (
+            "cycle_breakdowns".to_string(),
+            Json::arr(reports.iter().map(config_breakdown)),
+        ),
+        (
+            "reference".to_string(),
+            Json::obj([
+                ("id", Json::str("grid/shared-plan")),
+                ("pre_pr_median_ns", Json::U64(PRE_TRACING_MEDIAN_NS)),
+                ("median_ns", Json::U64(plan_median_ns)),
+                (
+                    "ratio",
+                    Json::F64(plan_median_ns as f64 / PRE_TRACING_MEDIAN_NS as f64),
+                ),
+            ]),
+        ),
+    ]);
+}
+
+/// One config's entry in `cycle_breakdowns`: the config summary, the
+/// machine time, and per node the compact
+/// `[setup, busy, bus_stall, starved, idle, finish]` array (the first five
+/// sum to the sixth).
+fn config_breakdown(report: &RunReport) -> Json {
+    Json::obj([
+        ("config", Json::str(report.summary())),
+        ("total_cycles", Json::U64(report.total_cycles())),
+        (
+            "nodes",
+            Json::arr(report.nodes().iter().map(|n| {
+                let b = n.cycle_breakdown();
+                b.verify(n.finish).expect("cycle identity must hold");
+                let mut row: Vec<Json> = b.as_array().iter().map(|&c| Json::U64(c)).collect();
+                row.push(Json::U64(n.finish));
+                Json::Arr(row)
+            })),
+        ),
+    ])
 }

@@ -61,6 +61,21 @@ impl std::fmt::Debug for AnyCache {
     }
 }
 
+impl AnyCache {
+    /// A short human-readable model name, used to label per-node tracks in
+    /// trace exports (e.g. Perfetto process names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnyCache::Perfect(_) => "perfect",
+            AnyCache::SetAssoc(_) => "set-assoc",
+            AnyCache::Classifying(_) => "classifying",
+            AnyCache::TwoLevel(_) => "two-level",
+            AnyCache::Victim(_) => "victim",
+            AnyCache::Dyn(_) => "custom",
+        }
+    }
+}
+
 impl From<PerfectCache> for AnyCache {
     fn from(c: PerfectCache) -> Self {
         AnyCache::Perfect(c)
@@ -195,6 +210,15 @@ mod tests {
             assert_eq!(direct.access_line(line), via_enum.access_line(line));
         }
         assert_eq!(direct.stats().misses(), via_enum.stats().misses());
+    }
+
+    #[test]
+    fn labels_are_distinct_per_known_variant() {
+        let labels: Vec<&str> = all_kinds().iter().map(AnyCache::label).collect();
+        assert_eq!(
+            labels,
+            ["perfect", "set-assoc", "classifying", "two-level", "victim", "custom"]
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::node::Node;
 use crate::plan::RoutingPlan;
 use crate::report::RunReport;
 use sortmid_memsys::Cycle;
+use sortmid_observe::{NullSink, TraceEvent, TraceSink};
 use sortmid_raster::{Fragment, FragmentStream};
 
 /// The machine: replays a [`FragmentStream`] under a [`MachineConfig`].
@@ -46,10 +47,24 @@ impl Machine {
 
     /// Simulates the stream and returns the run report.
     pub fn run(&self, stream: &FragmentStream) -> RunReport {
+        self.run_traced(stream, &mut NullSink)
+    }
+
+    /// [`run`](Self::run) with a [`TraceSink`] receiving the run's event
+    /// stream: FIFO push/pop per node, triangle start/retire/discard, and
+    /// every texture-bus line fill with its exact slot and cost.
+    ///
+    /// The report is byte-identical to [`run`](Self::run) — tracing only
+    /// observes. Events are emitted in *simulation* order (triangle by
+    /// triangle), not globally sorted by cycle; consumers such as
+    /// [`TraceRecorder`](sortmid_observe::TraceRecorder) sort on export.
+    /// With [`NullSink`] the whole event path monomorphizes away, which is
+    /// what keeps the untraced sweep at its reference speed.
+    pub fn run_traced<S: TraceSink>(&self, stream: &FragmentStream, sink: &mut S) -> RunReport {
         let mut nodes: Vec<Node> = (0..self.config.processors)
             .map(|_| Node::new(&self.config))
             .collect();
-        let routed = self.run_frame(stream, &mut nodes);
+        let routed = self.run_frame(stream, &mut nodes, sink);
         let total_cycles = nodes.iter().map(Node::finish_time).max().unwrap_or(0);
         let node_reports: Vec<_> = nodes.iter().map(Node::report).collect();
         RunReport::new(
@@ -60,6 +75,14 @@ impl Machine {
             stream.triangle_count() as u64,
             routed,
         )
+    }
+
+    /// Per-node track labels for trace exports: `node <i> (<cache model>)`.
+    pub fn node_labels(&self) -> Vec<String> {
+        let label = Node::new(&self.config).cache_label();
+        (0..self.config.processors)
+            .map(|i| format!("node {i} ({label})"))
+            .collect()
     }
 
     /// Simulates the stream by replaying a precomputed [`RoutingPlan`],
@@ -84,7 +107,7 @@ impl Machine {
         let mut nodes: Vec<Node> = (0..self.config.processors)
             .map(|_| Node::new(&self.config))
             .collect();
-        let routed = self.run_frame_planned(stream, plan, &mut nodes);
+        let routed = self.run_frame_planned(stream, plan, &mut nodes, &mut NullSink);
         let total_cycles = nodes.iter().map(Node::finish_time).max().unwrap_or(0);
         let node_reports: Vec<_> = nodes.iter().map(Node::report).collect();
         RunReport::new(
@@ -117,7 +140,7 @@ impl Machine {
                 }
             }
             let snapshots: Vec<_> = nodes.iter().map(Node::cache_snapshot).collect();
-            let routed = self.run_frame(stream, &mut nodes);
+            let routed = self.run_frame(stream, &mut nodes, &mut NullSink);
             let total_cycles = nodes.iter().map(Node::finish_time).max().unwrap_or(0);
             let node_reports: Vec<_> = nodes
                 .iter()
@@ -137,13 +160,18 @@ impl Machine {
     }
 
     /// Replays one stream over existing nodes; returns the routed count.
-    fn run_frame(&self, stream: &FragmentStream, nodes: &mut [Node]) -> u64 {
+    fn run_frame<S: TraceSink>(
+        &self,
+        stream: &FragmentStream,
+        nodes: &mut [Node],
+        sink: &mut S,
+    ) -> u64 {
         let procs = self.config.processors;
         let mut scratch: Vec<Vec<&Fragment>> = (0..procs).map(|_| Vec::new()).collect();
         let mut send_time: Cycle = 0;
         let mut routed: u64 = 0;
 
-        for tri in stream.triangles() {
+        for (ti, tri) in stream.triangles().iter().enumerate() {
             if tri.is_culled() {
                 continue;
             }
@@ -172,12 +200,22 @@ impl Machine {
 
             let mut m = mask;
             for (i, node) in nodes.iter_mut().enumerate() {
+                if S::ENABLED {
+                    // The broadcast occupies a slot in *every* FIFO.
+                    sink.record(TraceEvent::FifoPush { node: i as u32, at: send });
+                }
                 if m & 1 != 0 {
                     // Drain keeps the allocation alive for the next
                     // triangle while handing out `&Fragment` items.
-                    node.process_triangle(send, scratch[i].drain(..));
+                    node.process_triangle_traced(
+                        send,
+                        scratch[i].drain(..),
+                        i as u32,
+                        ti as u32,
+                        sink,
+                    );
                 } else {
-                    node.discard_triangle(send);
+                    node.discard_triangle_traced(send, i as u32, ti as u32, sink);
                 }
                 m >>= 1;
             }
@@ -191,11 +229,12 @@ impl Machine {
     /// broadcast gating and discard timing are unchanged, and each owner
     /// scans its fragments in stream order — only the ownership math is
     /// precomputed.
-    fn run_frame_planned(
+    fn run_frame_planned<S: TraceSink>(
         &self,
         stream: &FragmentStream,
         plan: &RoutingPlan,
         nodes: &mut [Node],
+        sink: &mut S,
     ) -> u64 {
         let fragments = stream.fragments();
         let triangles = stream.triangles();
@@ -217,23 +256,29 @@ impl Machine {
 
             let mut m = pt.mask;
             for (i, node) in nodes.iter_mut().enumerate() {
+                if S::ENABLED {
+                    sink.record(TraceEvent::FifoPush { node: i as u32, at: send });
+                }
                 if m & 1 != 0 {
                     if seg < seg_end && plan.segments[seg].owner == i as u32 {
                         let end = plan.segments[seg].end as usize;
                         seg += 1;
                         let bucket = &plan.frag_order[bucket_start..end];
                         bucket_start = end;
-                        node.process_triangle(
+                        node.process_triangle_traced(
                             send,
                             bucket.iter().map(|&fi| &fragments[fi as usize]),
+                            i as u32,
+                            pt.tri,
+                            sink,
                         );
                     } else {
                         // Bounding-box overlap without owned fragments:
                         // the setup floor still applies.
-                        node.process_triangle(send, [].iter());
+                        node.process_triangle_traced(send, [].iter(), i as u32, pt.tri, sink);
                     }
                 } else {
-                    node.discard_triangle(send);
+                    node.discard_triangle_traced(send, i as u32, pt.tri, sink);
                 }
                 m >>= 1;
             }

@@ -4,6 +4,7 @@ use crate::config::MachineConfig;
 use crate::report::NodeReport;
 use sortmid_cache::{AnyCache, CacheStats, LineCache};
 use sortmid_memsys::{Cycle, EngineTiming, TriangleFifo};
+use sortmid_observe::{NullSink, TraceEvent, TraceSink};
 use sortmid_raster::Fragment;
 
 /// The simulation state of one node.
@@ -58,22 +59,53 @@ impl Node {
     where
         I: ExactSizeIterator<Item = &'a Fragment>,
     {
+        self.process_triangle_traced(arrival, frags, 0, 0, &mut NullSink)
+    }
+
+    /// [`process_triangle`](Self::process_triangle) with a [`TraceSink`]:
+    /// reports the FIFO dequeue, the triangle's start (with fragment
+    /// count), every bus line fill, and the retire. With [`NullSink`] all
+    /// event code monomorphizes away, leaving the untraced hot loop.
+    pub(crate) fn process_triangle_traced<'a, I, S>(
+        &mut self,
+        arrival: Cycle,
+        frags: I,
+        node_id: u32,
+        tri_id: u32,
+        sink: &mut S,
+    ) -> Cycle
+    where
+        I: ExactSizeIterator<Item = &'a Fragment>,
+        S: TraceSink,
+    {
         let start = self.engine.start_triangle(arrival);
         self.fifo.record_start(start);
         self.triangles_routed += 1;
         self.pixel_work += frags.len() as u64;
+        if S::ENABLED {
+            sink.record(TraceEvent::FifoPop { node: node_id, at: start });
+            sink.record(TraceEvent::TriStart {
+                node: node_id,
+                tri: tri_id,
+                at: start,
+                frags: frags.len() as u32,
+            });
+        }
         // Dispatch on the cache variant once per *triangle*, not once per
         // texel: each arm monomorphizes `scan_fragments`, so the 8-probe
         // loop inlines the concrete `access_line`.
         match &mut self.cache {
-            AnyCache::Perfect(c) => scan_fragments(c, &mut self.engine, frags),
-            AnyCache::SetAssoc(c) => scan_fragments(c, &mut self.engine, frags),
-            AnyCache::Classifying(c) => scan_fragments(c, &mut self.engine, frags),
-            AnyCache::TwoLevel(c) => scan_fragments(c, &mut self.engine, frags),
-            AnyCache::Victim(c) => scan_fragments(c, &mut self.engine, frags),
-            AnyCache::Dyn(c) => scan_fragments(c.as_mut(), &mut self.engine, frags),
+            AnyCache::Perfect(c) => scan_fragments(c, &mut self.engine, frags, node_id, sink),
+            AnyCache::SetAssoc(c) => scan_fragments(c, &mut self.engine, frags, node_id, sink),
+            AnyCache::Classifying(c) => scan_fragments(c, &mut self.engine, frags, node_id, sink),
+            AnyCache::TwoLevel(c) => scan_fragments(c, &mut self.engine, frags, node_id, sink),
+            AnyCache::Victim(c) => scan_fragments(c, &mut self.engine, frags, node_id, sink),
+            AnyCache::Dyn(c) => scan_fragments(c.as_mut(), &mut self.engine, frags, node_id, sink),
         }
-        self.engine.finish_triangle(self.setup_cycles);
+        let free = self.engine.finish_triangle(self.setup_cycles);
+        if S::ENABLED {
+            sink.record(TraceEvent::TriRetire { node: node_id, tri: tri_id, at: free });
+        }
         start
     }
 
@@ -81,10 +113,25 @@ impl Node {
     /// region: the clipping hardware discards it for free, but it occupied
     /// a FIFO slot until the engine reached it — that occupancy is the
     /// whole point of Section 8's buffering study.
-    pub(crate) fn discard_triangle(&mut self, arrival: Cycle) {
+    pub(crate) fn discard_triangle_traced<S: TraceSink>(
+        &mut self,
+        arrival: Cycle,
+        node_id: u32,
+        tri_id: u32,
+        sink: &mut S,
+    ) {
         let start = self.engine.engine_free().max(arrival);
         self.fifo.record_start(start);
         self.triangles_discarded += 1;
+        if S::ENABLED {
+            sink.record(TraceEvent::FifoPop { node: node_id, at: start });
+            sink.record(TraceEvent::TriDiscard { node: node_id, tri: tri_id, at: start });
+        }
+    }
+
+    /// Short label of this node's cache model (for trace track names).
+    pub(crate) fn cache_label(&self) -> &'static str {
+        self.cache.label()
     }
 
     /// The cycle this node's last pixel fully completes.
@@ -128,6 +175,9 @@ impl Node {
             finish: self.engine.finish_time(),
             busy_cycles: self.engine.busy_cycles(),
             stall_cycles: self.engine.stall_cycles(),
+            setup_floor_cycles: self.engine.setup_floor_cycles(),
+            starved_cycles: self.engine.starved_cycles(),
+            idle_cycles: self.engine.fill_tail_cycles(),
             bus_busy_cycles: self.engine.bus_busy_cycles(),
             miss_breakdown: self.cache.breakdown(),
             cache: cache_stats_copy(self.cache.stats()),
@@ -144,10 +194,16 @@ fn cache_stats_copy(stats: &CacheStats) -> CacheStats {
 /// fully inlines (`?Sized` keeps the `Box<dyn LineCache>` escape hatch
 /// usable through the same code path).
 #[inline]
-fn scan_fragments<'a, C, I>(cache: &mut C, engine: &mut EngineTiming, frags: I)
-where
+fn scan_fragments<'a, C, I, S>(
+    cache: &mut C,
+    engine: &mut EngineTiming,
+    frags: I,
+    node_id: u32,
+    sink: &mut S,
+) where
     C: LineCache + ?Sized,
     I: Iterator<Item = &'a Fragment>,
+    S: TraceSink,
 {
     for frag in frags {
         let mut miss_lines = [0u32; 8];
@@ -159,7 +215,7 @@ where
                 misses += 1;
             }
         }
-        engine.fragment_lines(&miss_lines[..misses]);
+        engine.fragment_lines_sink(&miss_lines[..misses], node_id, sink);
     }
 }
 

@@ -3,6 +3,7 @@
 use sortmid_cache::stats::MissBreakdown;
 use sortmid_cache::CacheStats;
 use sortmid_memsys::Cycle;
+use sortmid_observe::CycleBreakdown;
 use sortmid_util::stats::imbalance_percent;
 use std::fmt;
 
@@ -22,6 +23,15 @@ pub struct NodeReport {
     pub busy_cycles: u64,
     /// Cycles the engine stalled on the saturated bus.
     pub stall_cycles: u64,
+    /// Cycles padding the per-triangle setup floor (a subset of
+    /// [`busy_cycles`](Self::busy_cycles)).
+    pub setup_floor_cycles: u64,
+    /// Cycles the engine starved on an empty FIFO waiting for the geometry
+    /// stage (Figure 8's local load imbalance).
+    pub starved_cycles: u64,
+    /// Cycles after the engine's last scan while line fills drained (the
+    /// fill tail).
+    pub idle_cycles: u64,
     /// Cycles this node's texture bus spent transferring lines.
     pub bus_busy_cycles: u64,
     /// L1 access statistics.
@@ -31,6 +41,23 @@ pub struct NodeReport {
     pub miss_breakdown: Option<MissBreakdown>,
     /// Lines fetched from external texture memory.
     pub external_fetches: u64,
+}
+
+impl NodeReport {
+    /// Attributes every cycle up to [`finish`](Self::finish) to one of the
+    /// five categories. The identity `breakdown.total() == finish` holds
+    /// exactly (see [`CycleBreakdown::verify`]); `busy` here excludes the
+    /// setup-floor padding that [`busy_cycles`](Self::busy_cycles)
+    /// includes.
+    pub fn cycle_breakdown(&self) -> CycleBreakdown {
+        CycleBreakdown {
+            setup: self.setup_floor_cycles,
+            busy: self.busy_cycles - self.setup_floor_cycles,
+            bus_stall: self.stall_cycles,
+            starved: self.starved_cycles,
+            idle: self.idle_cycles,
+        }
+    }
 }
 
 /// The result of one machine run.
@@ -163,6 +190,23 @@ impl RunReport {
         self.nodes.iter().map(|n| n.stall_cycles).sum()
     }
 
+    /// Total FIFO-starvation cycles across nodes (Figure 8's local load
+    /// imbalance indicator: shrinks as the triangle buffer grows).
+    pub fn total_starved(&self) -> u64 {
+        self.nodes.iter().map(|n| n.starved_cycles).sum()
+    }
+
+    /// Sum of all nodes' [`cycle_breakdown`](NodeReport::cycle_breakdown)s.
+    /// Its total equals the sum of per-node finish times, *not*
+    /// `nodes * total_cycles` — nodes finish at different cycles.
+    pub fn aggregate_breakdown(&self) -> CycleBreakdown {
+        let mut total = CycleBreakdown::default();
+        for n in &self.nodes {
+            total += n.cycle_breakdown();
+        }
+        total
+    }
+
     /// Aggregate miss decomposition over nodes, when every node tracked it.
     pub fn miss_breakdown(&self) -> Option<MissBreakdown> {
         let mut total = MissBreakdown::default();
@@ -217,6 +261,9 @@ mod tests {
             finish: pixels,
             busy_cycles: pixels,
             stall_cycles: 0,
+            setup_floor_cycles: 0,
+            starved_cycles: 0,
+            idle_cycles: 0,
             bus_busy_cycles: fetches * 16,
             cache: CacheStats::new(),
             miss_breakdown: None,
@@ -267,6 +314,24 @@ mod tests {
         assert_eq!(r.texel_to_fragment(), 0.0);
         assert_eq!(r.overlap_factor(), 0.0);
         assert_eq!(r.pixel_imbalance_percent(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_identity_and_aggregate() {
+        let mut n = node(100, 0);
+        n.setup_floor_cycles = 30;
+        n.busy_cycles = 80;
+        n.stall_cycles = 5;
+        n.starved_cycles = 10;
+        n.idle_cycles = 5;
+        n.finish = 100;
+        let b = n.cycle_breakdown();
+        assert_eq!(b.setup, 30);
+        assert_eq!(b.busy, 50, "busy excludes the setup floor");
+        assert!(b.verify(n.finish).is_ok());
+        let r = report(vec![n.clone(), n], 100);
+        assert_eq!(r.aggregate_breakdown().total(), 200);
+        assert_eq!(r.total_starved(), 20);
     }
 
     #[test]

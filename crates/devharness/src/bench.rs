@@ -218,13 +218,38 @@ impl Suite {
     /// Panics if the file cannot be written — a bench run whose artefact is
     /// silently missing would poison the perf trajectory.
     pub fn finish(self) -> PathBuf {
+        self.finish_with([])
+    }
+
+    /// Like [`finish`](Self::finish) with extra top-level fields appended
+    /// to the document — how callers attach run-specific context (e.g. the
+    /// sweep's per-config cycle breakdowns, or a comparison against a
+    /// recorded reference median) to the same artefact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written, or if an extra field reuses a
+    /// key the suite already writes (`suite`, `warmup_iters`, `samples`,
+    /// `benchmarks`).
+    pub fn finish_with(self, extra: impl IntoIterator<Item = (String, Json)>) -> PathBuf {
         let dir = std::env::var_os("SORTMID_BENCH_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("."));
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|e| panic!("create bench dir {}: {e}", dir.display()));
         let path = dir.join(format!("BENCH_{}.json", self.name));
-        let body = self.to_json().render();
+        let mut doc = self.to_json();
+        let Json::Obj(fields) = &mut doc else {
+            unreachable!("to_json always returns an object");
+        };
+        for (key, value) in extra {
+            assert!(
+                !fields.iter().any(|(k, _)| *k == key),
+                "extra bench field {key:?} collides with a suite field"
+            );
+            fields.push((key, value));
+        }
+        let body = doc.render();
         std::fs::write(&path, body.as_bytes())
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
@@ -318,11 +343,19 @@ mod tests {
         std::env::set_var("SORTMID_BENCH_DIR", &dir);
         let mut suite = Suite::with_config("write-test", quiet_config());
         suite.bench("noop", || ());
-        let path = suite.finish();
+        let path = suite.finish_with([("reference".to_string(), Json::str("pre-pr"))]);
         std::env::remove_var("SORTMID_BENCH_DIR");
         let body = std::fs::read_to_string(&path).expect("artifact readable");
         assert!(path.ends_with("BENCH_write-test.json"), "{}", path.display());
         assert!(body.starts_with('{') && body.ends_with('}'));
+        assert!(body.contains("\"reference\":\"pre-pr\""), "{body}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn finish_with_rejects_duplicate_keys() {
+        let suite = Suite::with_config("dup", quiet_config());
+        suite.finish_with([("suite".to_string(), Json::str("dup"))]);
     }
 }

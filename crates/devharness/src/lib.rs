@@ -37,5 +37,6 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{BenchConfig, BenchResult, Suite};
+pub use json::Json;
 pub use prop::{check, Config, Gen};
 pub use rng::{SplitMix64, Xoshiro256};

@@ -60,6 +60,53 @@ pub fn run(scale: f64) -> (Table, Table) {
     (perfect, cached)
 }
 
+/// The cycle-accounting view behind Figure 8: for every block width (rows)
+/// × buffer size (columns), the percentage of machine cycles the nodes
+/// spent **FIFO-starved** (summed over nodes, relative to summed finish
+/// times). This is the mechanism of the figure made visible: small buffers
+/// block the in-order geometry stage on the fullest FIFO, so other nodes
+/// starve — and the starved share shrinks as the buffer grows, vanishing
+/// near the ~500-entry point where Figure 8's speedups saturate.
+pub fn starvation_panel(
+    scene: &PreparedScene,
+    procs: u32,
+    cache: CacheKind,
+    bus_ratio: f64,
+) -> Table {
+    let mut header = vec!["width".to_string()];
+    header.extend(BUFFER_SIZES.iter().map(|b| b.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+
+    let configs = SweepGrid::new()
+        .processors([procs])
+        .distributions(BLOCK_WIDTHS_FULL.iter().map(|&w| Distribution::block(w)))
+        .caches([cache])
+        .bus_ratios([Some(bus_ratio)])
+        .buffers(BUFFER_SIZES)
+        .build();
+    let reports = run_sweep(&scene.stream, &configs);
+
+    for (width, row_reports) in BLOCK_WIDTHS_FULL.iter().zip(reports.chunks(BUFFER_SIZES.len())) {
+        let mut row = vec![width.to_string()];
+        for report in row_reports {
+            let breakdown = report.aggregate_breakdown();
+            let total = breakdown.total().max(1);
+            row.push(fmt_f(breakdown.starved as f64 * 100.0 / total as f64, 1));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Runs the starvation view of both Figure 8 panels at `scale`.
+pub fn run_trace(scale: f64) -> (Table, Table) {
+    let scene = PreparedScene::new(Benchmark::Truc640, scale);
+    let perfect = starvation_panel(&scene, 64, CacheKind::Perfect, 2.0);
+    let cached = starvation_panel(&scene, 64, CacheKind::PaperL1, 2.0);
+    (perfect, cached)
+}
+
 /// For each buffer size (column), the best speedup over widths and the
 /// width achieving it — the "best width shrinks with the buffer" effect.
 pub fn best_width_per_buffer(panel: &Table) -> Vec<(usize, u32, f64)> {
@@ -120,6 +167,21 @@ mod tests {
         t.row(&["16", "1.0", "5.0"]);
         let best = best_width_per_buffer(&t);
         assert_eq!(best, vec![(1, 2, 1.5), (500, 16, 5.0)]);
+    }
+
+    #[test]
+    fn starvation_shrinks_with_buffer() {
+        let scene = PreparedScene::new(Benchmark::Truc640, 0.1);
+        let t = starvation_panel(&scene, 16, CacheKind::PaperL1, 2.0);
+        let csv = t.to_csv();
+        for line in csv.lines().skip(1) {
+            let cells: Vec<f64> = line.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+            let (first, last) = (cells[0], *cells.last().unwrap());
+            assert!(
+                last <= first,
+                "starved% should not grow with the buffer: {cells:?}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::bus::BusConfig;
 use crate::dram::{DramConfig, DramState};
 use crate::Cycle;
+use sortmid_observe::{NullSink, TraceEvent, TraceSink};
 
 /// Ring buffer of in-flight fragment completion times.
 #[derive(Debug, Clone)]
@@ -110,6 +111,8 @@ pub struct EngineTiming {
     last_completion: Cycle,
     busy_cycles: u64,
     stall_cycles: u64,
+    setup_floor_cycles: u64,
+    starved_cycles: u64,
     bus_busy: u64,
     fragments: u64,
     triangles: u64,
@@ -140,6 +143,8 @@ impl EngineTiming {
             last_completion: 0,
             busy_cycles: 0,
             stall_cycles: 0,
+            setup_floor_cycles: 0,
+            starved_cycles: 0,
             bus_busy: 0,
             fragments: 0,
             triangles: 0,
@@ -160,8 +165,16 @@ impl EngineTiming {
 
     /// Begins a triangle that arrived (via the FIFO) at `arrival`; returns
     /// the cycle the engine actually starts it.
+    ///
+    /// Any gap between the engine going idle and the arrival is *FIFO
+    /// starvation*: the engine had nothing queued and waited on the
+    /// geometry stage — the paper's local load imbalance, surfaced in the
+    /// cycle breakdown as `starved`.
     pub fn start_triangle(&mut self, arrival: Cycle) -> Cycle {
-        self.engine_t = self.engine_t.max(arrival);
+        if arrival > self.engine_t {
+            self.starved_cycles += arrival - self.engine_t;
+            self.engine_t = arrival;
+        }
         self.tri_start = self.engine_t;
         self.triangles += 1;
         self.engine_t
@@ -210,10 +223,20 @@ impl EngineTiming {
     /// DRAM row locality of the addresses.
     #[inline]
     pub fn fragment_lines(&mut self, miss_lines: &[u32]) {
-        if self.dram.is_none() {
-            self.fragment(miss_lines.len() as u32);
-            return;
-        }
+        self.fragment_lines_sink(miss_lines, 0, &mut NullSink);
+    }
+
+    /// [`fragment_lines`](Self::fragment_lines) with a [`TraceSink`]: each
+    /// line fill is reported as a [`TraceEvent::BusFill`] on `node` with
+    /// its exact bus slot and cost. With [`NullSink`] the event code
+    /// monomorphizes away entirely — the untraced hot path is unchanged.
+    #[inline]
+    pub fn fragment_lines_sink<S: TraceSink>(
+        &mut self,
+        miss_lines: &[u32],
+        node: u32,
+        sink: &mut S,
+    ) {
         let mut t = self.engine_t + 1;
         if let Some(ring) = &mut self.window {
             if ring.is_full() {
@@ -230,14 +253,39 @@ impl EngineTiming {
         self.fragments += 1;
 
         let mut done = t;
-        let (config, state) = self.dram.as_mut().expect("checked above");
-        for &line in miss_lines {
-            let cost = state.fill_cost(line, config);
-            self.bus_free = self.bus_free.max(t) + cost;
-            self.bus_busy += cost;
-        }
-        if !miss_lines.is_empty() {
-            done = self.bus_free;
+        match &mut self.dram {
+            None => {
+                if self.line_cost > 0 && !miss_lines.is_empty() {
+                    for &line in miss_lines {
+                        let slot = self.bus_free.max(t);
+                        self.bus_free = slot + self.line_cost;
+                        self.bus_busy += self.line_cost;
+                        if S::ENABLED {
+                            sink.record(TraceEvent::BusFill {
+                                node,
+                                line,
+                                at: slot,
+                                cost: self.line_cost,
+                            });
+                        }
+                    }
+                    done = self.bus_free;
+                }
+            }
+            Some((config, state)) => {
+                for &line in miss_lines {
+                    let cost = state.fill_cost(line, config);
+                    let slot = self.bus_free.max(t);
+                    self.bus_free = slot + cost;
+                    self.bus_busy += cost;
+                    if S::ENABLED {
+                        sink.record(TraceEvent::BusFill { node, line, at: slot, cost });
+                    }
+                }
+                if !miss_lines.is_empty() {
+                    done = self.bus_free;
+                }
+            }
         }
         self.lines_fetched += miss_lines.len() as u64;
         if let Some(ring) = &mut self.window {
@@ -254,6 +302,7 @@ impl EngineTiming {
         let floor = self.tri_start + min_occupancy;
         if self.engine_t < floor {
             self.busy_cycles += floor - self.engine_t;
+            self.setup_floor_cycles += floor - self.engine_t;
             self.engine_t = floor;
         }
         self.engine_t
@@ -278,6 +327,24 @@ impl EngineTiming {
     /// Cycles the engine stalled waiting for the bus (prefetch window full).
     pub fn stall_cycles(&self) -> u64 {
         self.stall_cycles
+    }
+
+    /// Cycles spent padding the per-triangle setup floor (a subset of
+    /// [`busy_cycles`](Self::busy_cycles)).
+    pub fn setup_floor_cycles(&self) -> u64 {
+        self.setup_floor_cycles
+    }
+
+    /// Cycles the engine sat idle with an empty FIFO waiting for the next
+    /// triangle to arrive.
+    pub fn starved_cycles(&self) -> u64 {
+        self.starved_cycles
+    }
+
+    /// Cycles between the engine's last scan and the last fill completing
+    /// (the fill tail).
+    pub fn fill_tail_cycles(&self) -> u64 {
+        self.finish_time() - self.engine_t
     }
 
     /// Fragments scanned.
@@ -321,6 +388,8 @@ impl EngineTiming {
             last_completion: 0,
             busy_cycles: 0,
             stall_cycles: 0,
+            setup_floor_cycles: 0,
+            starved_cycles: 0,
             bus_busy: 0,
             fragments: 0,
             triangles: 0,
@@ -510,5 +579,98 @@ mod tests {
     #[should_panic(expected = "at least one fragment")]
     fn zero_window_panics() {
         EngineTiming::new(BusConfig::ratio(1.0), Some(0));
+    }
+
+    #[test]
+    fn starvation_counts_arrival_gaps() {
+        let mut n = node(1.0, Some(8));
+        n.start_triangle(100);
+        n.fragment(0);
+        n.finish_triangle(25);
+        // Engine free at 125; next triangle arrives at 200.
+        n.start_triangle(200);
+        n.fragment(0);
+        n.finish_triangle(25);
+        assert_eq!(n.starved_cycles(), 100 + 75);
+        // An already-queued triangle adds nothing.
+        n.start_triangle(0);
+        assert_eq!(n.starved_cycles(), 175);
+    }
+
+    #[test]
+    fn setup_floor_cycles_are_a_subset_of_busy() {
+        let mut n = node(1.0, Some(8));
+        n.start_triangle(0);
+        for _ in 0..5 {
+            n.fragment(0);
+        }
+        n.finish_triangle(25);
+        assert_eq!(n.setup_floor_cycles(), 20, "25-cycle floor minus 5 scanned");
+        assert_eq!(n.busy_cycles(), 25);
+        // A large triangle never pads.
+        n.start_triangle(0);
+        for _ in 0..40 {
+            n.fragment(0);
+        }
+        n.finish_triangle(25);
+        assert_eq!(n.setup_floor_cycles(), 20);
+        assert_eq!(n.busy_cycles(), 65);
+    }
+
+    #[test]
+    fn engine_time_is_fully_attributed() {
+        // engine_free == busy (scan + setup floor) + stall + starved, and
+        // finish_time adds only the fill tail: the breakdown identity the
+        // observe crate builds on.
+        let mut n = node(0.5, Some(4));
+        let mut arrival = 0;
+        for tri in 0..6u64 {
+            arrival += tri * 37;
+            n.start_triangle(arrival);
+            for i in 0..(tri * 11 % 30) {
+                n.fragment(if i % 4 == 0 { 2 } else { 0 });
+            }
+            n.finish_triangle(25);
+        }
+        assert_eq!(
+            n.engine_free(),
+            n.busy_cycles() + n.stall_cycles() + n.starved_cycles()
+        );
+        assert_eq!(
+            n.finish_time(),
+            n.engine_free() + n.fill_tail_cycles()
+        );
+    }
+
+    #[test]
+    fn traced_fills_match_untraced_timing() {
+        use sortmid_observe::TraceRecorder;
+
+        let lines: Vec<Vec<u32>> = (0..40)
+            .map(|i| (0..(i % 3)).map(|j| (i * 7 + j) as u32).collect())
+            .collect();
+
+        let mut plain = node(1.0, Some(8));
+        plain.start_triangle(0);
+        for l in &lines {
+            plain.fragment_lines(l);
+        }
+        plain.finish_triangle(25);
+
+        let mut rec = TraceRecorder::new();
+        let mut traced = node(1.0, Some(8));
+        traced.start_triangle(0);
+        for l in &lines {
+            traced.fragment_lines_sink(l, 3, &mut rec);
+        }
+        traced.finish_triangle(25);
+
+        assert_eq!(plain.finish_time(), traced.finish_time());
+        assert_eq!(plain.stall_cycles(), traced.stall_cycles());
+        let (.., fills) = rec.counts();
+        assert_eq!(fills, traced.lines_fetched());
+        // Fill spans tile the bus exactly: total span length == bus_busy.
+        let span_total: u64 = rec.bus_spans(3).iter().map(|(s, e)| e - s).sum();
+        assert_eq!(span_total, traced.bus_busy_cycles());
     }
 }

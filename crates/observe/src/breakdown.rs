@@ -1,0 +1,215 @@
+//! Per-node cycle accounting.
+//!
+//! Every cycle between 0 and a node's finish time belongs to exactly one
+//! category:
+//!
+//! * **setup** — padding the 25-cycle triangle-setup floor (Figure 5's
+//!   overhead at tiny tiles);
+//! * **busy** — the engine scanning fragments (useful shading work);
+//! * **bus_stall** — the engine blocked because the prefetch window was
+//!   full of outstanding line fills (Section 6's bus saturation);
+//! * **starved** — the engine idle with an empty FIFO, waiting for the
+//!   geometry stage (Figure 8's head-of-line blocking);
+//! * **idle** — after the engine's last scan, while outstanding fills
+//!   drain (the fill tail).
+//!
+//! The identity `setup + busy + bus_stall + starved + idle == finish`
+//! holds exactly — the engine attributes each cycle as it advances — and
+//! is enforced by [`CycleBreakdown::verify`], a cross-crate property test,
+//! and the `bench_check` artefact validator.
+
+use crate::Cycle;
+use sortmid_util::table::Table;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Where one node's cycles went, category by category.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::CycleBreakdown;
+///
+/// let b = CycleBreakdown { setup: 25, busy: 50, bus_stall: 10, starved: 10, idle: 5 };
+/// assert_eq!(b.total(), 100);
+/// assert!(b.verify(100).is_ok());
+/// assert!(b.verify(99).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// Cycles padding the per-triangle setup floor.
+    pub setup: u64,
+    /// Cycles the engine spent scanning fragments.
+    pub busy: u64,
+    /// Cycles the engine stalled on the saturated texture bus.
+    pub bus_stall: u64,
+    /// Cycles the engine starved waiting for a triangle from the FIFO.
+    pub starved: u64,
+    /// Cycles after the engine finished while line fills drained.
+    pub idle: u64,
+}
+
+/// The category names, in the order the compact JSON arrays use.
+pub const CATEGORY_NAMES: [&str; 5] = ["setup", "busy", "bus_stall", "starved", "idle"];
+
+impl CycleBreakdown {
+    /// Sum over all categories — equal to the node's finish cycle when
+    /// accounting is intact.
+    pub fn total(&self) -> u64 {
+        self.setup + self.busy + self.bus_stall + self.starved + self.idle
+    }
+
+    /// Checks the accounting identity against the node's finish cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleIdentityError`] when the categories do not sum to
+    /// `finish`.
+    pub fn verify(&self, finish: Cycle) -> Result<(), CycleIdentityError> {
+        if self.total() == finish {
+            Ok(())
+        } else {
+            Err(CycleIdentityError {
+                breakdown: *self,
+                finish,
+            })
+        }
+    }
+
+    /// The categories as `[setup, busy, bus_stall, starved, idle]`, in
+    /// [`CATEGORY_NAMES`] order.
+    pub fn as_array(&self) -> [u64; 5] {
+        [self.setup, self.busy, self.bus_stall, self.starved, self.idle]
+    }
+
+    /// Each category as a percentage of `finish` (all zeros when `finish`
+    /// is zero).
+    pub fn percentages(&self, finish: Cycle) -> [f64; 5] {
+        if finish == 0 {
+            return [0.0; 5];
+        }
+        self.as_array().map(|c| c as f64 * 100.0 / finish as f64)
+    }
+}
+
+impl Add for CycleBreakdown {
+    type Output = CycleBreakdown;
+
+    fn add(self, rhs: CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            setup: self.setup + rhs.setup,
+            busy: self.busy + rhs.busy,
+            bus_stall: self.bus_stall + rhs.bus_stall,
+            starved: self.starved + rhs.starved,
+            idle: self.idle + rhs.idle,
+        }
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, rhs: CycleBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "setup {} / busy {} / bus-stall {} / starved {} / idle {}",
+            self.setup, self.busy, self.bus_stall, self.starved, self.idle
+        )
+    }
+}
+
+/// A broken cycle identity: the categories do not sum to the finish time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleIdentityError {
+    /// The offending breakdown.
+    pub breakdown: CycleBreakdown,
+    /// The finish cycle it should have summed to.
+    pub finish: Cycle,
+}
+
+impl fmt::Display for CycleIdentityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle identity broken: {} sums to {}, finish is {}",
+            self.breakdown,
+            self.breakdown.total(),
+            self.finish
+        )
+    }
+}
+
+impl std::error::Error for CycleIdentityError {}
+
+/// Renders labelled breakdowns as a table: absolute cycles plus the
+/// percentage of each node's finish time, one row per entry.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::{breakdown_table, CycleBreakdown};
+///
+/// let b = CycleBreakdown { setup: 25, busy: 50, bus_stall: 0, starved: 20, idle: 5 };
+/// let t = breakdown_table(&[("node 0".to_string(), b, 100)]);
+/// assert!(t.to_ascii().contains("starved"));
+/// assert!(t.to_csv().contains("20.0"));
+/// ```
+pub fn breakdown_table(rows: &[(String, CycleBreakdown, Cycle)]) -> Table {
+    let mut t = Table::new(&[
+        "node", "finish", "setup", "busy", "bus_stall", "starved", "idle", "setup%", "busy%",
+        "stall%", "starved%", "idle%",
+    ]);
+    for (label, b, finish) in rows {
+        let pct = b.percentages(*finish);
+        let mut row = vec![label.clone(), finish.to_string()];
+        row.extend(b.as_array().iter().map(u64::to_string));
+        row.extend(pct.iter().map(|p| format!("{p:.1}")));
+        t.row_owned(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_verifies() {
+        let b = CycleBreakdown { setup: 1, busy: 2, bus_stall: 3, starved: 4, idle: 5 };
+        assert_eq!(b.total(), 15);
+        assert!(b.verify(15).is_ok());
+        let err = b.verify(16).unwrap_err();
+        assert!(err.to_string().contains("sums to 15"));
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = CycleBreakdown { setup: 1, busy: 2, bus_stall: 3, starved: 4, idle: 5 };
+        let mut b = a;
+        b += a;
+        assert_eq!(b.total(), 30);
+        assert_eq!(b.bus_stall, 6);
+    }
+
+    #[test]
+    fn percentages_split_finish() {
+        let b = CycleBreakdown { setup: 25, busy: 25, bus_stall: 25, starved: 25, idle: 0 };
+        let pct = b.percentages(100);
+        assert_eq!(pct, [25.0, 25.0, 25.0, 25.0, 0.0]);
+        assert_eq!(b.percentages(0), [0.0; 5]);
+    }
+
+    #[test]
+    fn table_has_one_row_per_node() {
+        let b = CycleBreakdown { setup: 10, busy: 80, bus_stall: 0, starved: 10, idle: 0 };
+        let t = breakdown_table(&[
+            ("n0".to_string(), b, 100),
+            ("n1".to_string(), b, 100),
+        ]);
+        assert_eq!(t.len(), 2);
+    }
+}

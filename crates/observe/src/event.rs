@@ -1,0 +1,121 @@
+//! The trace-event vocabulary of the machine.
+//!
+//! Events are emitted *in simulation order* (triangle by triangle), not in
+//! global time order: the machine computes each triangle's whole lifetime
+//! eagerly, so a pop at cycle 900 can be recorded before a push at cycle
+//! 400 of a later triangle. Per node, push times and pop times are each
+//! monotone; consumers that need a timeline ([`crate::series`],
+//! [`crate::perfetto`]) sort by time first.
+
+use crate::Cycle;
+
+/// One machine event, tagged with the node it happened on.
+///
+/// All times are engine cycles. `tri` is the triangle's index in the
+/// fragment stream (culled triangles never appear).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A routed triangle's engine scan began (it left the FIFO).
+    TriStart {
+        /// Node that owns the scan.
+        node: u32,
+        /// Stream index of the triangle.
+        tri: u32,
+        /// Cycle the engine dequeued it.
+        at: Cycle,
+        /// Fragments this node owns of it.
+        frags: u32,
+    },
+    /// A routed triangle released the engine (scan + setup floor done).
+    TriRetire {
+        /// Node that owned the scan.
+        node: u32,
+        /// Stream index of the triangle.
+        tri: u32,
+        /// Cycle the engine became free.
+        at: Cycle,
+    },
+    /// A broadcast triangle whose bounding box missed this node's region
+    /// was discarded by the clipper (it still occupied a FIFO slot).
+    TriDiscard {
+        /// Node that discarded it.
+        node: u32,
+        /// Stream index of the triangle.
+        tri: u32,
+        /// Cycle the clipper reached it.
+        at: Cycle,
+    },
+    /// The geometry stage pushed a triangle into this node's FIFO.
+    FifoPush {
+        /// Node whose FIFO took the slot.
+        node: u32,
+        /// Send cycle.
+        at: Cycle,
+    },
+    /// A triangle left this node's FIFO (scan started or clipper discard).
+    FifoPop {
+        /// Node whose FIFO freed the slot.
+        node: u32,
+        /// Dequeue cycle.
+        at: Cycle,
+    },
+    /// One cache-miss line fill occupied the node's texture bus — the bus
+    /// transaction *and* the miss event (misses and fills are 1:1).
+    BusFill {
+        /// Node whose private bus carried the fill.
+        node: u32,
+        /// Cache-line address fetched.
+        line: u32,
+        /// Cycle the transfer started.
+        at: Cycle,
+        /// Bus occupancy in cycles.
+        cost: Cycle,
+    },
+}
+
+impl TraceEvent {
+    /// The node the event belongs to.
+    pub fn node(&self) -> u32 {
+        match *self {
+            TraceEvent::TriStart { node, .. }
+            | TraceEvent::TriRetire { node, .. }
+            | TraceEvent::TriDiscard { node, .. }
+            | TraceEvent::FifoPush { node, .. }
+            | TraceEvent::FifoPop { node, .. }
+            | TraceEvent::BusFill { node, .. } => node,
+        }
+    }
+
+    /// The cycle the event happened at (transfer start for bus fills).
+    pub fn at(&self) -> Cycle {
+        match *self {
+            TraceEvent::TriStart { at, .. }
+            | TraceEvent::TriRetire { at, .. }
+            | TraceEvent::TriDiscard { at, .. }
+            | TraceEvent::FifoPush { at, .. }
+            | TraceEvent::FifoPop { at, .. }
+            | TraceEvent::BusFill { at, .. } => at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let events = [
+            TraceEvent::TriStart { node: 1, tri: 2, at: 3, frags: 4 },
+            TraceEvent::TriRetire { node: 1, tri: 2, at: 5 },
+            TraceEvent::TriDiscard { node: 1, tri: 2, at: 6 },
+            TraceEvent::FifoPush { node: 1, at: 7 },
+            TraceEvent::FifoPop { node: 1, at: 8 },
+            TraceEvent::BusFill { node: 1, line: 9, at: 10, cost: 16 },
+        ];
+        for e in events {
+            assert_eq!(e.node(), 1);
+            assert!(e.at() >= 3);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! `sortmid-observe` — cycle-attributed tracing and metrics for the
+//! `sortmid` machine.
+//!
+//! The paper's central claims are *time-domain* phenomena: triangle-FIFO
+//! starvation (Figure 8), bus-saturation bursts (Section 6) and setup
+//! overhead (Figure 5). End-of-run totals can say *that* a configuration
+//! loses; only a timeline can say *why* and *when*. This crate is the
+//! observability layer the simulator threads through its hot path:
+//!
+//! * [`sink::TraceSink`] — a generic event sink parameter. The machine,
+//!   nodes and engine are generic over it; the [`sink::NullSink`]
+//!   monomorphizes every `record` call to nothing, so untraced runs pay
+//!   zero cost (a bench guard in `sortmid-bench` pins this).
+//! * [`event::TraceEvent`] — the event vocabulary: triangle start/retire/
+//!   discard, FIFO push/pop, and bus line-fill transactions (one per cache
+//!   miss).
+//! * [`breakdown::CycleBreakdown`] — per-node cycle accounting. Every
+//!   cycle from 0 to a node's finish time is attributed to exactly one of
+//!   {triangle-setup, shading-busy, bus-stall, fifo-starved,
+//!   idle-after-finish}, with the identity `setup + busy + bus_stall +
+//!   starved + idle == finish` enforced by construction and checked by
+//!   property tests and `bench_check`.
+//! * [`series::TimeSeries`] — cadence-bucketed sampling of FIFO occupancy
+//!   and bus utilization, rendered as terminal charts/tables through
+//!   `sortmid-util`.
+//! * [`perfetto`] — a Chrome-trace-event exporter: a recorded run becomes
+//!   a `TRACE_<config>.json` that opens directly in `ui.perfetto.dev`.
+//!
+//! # Examples
+//!
+//! Recording and summarising events (the machine does the recording in a
+//! real run):
+//!
+//! ```
+//! use sortmid_observe::{TraceEvent, TraceRecorder, TraceSink};
+//!
+//! let mut rec = TraceRecorder::new();
+//! rec.record(TraceEvent::FifoPush { node: 0, at: 10 });
+//! rec.record(TraceEvent::FifoPop { node: 0, at: 35 });
+//! assert_eq!(rec.events().len(), 2);
+//! assert_eq!(rec.fifo_steps(0), vec![(10, 1), (35, -1)]);
+//! ```
+
+pub mod breakdown;
+pub mod event;
+pub mod perfetto;
+pub mod series;
+pub mod sink;
+
+pub use breakdown::{breakdown_table, CycleBreakdown, CycleIdentityError};
+pub use event::TraceEvent;
+pub use perfetto::chrome_trace;
+pub use series::TimeSeries;
+pub use sink::{NullSink, TraceRecorder, TraceSink};
+
+/// Simulation time in engine cycles, mirroring `sortmid_memsys::Cycle`
+/// (redeclared here so the substrate can depend on this crate without a
+/// cycle).
+pub type Cycle = u64;

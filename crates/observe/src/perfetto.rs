@@ -1,0 +1,215 @@
+//! Chrome-trace-event (Perfetto) export of a recorded run.
+//!
+//! The JSON this module emits follows the Trace Event Format that
+//! `ui.perfetto.dev` and `chrome://tracing` load directly: a top-level
+//! `traceEvents` array of `M` (metadata), `X` (complete/duration), `i`
+//! (instant) and `C` (counter) events. The mapping:
+//!
+//! * each simulated **node is a process** (`pid` = node id), named via
+//!   `process_name` metadata;
+//! * `tid` 0 is the node's **scan engine** (triangle spans, discard
+//!   instants), `tid` 1 its **texture bus** (line-fill spans);
+//! * the **FIFO depth** is a per-node counter track, stepped at every
+//!   push/pop;
+//! * one simulated **cycle is rendered as one microsecond** (`ts`/`dur`
+//!   are µs in the trace format; cycle counts read directly off the
+//!   Perfetto timeline).
+
+use crate::sink::TraceRecorder;
+use crate::TraceEvent;
+use sortmid_devharness::json::Json;
+
+fn meta_event(name: &str, pid: u32, tid: Option<u32>, value: &str) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::str(name)),
+        ("ph".to_string(), Json::str("M")),
+        ("pid".to_string(), Json::U64(pid as u64)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Json::U64(tid as u64)));
+    }
+    fields.push((
+        "args".to_string(),
+        Json::obj([("name", Json::str(value))]),
+    ));
+    Json::Obj(fields)
+}
+
+fn complete_event(
+    name: String,
+    cat: &str,
+    pid: u32,
+    tid: u32,
+    ts: u64,
+    dur: u64,
+    args: Vec<(String, Json)>,
+) -> Json {
+    Json::obj([
+        ("name", Json::Str(name)),
+        ("cat", Json::str(cat)),
+        ("ph", Json::str("X")),
+        ("ts", Json::U64(ts)),
+        ("dur", Json::U64(dur)),
+        ("pid", Json::U64(pid as u64)),
+        ("tid", Json::U64(tid as u64)),
+        ("args", Json::Obj(args)),
+    ])
+}
+
+/// Exports a recorded run as a Chrome-trace-event document.
+///
+/// `node_labels[i]` names node `i`'s process track (e.g. its cache model);
+/// nodes beyond the slice fall back to `node <i>`.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::{chrome_trace, TraceEvent, TraceRecorder, TraceSink};
+///
+/// let mut rec = TraceRecorder::new();
+/// rec.record(TraceEvent::TriStart { node: 0, tri: 0, at: 0, frags: 2 });
+/// rec.record(TraceEvent::TriRetire { node: 0, tri: 0, at: 25 });
+/// let doc = chrome_trace(&rec, &[]);
+/// let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+/// assert!(events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")));
+/// ```
+pub fn chrome_trace(rec: &TraceRecorder, node_labels: &[String]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let nodes = rec.node_count();
+
+    for node in 0..nodes {
+        let label = node_labels
+            .get(node as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("node {node}"));
+        events.push(meta_event("process_name", node, None, &label));
+        events.push(meta_event("thread_name", node, Some(0), "engine"));
+        events.push(meta_event("thread_name", node, Some(1), "texture-bus"));
+    }
+
+    // Engine and bus spans, plus discard instants, straight from events.
+    for e in rec.events() {
+        match *e {
+            TraceEvent::BusFill { node, line, at, cost } => {
+                events.push(complete_event(
+                    format!("fill L{line}"),
+                    "bus",
+                    node,
+                    1,
+                    at,
+                    cost,
+                    vec![("line".to_string(), Json::U64(line as u64))],
+                ));
+            }
+            TraceEvent::TriDiscard { node, tri, at } => {
+                events.push(Json::obj([
+                    ("name", Json::Str(format!("discard tri {tri}"))),
+                    ("cat", Json::str("discard")),
+                    ("ph", Json::str("i")),
+                    ("ts", Json::U64(at)),
+                    ("pid", Json::U64(node as u64)),
+                    ("tid", Json::U64(0)),
+                    ("s", Json::str("t")),
+                ]));
+            }
+            _ => {}
+        }
+    }
+
+    // Triangle spans need start/retire pairing per node.
+    for node in 0..nodes {
+        for (start, end, tri) in rec.triangle_spans(node) {
+            events.push(complete_event(
+                format!("tri {tri}"),
+                "triangle",
+                node,
+                0,
+                start,
+                end - start,
+                vec![("tri".to_string(), Json::U64(tri as u64))],
+            ));
+        }
+
+        // FIFO depth as a counter track, one sample per change.
+        let mut depth: i64 = 0;
+        let mut last_at: Option<u64> = None;
+        for (at, step) in rec.fifo_steps(node) {
+            depth += step;
+            // Coalesce simultaneous steps into the final value at `at`.
+            if last_at == Some(at) {
+                if let Some(Json::Obj(fields)) = events.last_mut() {
+                    if let Some((_, args)) = fields.iter_mut().find(|(k, _)| k == "args") {
+                        *args = Json::obj([("triangles", Json::U64(depth.max(0) as u64))]);
+                        continue;
+                    }
+                }
+            }
+            last_at = Some(at);
+            events.push(Json::obj([
+                ("name", Json::str("fifo-depth")),
+                ("ph", Json::str("C")),
+                ("ts", Json::U64(at)),
+                ("pid", Json::U64(node as u64)),
+                ("args", Json::obj([("triangles", Json::U64(depth.max(0) as u64))])),
+            ]));
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSink;
+
+    fn sample_recorder() -> TraceRecorder {
+        let mut rec = TraceRecorder::new();
+        rec.record(TraceEvent::FifoPush { node: 0, at: 0 });
+        rec.record(TraceEvent::FifoPop { node: 0, at: 5 });
+        rec.record(TraceEvent::TriStart { node: 0, tri: 3, at: 5, frags: 2 });
+        rec.record(TraceEvent::BusFill { node: 0, line: 9, at: 6, cost: 16 });
+        rec.record(TraceEvent::TriRetire { node: 0, tri: 3, at: 30 });
+        rec.record(TraceEvent::TriDiscard { node: 1, tri: 3, at: 5 });
+        rec
+    }
+
+    #[test]
+    fn document_round_trips_through_the_parser() {
+        let doc = chrome_trace(&sample_recorder(), &["16KB".to_string()]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn has_metadata_spans_counters_and_instants() {
+        let doc = chrome_trace(&sample_recorder(), &[]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phase = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(phase("M"), 6, "2 nodes x (process + 2 thread names)");
+        assert_eq!(phase("X"), 2, "one triangle span + one bus fill");
+        assert_eq!(phase("C"), 2, "fifo push + pop samples");
+        assert_eq!(phase("i"), 1, "one discard instant");
+    }
+
+    #[test]
+    fn triangle_span_duration_matches_retire() {
+        let doc = chrome_trace(&sample_recorder(), &[]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let tri = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("triangle"))
+            .unwrap();
+        assert_eq!(tri.get("ts").and_then(Json::as_u64), Some(5));
+        assert_eq!(tri.get("dur").and_then(Json::as_u64), Some(25));
+    }
+}

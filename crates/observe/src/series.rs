@@ -1,0 +1,207 @@
+//! Cadence-bucketed time series over a recorded run.
+//!
+//! A full event trace is exact but bulky; for terminal summaries the
+//! interesting signals — FIFO occupancy, bus utilization — are sampled
+//! into fixed-width cycle bins. A bin holds the *time-weighted mean* of
+//! the signal over its cadence window, so a FIFO that sat at depth 8 for
+//! half a bin and empty for the other half reads 4.0.
+
+use crate::Cycle;
+use sortmid_util::chart::{Chart, Series};
+use sortmid_util::table::Table;
+
+/// A sampled signal: `bins[i]` covers cycles `[i*cadence, (i+1)*cadence)`.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::TimeSeries;
+///
+/// // A queue that holds one entry from cycle 0 to 50, then empties.
+/// let ts = TimeSeries::occupancy(&[(0, 1), (50, -1)], 50, 100);
+/// assert_eq!(ts.bins(), &[1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    cadence: Cycle,
+    bins: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Integrates `(cycle, ±1)` steps (sorted by cycle) into per-bin mean
+    /// queue depth over `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence` is zero.
+    pub fn occupancy(steps: &[(Cycle, i64)], cadence: Cycle, horizon: Cycle) -> TimeSeries {
+        assert!(cadence > 0, "cadence must be at least one cycle");
+        let n_bins = (horizon.div_ceil(cadence)).max(1) as usize;
+        let mut area = vec![0.0f64; n_bins];
+        let mut level: i64 = 0;
+        let mut t: Cycle = 0;
+        let mut idx = 0usize;
+        while t < horizon {
+            // Apply all steps at time t before integrating past it.
+            while idx < steps.len() && steps[idx].0 <= t {
+                level += steps[idx].1;
+                idx += 1;
+            }
+            let next_change = steps.get(idx).map_or(horizon, |s| s.0.min(horizon));
+            let until = next_change.max(t + 1).min(horizon);
+            // Spread `level` over [t, until) across the bins it crosses.
+            let mut seg = t;
+            while seg < until {
+                let bin = (seg / cadence) as usize;
+                let bin_end = ((bin as u64 + 1) * cadence).min(until);
+                area[bin] += level.max(0) as f64 * (bin_end - seg) as f64;
+                seg = bin_end;
+            }
+            t = until;
+        }
+        let bins = area.into_iter().map(|a| a / cadence as f64).collect();
+        TimeSeries { cadence, bins }
+    }
+
+    /// Buckets non-overlapping `(start, end)` busy spans into per-bin
+    /// utilization (fraction of the bin covered) over `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence` is zero.
+    pub fn utilization(spans: &[(Cycle, Cycle)], cadence: Cycle, horizon: Cycle) -> TimeSeries {
+        assert!(cadence > 0, "cadence must be at least one cycle");
+        let n_bins = (horizon.div_ceil(cadence)).max(1) as usize;
+        let mut busy = vec![0.0f64; n_bins];
+        for &(start, end) in spans {
+            let mut seg = start.min(horizon);
+            let end = end.min(horizon);
+            while seg < end {
+                let bin = (seg / cadence) as usize;
+                let bin_end = ((bin as u64 + 1) * cadence).min(end);
+                busy[bin] += (bin_end - seg) as f64;
+                seg = bin_end;
+            }
+        }
+        let bins = busy.into_iter().map(|b| b / cadence as f64).collect();
+        TimeSeries { cadence, bins }
+    }
+
+    /// The bin width in cycles.
+    pub fn cadence(&self) -> Cycle {
+        self.cadence
+    }
+
+    /// The per-bin means.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// The largest bin value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.bins.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The mean over all bins (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.bins.is_empty() {
+            0.0
+        } else {
+            self.bins.iter().sum::<f64>() / self.bins.len() as f64
+        }
+    }
+
+    /// Renders the series as an ASCII chart (bin start cycle on x).
+    pub fn chart(&self, label: &str, width: usize, height: usize) -> String {
+        let points: Vec<(f64, f64)> = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i as u64 * self.cadence) as f64, v))
+            .collect();
+        Chart::new(width, height)
+            .series(Series::new(label, points))
+            .render()
+    }
+
+    /// A compact value histogram: `buckets` equal-width value ranges with
+    /// the number of bins (time share) falling in each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn histogram(&self, buckets: usize) -> Table {
+        assert!(buckets > 0, "need at least one bucket");
+        let max = self.max();
+        let width = if max > 0.0 { max / buckets as f64 } else { 1.0 };
+        let mut counts = vec![0u64; buckets];
+        for &v in &self.bins {
+            let b = ((v / width) as usize).min(buckets - 1);
+            counts[b] += 1;
+        }
+        let total = self.bins.len().max(1) as f64;
+        let mut t = Table::new(&["value range", "bins", "time%"]);
+        for (i, &c) in counts.iter().enumerate() {
+            t.row_owned(vec![
+                format!("[{:.1}, {:.1})", i as f64 * width, (i + 1) as f64 * width),
+                c.to_string(),
+                format!("{:.1}", c as f64 * 100.0 / total),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_time_weights_within_a_bin() {
+        // Depth 2 for the first half of a 100-cycle bin, 0 after.
+        let ts = TimeSeries::occupancy(&[(0, 2), (50, -2)], 100, 100);
+        assert_eq!(ts.bins(), &[1.0]);
+    }
+
+    #[test]
+    fn occupancy_spans_multiple_bins() {
+        // One entry alive over cycles [10, 230).
+        let ts = TimeSeries::occupancy(&[(10, 1), (230, -1)], 100, 300);
+        assert_eq!(ts.bins().len(), 3);
+        assert!((ts.bins()[0] - 0.9).abs() < 1e-12);
+        assert_eq!(ts.bins()[1], 1.0);
+        assert!((ts.bins()[2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_of_no_steps_is_flat_zero() {
+        let ts = TimeSeries::occupancy(&[], 10, 100);
+        assert_eq!(ts.bins().len(), 10);
+        assert_eq!(ts.max(), 0.0);
+        assert_eq!(ts.mean(), 0.0);
+    }
+
+    #[test]
+    fn utilization_measures_span_coverage() {
+        let ts = TimeSeries::utilization(&[(0, 16), (20, 36)], 100, 200);
+        assert!((ts.bins()[0] - 0.32).abs() < 1e-12);
+        assert_eq!(ts.bins()[1], 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps_spans_to_horizon() {
+        let ts = TimeSeries::utilization(&[(90, 150)], 100, 100);
+        assert_eq!(ts.bins().len(), 1);
+        assert!((ts.bins()[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chart_and_histogram_render() {
+        let ts = TimeSeries::occupancy(&[(0, 3), (150, -3)], 50, 300);
+        let chart = ts.chart("fifo", 40, 8);
+        assert!(chart.contains("fifo"));
+        let hist = ts.histogram(3);
+        assert_eq!(hist.len(), 3);
+        assert!(hist.to_csv().contains("time%") || hist.to_ascii().contains("time%"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Trace sinks: where the machine's events go.
+//!
+//! The machine, its nodes and the memory-system engine are generic over
+//! [`TraceSink`]. Call sites guard every emission with `if S::ENABLED`, so
+//! with [`NullSink`] the event is never even constructed — the traced and
+//! untraced hot paths compile to the same code (a bench guard in
+//! `sortmid-bench` keeps this honest).
+
+use crate::event::TraceEvent;
+use crate::Cycle;
+
+/// A consumer of machine trace events.
+pub trait TraceSink {
+    /// Whether this sink observes anything. Call sites skip event
+    /// construction entirely when this is `false`, so the check folds away
+    /// at monomorphization time.
+    const ENABLED: bool = true;
+
+    /// Receives one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The no-op sink: untraced runs monomorphize through this.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::{NullSink, TraceEvent, TraceSink};
+///
+/// assert!(!NullSink::ENABLED);
+/// NullSink.record(TraceEvent::FifoPush { node: 0, at: 0 }); // goes nowhere
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// A sink that keeps every event in memory, with per-kind counters and
+/// timeline extraction helpers for the exporters.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::{TraceEvent, TraceRecorder, TraceSink};
+///
+/// let mut rec = TraceRecorder::new();
+/// rec.record(TraceEvent::BusFill { node: 2, line: 7, at: 100, cost: 16 });
+/// assert_eq!(rec.node_count(), 3);
+/// assert_eq!(rec.bus_spans(2), vec![(100, 116)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceSink for TraceRecorder {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every recorded event, in simulation order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// One more than the highest node id seen (0 when empty).
+    pub fn node_count(&self) -> u32 {
+        self.events
+            .iter()
+            .map(|e| e.node() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The latest cycle any event touches (fill ends count).
+    pub fn horizon(&self) -> Cycle {
+        self.events
+            .iter()
+            .map(|e| match *e {
+                TraceEvent::BusFill { at, cost, .. } => at + cost,
+                other => other.at(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-kind event counts:
+    /// `(starts, retires, discards, pushes, pops, fills)`.
+    pub fn counts(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0, 0, 0);
+        for e in &self.events {
+            match e {
+                TraceEvent::TriStart { .. } => c.0 += 1,
+                TraceEvent::TriRetire { .. } => c.1 += 1,
+                TraceEvent::TriDiscard { .. } => c.2 += 1,
+                TraceEvent::FifoPush { .. } => c.3 += 1,
+                TraceEvent::FifoPop { .. } => c.4 += 1,
+                TraceEvent::BusFill { .. } => c.5 += 1,
+            }
+        }
+        c
+    }
+
+    /// FIFO occupancy steps of one node: `(cycle, +1 | -1)` sorted by
+    /// cycle, pushes before pops at equal cycles (a slot is occupied for
+    /// the send cycle even if dequeued the same cycle). Integrating the
+    /// steps yields the FIFO depth over time.
+    pub fn fifo_steps(&self, node: u32) -> Vec<(Cycle, i64)> {
+        let mut steps: Vec<(Cycle, i64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::FifoPush { node: n, at } if n == node => Some((at, 1)),
+                TraceEvent::FifoPop { node: n, at } if n == node => Some((at, -1)),
+                _ => None,
+            })
+            .collect();
+        // +1 sorts before -1 at equal times because we want pushes first.
+        steps.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        steps
+    }
+
+    /// Bus transfer spans `(start, end)` of one node, sorted by start.
+    /// Spans never overlap: the bus serializes fills.
+    pub fn bus_spans(&self, node: u32) -> Vec<(Cycle, Cycle)> {
+        let mut spans: Vec<(Cycle, Cycle)> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::BusFill { node: n, at, cost, .. } if n == node => {
+                    Some((at, at + cost))
+                }
+                _ => None,
+            })
+            .collect();
+        spans.sort_unstable();
+        spans
+    }
+
+    /// Engine occupancy spans `(start, end, tri)` of one node (scan +
+    /// setup floor), sorted by start.
+    pub fn triangle_spans(&self, node: u32) -> Vec<(Cycle, Cycle, u32)> {
+        let mut open: Vec<(u32, Cycle)> = Vec::new();
+        let mut spans = Vec::new();
+        for e in &self.events {
+            match *e {
+                TraceEvent::TriStart { node: n, tri, at, .. } if n == node => {
+                    open.push((tri, at));
+                }
+                TraceEvent::TriRetire { node: n, tri, at } if n == node => {
+                    if let Some(pos) = open.iter().position(|&(t, _)| t == tri) {
+                        let (_, start) = open.swap_remove(pos);
+                        spans.push((start, at, tri));
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.sort_unstable();
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        const { assert!(TraceRecorder::ENABLED) };
+    }
+
+    #[test]
+    fn recorder_counts_and_horizon() {
+        let mut rec = TraceRecorder::new();
+        rec.record(TraceEvent::FifoPush { node: 0, at: 5 });
+        rec.record(TraceEvent::TriStart { node: 0, tri: 0, at: 10, frags: 3 });
+        rec.record(TraceEvent::BusFill { node: 0, line: 1, at: 11, cost: 16 });
+        rec.record(TraceEvent::TriRetire { node: 0, tri: 0, at: 35 });
+        rec.record(TraceEvent::FifoPop { node: 0, at: 10 });
+        let (starts, retires, discards, pushes, pops, fills) = rec.counts();
+        assert_eq!((starts, retires, discards, pushes, pops, fills), (1, 1, 0, 1, 1, 1));
+        assert_eq!(rec.horizon(), 35, "retire at 35 outlives the fill end 27");
+        assert_eq!(rec.node_count(), 1);
+    }
+
+    #[test]
+    fn fifo_steps_sort_pushes_before_pops() {
+        let mut rec = TraceRecorder::new();
+        // Pop recorded first in simulation order, same cycle as a push.
+        rec.record(TraceEvent::FifoPop { node: 3, at: 20 });
+        rec.record(TraceEvent::FifoPush { node: 3, at: 20 });
+        rec.record(TraceEvent::FifoPush { node: 3, at: 10 });
+        assert_eq!(rec.fifo_steps(3), vec![(10, 1), (20, 1), (20, -1)]);
+        assert!(rec.fifo_steps(0).is_empty(), "other nodes unaffected");
+    }
+
+    #[test]
+    fn triangle_spans_pair_start_and_retire() {
+        let mut rec = TraceRecorder::new();
+        rec.record(TraceEvent::TriStart { node: 0, tri: 7, at: 100, frags: 5 });
+        rec.record(TraceEvent::TriRetire { node: 0, tri: 7, at: 125 });
+        rec.record(TraceEvent::TriStart { node: 0, tri: 9, at: 125, frags: 1 });
+        rec.record(TraceEvent::TriRetire { node: 0, tri: 9, at: 150 });
+        assert_eq!(rec.triangle_spans(0), vec![(100, 125, 7), (125, 150, 9)]);
+    }
+}

@@ -23,13 +23,16 @@ else
     echo "==> cargo clippy not installed; skipping lint step"
 fi
 
-# Smoke-run the sweep bench (1 sample, tiny scene) into a scratch dir and
-# validate that the emitted BENCH_*.json parses with the expected schema.
-echo "==> sweep bench smoke + BENCH_*.json schema check"
+# Smoke-run the sweep bench (1 sample, tiny scene) and the trace bin (tiny
+# preset) into a scratch dir, then validate that the emitted BENCH_*.json
+# and TRACE_*.json artefacts parse with the expected schemas.
+echo "==> sweep bench + trace smoke + BENCH/TRACE json schema check"
 bench_dir=$(mktemp -d)
 trap 'rm -rf "$bench_dir"' EXIT
 SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin sweep
+SORTMID_BENCH_DIR="$bench_dir" \
+    cargo run -q --release --offline -p sortmid-bench --bin trace -- --scale 0.05 tiny
 cargo run -q --release --offline -p sortmid-bench --bin bench_check -- "$bench_dir"
 
 echo "tier1: OK"

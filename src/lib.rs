@@ -13,6 +13,7 @@
 //! * [`sortmid_raster`] — the triangle setup + scanline rasterizer.
 //! * [`sortmid_cache`] — the texture-cache simulator.
 //! * [`sortmid_memsys`] — the cycle-level memory-system substrate.
+//! * [`sortmid_observe`] — cycle-attributed tracing, Perfetto export.
 //! * [`sortmid_texture`] — the blocked, mipmapped texture model.
 //! * [`sortmid_geom`] / [`sortmid_util`] — geometry and utility foundations.
 
@@ -20,6 +21,7 @@ pub use sortmid;
 pub use sortmid_cache;
 pub use sortmid_geom;
 pub use sortmid_memsys;
+pub use sortmid_observe;
 pub use sortmid_raster;
 pub use sortmid_scene;
 pub use sortmid_texture;

@@ -1,0 +1,164 @@
+//! Integration tests of the tracing subsystem: tracing must observe the
+//! simulation without perturbing it, and the exported artefacts must be
+//! internally consistent with the run report.
+
+use sortmid::{
+    CacheKind, Distribution, Machine, MachineConfig, RoutingPlan, TraceRecorder, TraceSink,
+};
+use sortmid_observe::{chrome_trace, TimeSeries};
+use sortmid_raster::FragmentStream;
+use sortmid_scene::{Benchmark, SceneBuilder};
+
+fn stream() -> FragmentStream {
+    SceneBuilder::benchmark(Benchmark::Quake)
+        .scale(0.08)
+        .build()
+        .rasterize()
+}
+
+fn config(procs: u32, buffer: usize) -> MachineConfig {
+    MachineConfig::builder()
+        .processors(procs)
+        .distribution(Distribution::block(16))
+        .cache(CacheKind::PaperL1)
+        .bus_ratio(1.0)
+        .triangle_buffer(buffer)
+        .build()
+        .expect("valid config")
+}
+
+/// Tracing is a pure observer: the traced report equals the untraced one,
+/// for both the direct and the plan-replay paths.
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let s = stream();
+    let machine = Machine::new(config(8, 100));
+    let untraced = machine.run(&s);
+    let mut rec = TraceRecorder::new();
+    let traced = machine.run_traced(&s, &mut rec);
+    assert_eq!(untraced, traced);
+    assert!(!rec.is_empty());
+
+    let plan = RoutingPlan::build(&s, &machine.config().distribution, 8);
+    assert_eq!(untraced, machine.run_planned(&s, &plan));
+}
+
+/// Event counts cross-check the report's counters: one start per routed
+/// triangle, one discard per discarded one, a push and a pop per FIFO
+/// slot, and one bus fill per L1 miss.
+#[test]
+fn event_counts_match_the_report() {
+    let s = stream();
+    let live = s.triangles().iter().filter(|t| !t.is_culled()).count() as u64;
+    let machine = Machine::new(config(8, 100));
+    let mut rec = TraceRecorder::new();
+    let report = machine.run_traced(&s, &mut rec);
+
+    let (starts, retires, discards, pushes, pops, fills) = rec.counts();
+    let routed: u64 = report.nodes().iter().map(|n| n.triangles).sum();
+    let discarded: u64 = report.nodes().iter().map(|n| n.discarded).sum();
+    assert_eq!(starts, routed);
+    assert_eq!(retires, routed, "every started triangle retires");
+    assert_eq!(discards, discarded);
+    assert_eq!(pushes, live * 8, "every broadcast occupies every FIFO");
+    assert_eq!(pops, pushes, "every slot is eventually drained");
+    assert_eq!(fills, report.cache_totals().misses(), "one fill per L1 miss");
+
+    // The trace horizon is bounded by the machine's finish (the engine may
+    // outlive the last fill, never the other way round).
+    assert!(rec.horizon() <= report.total_cycles());
+}
+
+/// The Perfetto export round-trips through the JSON parser and contains
+/// the tracks the machine promises: per-node process metadata, triangle
+/// and bus spans, FIFO-depth counters.
+#[test]
+fn perfetto_export_is_structurally_sound() {
+    use sortmid_devharness::Json;
+
+    let s = stream();
+    let machine = Machine::new(config(4, 100));
+    let mut rec = TraceRecorder::new();
+    let report = machine.run_traced(&s, &mut rec);
+
+    let labels = machine.node_labels();
+    assert_eq!(labels.len(), 4);
+    assert!(labels[0].contains("set-assoc"), "{labels:?}");
+
+    let doc = chrome_trace(&rec, &labels);
+    let parsed = Json::parse(&doc.render()).expect("export must be valid JSON");
+    let events = parsed.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+
+    let count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+            .count() as u64
+    };
+    assert_eq!(count("M"), 3 * 4, "process + 2 thread names per node");
+    let routed: u64 = report.nodes().iter().map(|n| n.triangles).sum();
+    let fills = report.cache_totals().misses();
+    assert_eq!(count("X"), routed + fills, "triangle spans + bus-fill spans");
+    assert!(count("C") > 0, "FIFO depth counter samples");
+
+    // Every span stays within the machine's lifetime.
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) == Some("X") {
+            let ts = e.get("ts").and_then(Json::as_u64).expect("ts");
+            let dur = e.get("dur").and_then(Json::as_u64).expect("dur");
+            assert!(ts + dur <= report.total_cycles());
+        }
+    }
+}
+
+/// The sampled series agree with the report: integrated bus utilization
+/// matches bus-busy cycles, and a tiny FIFO shows deeper starvation than
+/// an ideal one.
+#[test]
+fn series_and_starvation_agree_with_reports() {
+    let s = stream();
+
+    let machine = Machine::new(config(8, 100));
+    let mut rec = TraceRecorder::new();
+    let report = machine.run_traced(&s, &mut rec);
+    let horizon = report.total_cycles();
+    for (i, node) in report.nodes().iter().enumerate() {
+        let util = TimeSeries::utilization(&rec.bus_spans(i as u32), 1.max(horizon / 50), horizon);
+        let integrated: f64 = util.bins().iter().sum::<f64>() * util.cadence() as f64;
+        let expected = node.bus_busy_cycles as f64;
+        assert!(
+            (integrated - expected).abs() < 1e-6 * expected.max(1.0),
+            "node {i}: integrated {integrated} vs busy {expected}"
+        );
+    }
+
+    let starved = |buffer: usize| {
+        Machine::new(config(8, buffer))
+            .run(&s)
+            .total_starved()
+    };
+    assert!(
+        starved(1) > starved(10_000),
+        "head-of-line blocking must show up as starvation"
+    );
+}
+
+/// A custom sink sees the same stream `TraceRecorder` stores.
+#[test]
+fn custom_sinks_plug_in() {
+    struct CountingSink(u64);
+    impl TraceSink for CountingSink {
+        fn record(&mut self, _event: sortmid::TraceEvent) {
+            self.0 += 1;
+        }
+    }
+
+    let s = stream();
+    let machine = Machine::new(config(4, 100));
+    let mut counter = CountingSink(0);
+    machine.run_traced(&s, &mut counter);
+    let mut rec = TraceRecorder::new();
+    machine.run_traced(&s, &mut rec);
+    assert_eq!(counter.0, rec.len() as u64);
+    assert!(counter.0 > 0);
+}

@@ -157,6 +157,57 @@ fn broadcast_accounting() {
     );
 }
 
+/// The cycle-accounting identity: on every node of every random
+/// configuration, `setup + busy + bus_stall + starved + idle` equals the
+/// node's finish cycle *exactly* — the engine attributes each cycle to one
+/// category as it advances, so the books always balance.
+#[test]
+fn cycle_breakdown_identity() {
+    check(
+        "cycle_breakdown_identity",
+        &machine_cases(),
+        |g| {
+            (
+                arb_distribution(g),
+                g.u32_in(1..64),
+                g.pick(&[1usize, 7, 100, 10_000]),
+                g.choice(2),
+            )
+        },
+        |(dist, procs, buffer, cache_idx)| {
+            let s = stream();
+            let cache = match cache_idx {
+                0 => CacheKind::Perfect,
+                _ => CacheKind::PaperL1,
+            };
+            let config = MachineConfig::builder()
+                .processors(*procs)
+                .distribution(dist.clone())
+                .cache(cache)
+                .bus_ratio(1.0)
+                .triangle_buffer(*buffer)
+                .build()
+                .expect("valid");
+            let report = Machine::new(config).run(s);
+            for (i, node) in report.nodes().iter().enumerate() {
+                let b = node.cycle_breakdown();
+                prop_assert!(
+                    b.verify(node.finish).is_ok(),
+                    "node {i}: {b} sums to {} but finish is {}",
+                    b.total(),
+                    node.finish
+                );
+                prop_assert_eq!(
+                    node.busy_cycles,
+                    b.setup + b.busy,
+                    "busy_cycles must stay scan + setup floor"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Tiling invariant: for block(w) and sli(g) at every paper machine size,
 /// each screen pixel is owned by exactly one node — the owner is always a
 /// valid node index, and the routing layer agrees (a one-pixel bounding box
