@@ -1,12 +1,14 @@
-//! CI validator for `BENCH_*.json` and `TRACE_*.json` artefacts.
+//! CI validator for `BENCH_*.json`, `TRACE_*.json` and `HEATMAP_*.json`
+//! artefacts, plus the bench regression gate.
 //!
-//! Parses every `BENCH_*.json` in a directory (argument, or the current
-//! directory) with the devharness JSON reader and checks the schema that
-//! [`sortmid_devharness::bench::Suite`] emits: top-level `suite`,
-//! `warmup_iters`, `samples`, and a `benchmarks` array whose entries carry
-//! `id`, `median_ns`, `p10_ns`, `p90_ns` and a non-empty `samples_ns`
-//! array. The sweep artefact must additionally carry the observability
-//! extras: `cycle_breakdowns` (per config, per node
+//! Parses every `BENCH_*.json` in a directory (argument, or the workspace
+//! root when run without one — resolved from the manifest so the check
+//! works from any cwd) with the devharness JSON reader and checks the
+//! schema that [`sortmid_devharness::bench::Suite`] emits: top-level
+//! `suite`, `warmup_iters`, `samples`, and a `benchmarks` array whose
+//! entries carry `id`, `median_ns`, `p10_ns`, `p90_ns` and a non-empty
+//! `samples_ns` array. The sweep artefact must additionally carry the
+//! observability extras: `cycle_breakdowns` (per config, per node
 //! `[setup, busy, bus_stall, starved, idle, finish]` — the first five must
 //! sum *exactly* to the sixth, and the machine total must be the max node
 //! finish) and a `reference` comparison against the pre-tracing median.
@@ -17,13 +19,43 @@
 //! `ts`/`dur`/`name`, counter (`C`) events with an `args` object, and at
 //! least one metadata (`M`) event naming a track.
 //!
-//! Exits non-zero (listing every problem) if any artefact is malformed, so
-//! a bench or trace binary that silently emits garbage fails tier-1.
+//! `HEATMAP_*.json` files (from the `heatmap` bin) are checked for grid
+//! geometry consistency (every per-tile metric is `rows`×`cols`), fragment
+//! conservation (tile sums and node sums both equal the `fragments`
+//! total), and the per-node three-C identity
+//! `compulsory + capacity + conflict == misses`.
+//!
+//! With `--against <baseline>` the sweep artefact's *simulated* cycle
+//! totals are additionally gated against a committed baseline (e.g.
+//! `BENCH_baseline.json`): configs are grouped by processor count and
+//! distribution, and any group whose median `total_cycles` regresses by
+//! more than 15% fails the check. Cycles are deterministic — unlike the
+//! wall-clock `median_ns`, which varies with the host and is therefore
+//! only reported, never gated.
+//!
+//! Exits non-zero (listing every problem) if any artefact is malformed or
+//! regressed, so a bench binary that silently emits garbage — or a change
+//! that silently slows a machine configuration — fails tier-1.
 
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use sortmid_devharness::json::Json;
+
+/// Fractional simulated-cycle growth a config group may show over the
+/// baseline before the gate fails.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// The workspace root, resolved from this crate's manifest
+/// (`crates/bench` → two levels up) so the default paths work from any
+/// current directory.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench manifest sits two levels under the workspace root")
+}
 
 /// Checks one parsed artefact, appending human-readable problems.
 fn check_doc(name: &str, doc: &Json, problems: &mut Vec<String>) {
@@ -188,6 +220,279 @@ fn check_trace(name: &str, doc: &Json, problems: &mut Vec<String>) {
     }
 }
 
+/// The per-tile metric planes every `HEATMAP_*.json` must carry.
+const HEATMAP_TILE_METRICS: [&str; 7] = [
+    "fragments",
+    "setup_cycles",
+    "lines_fetched",
+    "miss_compulsory",
+    "miss_capacity",
+    "miss_conflict",
+    "owner",
+];
+
+/// Validates one `HEATMAP_*.json` spatial-attribution document: grid
+/// geometry, fragment conservation, and the per-node three-C identity.
+fn check_heatmap(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    for key in ["preset", "config"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            problems.push(format!("{name}: missing or mistyped key '{key}'"));
+        }
+    }
+    for key in ["width", "height"] {
+        if doc
+            .get("screen")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_u64)
+            .is_none()
+        {
+            problems.push(format!("{name}: missing or mistyped 'screen.{key}'"));
+        }
+    }
+    if doc.get("fragment_gini").and_then(Json::as_f64).is_none() {
+        problems.push(format!("{name}: missing or mistyped key 'fragment_gini'"));
+    }
+    let geometry: Option<(u64, u64)> = match (
+        doc.get("tile").and_then(Json::as_u64),
+        doc.get("cols").and_then(Json::as_u64),
+        doc.get("rows").and_then(Json::as_u64),
+    ) {
+        (Some(tile), Some(cols), Some(rows)) if tile > 0 && cols > 0 && rows > 0 => {
+            Some((cols, rows))
+        }
+        _ => {
+            problems.push(format!(
+                "{name}: 'tile'/'cols'/'rows' must be positive integers"
+            ));
+            None
+        }
+    };
+    let Some(fragments) = doc.get("fragments").and_then(Json::as_u64) else {
+        problems.push(format!("{name}: missing or mistyped key 'fragments'"));
+        return;
+    };
+
+    // Every metric plane is rows x cols of integers; the fragment plane
+    // must additionally conserve the total.
+    let mut tile_fragment_sum: Option<u64> = None;
+    match doc.get("tiles") {
+        None => problems.push(format!("{name}: missing 'tiles' object")),
+        Some(tiles) => {
+            for metric in HEATMAP_TILE_METRICS {
+                let Some(rows) = tiles.get(metric).and_then(Json::as_arr) else {
+                    problems.push(format!("{name}: missing or mistyped 'tiles.{metric}'"));
+                    continue;
+                };
+                let mut sum = 0u64;
+                let mut shape_ok = geometry.is_none_or(|(_, r)| rows.len() as u64 == r);
+                for row in rows {
+                    match row.as_arr() {
+                        Some(cells) => {
+                            shape_ok &= geometry.is_none_or(|(c, _)| cells.len() as u64 == c);
+                            for cell in cells {
+                                match cell.as_u64() {
+                                    Some(v) => sum += v,
+                                    None => shape_ok = false,
+                                }
+                            }
+                        }
+                        None => shape_ok = false,
+                    }
+                }
+                if !shape_ok {
+                    problems.push(format!(
+                        "{name}: 'tiles.{metric}' is not a rows x cols integer grid"
+                    ));
+                }
+                if metric == "fragments" {
+                    tile_fragment_sum = Some(sum);
+                }
+            }
+        }
+    }
+    if let Some(sum) = tile_fragment_sum {
+        if sum != fragments {
+            problems.push(format!(
+                "{name}: tile fragments sum to {sum}, document total is {fragments}"
+            ));
+        }
+    }
+
+    let Some(nodes) = doc.get("nodes").and_then(Json::as_arr) else {
+        problems.push(format!("{name}: missing or mistyped 'nodes'"));
+        return;
+    };
+    if nodes.is_empty() {
+        problems.push(format!("{name}: 'nodes' is empty"));
+    }
+    let mut node_fragment_sum = 0u64;
+    for (i, node) in nodes.iter().enumerate() {
+        let counts: Vec<Option<u64>> = ["fragments", "misses", "compulsory", "capacity", "conflict"]
+            .iter()
+            .map(|k| node.get(k).and_then(Json::as_u64))
+            .collect();
+        match counts[..] {
+            [Some(frags), Some(misses), Some(com), Some(cap), Some(con)] => {
+                node_fragment_sum += frags;
+                if com + cap + con != misses {
+                    problems.push(format!(
+                        "{name}/node{i}: three-C identity broken: \
+                         {com}+{cap}+{con} != {misses} misses"
+                    ));
+                }
+            }
+            _ => problems.push(format!(
+                "{name}/node{i}: missing or mistyped fragment/miss counters"
+            )),
+        }
+    }
+    if node_fragment_sum != fragments {
+        problems.push(format!(
+            "{name}: node fragments sum to {node_fragment_sum}, document total is {fragments}"
+        ));
+    }
+}
+
+/// Per-group median simulated cycles of a sweep document, keyed by the
+/// first two config segments (`<procs>p/<distribution>`).
+fn sweep_group_medians(doc: &Json) -> BTreeMap<String, f64> {
+    let mut groups: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    if let Some(configs) = doc.get("cycle_breakdowns").and_then(Json::as_arr) {
+        for entry in configs {
+            let (Some(config), Some(total)) = (
+                entry.get("config").and_then(Json::as_str),
+                entry.get("total_cycles").and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            let key: Vec<&str> = config.splitn(3, '/').collect();
+            if key.len() >= 2 {
+                groups
+                    .entry(format!("{}/{}", key[0], key[1]))
+                    .or_default()
+                    .push(total);
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(k, mut v)| {
+            v.sort_unstable();
+            let mid = v.len() / 2;
+            let median = if v.len() % 2 == 1 {
+                v[mid] as f64
+            } else {
+                (v[mid - 1] + v[mid]) as f64 / 2.0
+            };
+            (k, median)
+        })
+        .collect()
+}
+
+/// Gates current per-group cycle medians against a baseline: any group
+/// regressing by more than [`REGRESSION_TOLERANCE`] — or missing from the
+/// current run — is a problem. Improvements and new groups only inform.
+fn compare_groups(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    problems: &mut Vec<String>,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (group, &base) in baseline {
+        let Some(&now) = current.get(group) else {
+            problems.push(format!(
+                "regression gate: group '{group}' present in baseline but missing from current sweep"
+            ));
+            continue;
+        };
+        let ratio = if base > 0.0 { now / base } else { 1.0 };
+        lines.push(format!(
+            "  {group:24} {base:>14.0} -> {now:>14.0} cycles ({:+.1}%)",
+            (ratio - 1.0) * 100.0
+        ));
+        if ratio > 1.0 + REGRESSION_TOLERANCE {
+            problems.push(format!(
+                "regression gate: group '{group}' median cycles regressed {:.1}% \
+                 (baseline {base:.0}, current {now:.0}, tolerance {:.0}%)",
+                (ratio - 1.0) * 100.0,
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+    for group in current.keys() {
+        if !baseline.contains_key(group) {
+            lines.push(format!("  {group:24} (new group, no baseline)"));
+        }
+    }
+    lines
+}
+
+/// Runs the `--against` gate: loads both sweep documents, validates the
+/// baseline's own identities, and compares per-group cycle medians.
+fn run_gate(dir: &Path, baseline_path: &Path, problems: &mut Vec<String>) {
+    let baseline_path = if baseline_path.exists() {
+        baseline_path.to_path_buf()
+    } else {
+        // Bare names like `BENCH_baseline.json` resolve against the
+        // workspace root, so the gate works from any cwd.
+        workspace_root().join(baseline_path)
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            problems.push(format!(
+                "regression gate: cannot load baseline {}: {e}",
+                baseline_path.display()
+            ));
+            return;
+        }
+    };
+    // Identity drift in the baseline itself is as fatal as in the run.
+    check_doc(
+        &format!("baseline({})", baseline_path.display()),
+        &baseline,
+        problems,
+    );
+
+    let current_path = dir.join("BENCH_sweep.json");
+    let current = match std::fs::read_to_string(&current_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            problems.push(format!(
+                "regression gate: cannot load current sweep {}: {e}",
+                current_path.display()
+            ));
+            return;
+        }
+    };
+
+    let base_groups = sweep_group_medians(&baseline);
+    let cur_groups = sweep_group_medians(&current);
+    if base_groups.is_empty() {
+        problems.push(format!(
+            "regression gate: baseline {} has no cycle_breakdowns groups",
+            baseline_path.display()
+        ));
+        return;
+    }
+    let lines = compare_groups(&cur_groups, &base_groups, problems);
+    println!(
+        "regression gate vs {} ({} groups, tolerance {:.0}%):",
+        baseline_path.display(),
+        base_groups.len(),
+        REGRESSION_TOLERANCE * 100.0
+    );
+    for line in lines {
+        println!("{line}");
+    }
+}
+
 fn run(dir: &Path) -> Result<usize, String> {
     let mut problems = Vec::new();
     let mut checked = 0usize;
@@ -199,7 +504,8 @@ fn run(dir: &Path) -> Result<usize, String> {
             p.file_name()
                 .and_then(|n| n.to_str())
                 .is_some_and(|n| {
-                    (n.starts_with("BENCH_") || n.starts_with("TRACE_")) && n.ends_with(".json")
+                    (n.starts_with("BENCH_") || n.starts_with("TRACE_") || n.starts_with("HEATMAP_"))
+                        && n.ends_with(".json")
                 })
         })
         .collect();
@@ -218,6 +524,8 @@ fn run(dir: &Path) -> Result<usize, String> {
             Ok(doc) => {
                 if name.starts_with("TRACE_") {
                     check_trace(&name, &doc, &mut problems);
+                } else if name.starts_with("HEATMAP_") {
+                    check_heatmap(&name, &doc, &mut problems);
                 } else {
                     check_doc(&name, &doc, &mut problems);
                 }
@@ -235,19 +543,162 @@ fn run(dir: &Path) -> Result<usize, String> {
 }
 
 fn main() -> ExitCode {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
-    match run(Path::new(&dir)) {
+    let mut dir: Option<PathBuf> = None;
+    let mut against: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--against" => match args.next() {
+                Some(p) => against = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("bench_check: --against needs a baseline path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bench_check [dir] [--against <baseline BENCH json>]");
+                return ExitCode::SUCCESS;
+            }
+            other => dir = Some(PathBuf::from(other)),
+        }
+    }
+    // Default to the workspace root (not the cwd) so the check validates
+    // the committed artefacts from anywhere in the tree.
+    let dir = dir.unwrap_or_else(|| workspace_root().to_path_buf());
+
+    let mut gate_problems = Vec::new();
+    if let Some(baseline) = &against {
+        run_gate(&dir, baseline, &mut gate_problems);
+    }
+
+    match run(&dir) {
         Ok(0) => {
-            eprintln!("bench_check: no BENCH_*.json or TRACE_*.json artefacts found in {dir}");
+            eprintln!(
+                "bench_check: no BENCH_*.json, TRACE_*.json or HEATMAP_*.json artefacts found in {}",
+                dir.display()
+            );
             ExitCode::FAILURE
         }
-        Ok(n) => {
-            println!("bench_check: {n} artefact(s) OK in {dir}");
+        Ok(n) if gate_problems.is_empty() => {
+            println!("bench_check: {n} artefact(s) OK in {}", dir.display());
             ExitCode::SUCCESS
         }
-        Err(problems) => {
-            eprintln!("bench_check: invalid artefacts:\n{problems}");
+        Ok(_) => {
+            eprintln!("bench_check: regression gate failed:\n{}", gate_problems.join("\n"));
             ExitCode::FAILURE
         }
+        Err(problems) => {
+            gate_problems.push(problems);
+            eprintln!("bench_check: invalid artefacts:\n{}", gate_problems.join("\n"));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn identical_groups_pass_the_gate() {
+        let base = groups(&[("16p/block-16", 1000.0), ("64p/sli-4", 2000.0)]);
+        let mut problems = Vec::new();
+        compare_groups(&base, &base, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = groups(&[("16p/block-16", 1000.0)]);
+        let cur = groups(&[("16p/block-16", 1200.0)]); // +20% > 15%
+        let mut problems = Vec::new();
+        compare_groups(&cur, &base, &mut problems);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("16p/block-16"), "{problems:?}");
+    }
+
+    #[test]
+    fn regression_within_tolerance_and_improvement_pass() {
+        let base = groups(&[("16p/block-16", 1000.0), ("64p/sli-4", 2000.0)]);
+        let cur = groups(&[("16p/block-16", 1100.0), ("64p/sli-4", 1500.0)]);
+        let mut problems = Vec::new();
+        let lines = compare_groups(&cur, &base, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn missing_group_fails_new_group_informs() {
+        let base = groups(&[("16p/block-16", 1000.0)]);
+        let cur = groups(&[("64p/sli-4", 500.0)]);
+        let mut problems = Vec::new();
+        compare_groups(&cur, &base, &mut problems);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("missing from current"), "{problems:?}");
+    }
+
+    #[test]
+    fn sweep_medians_group_by_procs_and_distribution() {
+        let doc = Json::parse(
+            r#"{"cycle_breakdowns": [
+                {"config": "16p/block-16/16KB/buf100", "total_cycles": 100},
+                {"config": "16p/block-16/perfect/buf100", "total_cycles": 300},
+                {"config": "64p/sli-4/16KB/buf100", "total_cycles": 50}
+            ]}"#,
+        )
+        .unwrap();
+        let medians = sweep_group_medians(&doc);
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians["16p/block-16"], 200.0);
+        assert_eq!(medians["64p/sli-4"], 50.0);
+    }
+
+    #[test]
+    fn heatmap_check_accepts_a_consistent_document() {
+        let doc = Json::parse(
+            r#"{"preset": "demo", "config": "1p/block-16",
+                "screen": {"width": 16, "height": 16},
+                "tile": 16, "cols": 1, "rows": 1,
+                "fragments": 3, "fragment_gini": 0.0,
+                "tiles": {"fragments": [[3]], "setup_cycles": [[0]],
+                          "lines_fetched": [[2]], "miss_compulsory": [[1]],
+                          "miss_capacity": [[1]], "miss_conflict": [[0]],
+                          "owner": [[0]]},
+                "nodes": [{"node": 0, "fragments": 3, "setup_cycles": 0,
+                           "misses": 2, "compulsory": 1, "capacity": 1,
+                           "conflict": 0}]}"#,
+        )
+        .unwrap();
+        let mut problems = Vec::new();
+        check_heatmap("HEATMAP_demo.json", &doc, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn heatmap_check_catches_broken_identities() {
+        // Tile sum (4) != fragments (3); node identity 1+1+1 != 2.
+        let doc = Json::parse(
+            r#"{"preset": "demo", "config": "1p/block-16",
+                "screen": {"width": 16, "height": 16},
+                "tile": 16, "cols": 1, "rows": 1,
+                "fragments": 3, "fragment_gini": 0.0,
+                "tiles": {"fragments": [[4]], "setup_cycles": [[0]],
+                          "lines_fetched": [[2]], "miss_compulsory": [[1]],
+                          "miss_capacity": [[1]], "miss_conflict": [[0]],
+                          "owner": [[0]]},
+                "nodes": [{"node": 0, "fragments": 3, "setup_cycles": 0,
+                           "misses": 2, "compulsory": 1, "capacity": 1,
+                           "conflict": 1}]}"#,
+        )
+        .unwrap();
+        let mut problems = Vec::new();
+        check_heatmap("HEATMAP_demo.json", &doc, &mut problems);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("tile fragments sum")));
+        assert!(problems.iter().any(|p| p.contains("three-C identity")));
     }
 }

@@ -17,6 +17,7 @@ use crate::geometry::CacheGeometry;
 use crate::set_assoc::SetAssocCache;
 use crate::stats::{CacheStats, MissBreakdown};
 use crate::LineCache;
+use sortmid_observe::MissClass;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A fully-associative LRU cache used as the capacity-miss oracle.
@@ -119,19 +120,29 @@ impl ClassifyingCache {
 
 impl LineCache for ClassifyingCache {
     fn access_line(&mut self, line: u32) -> bool {
+        self.access_line_classified(line).0
+    }
+
+    fn access_line_classified(&mut self, line: u32) -> (bool, Option<MissClass>) {
         let hit = self.inner.access_line(line);
         let oracle_hit = self.oracle.access(line);
         let first = self.seen.insert(line);
-        if !hit {
-            if first {
-                self.breakdown.compulsory += 1;
-            } else if !oracle_hit {
-                self.breakdown.capacity += 1;
-            } else {
-                self.breakdown.conflict += 1;
-            }
+        if hit {
+            return (true, None);
         }
-        hit
+        let class = if first {
+            MissClass::Compulsory
+        } else if !oracle_hit {
+            MissClass::Capacity
+        } else {
+            MissClass::Conflict
+        };
+        match class {
+            MissClass::Compulsory => self.breakdown.compulsory += 1,
+            MissClass::Capacity => self.breakdown.capacity += 1,
+            MissClass::Conflict => self.breakdown.conflict += 1,
+        }
+        (false, Some(class))
     }
 
     fn stats(&self) -> &CacheStats {
@@ -213,6 +224,26 @@ mod tests {
             c.access_line((x >> 16) % 24);
         }
         assert_eq!(c.breakdown().total(), c.stats().misses());
+    }
+
+    #[test]
+    fn classified_access_matches_breakdown_counters() {
+        let mut c = tiny();
+        let mut counted = MissBreakdown::default();
+        let mut x = 1u32;
+        for _ in 0..500 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let (hit, class) = c.access_line_classified((x >> 16) % 24);
+            assert_eq!(hit, class.is_none(), "hits carry no class");
+            match class {
+                Some(MissClass::Compulsory) => counted.compulsory += 1,
+                Some(MissClass::Capacity) => counted.capacity += 1,
+                Some(MissClass::Conflict) => counted.conflict += 1,
+                None => {}
+            }
+        }
+        assert_eq!(counted, c.breakdown());
+        assert!(c.breakdown().verify(c.stats().misses()).is_ok());
     }
 
     #[test]

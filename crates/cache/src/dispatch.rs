@@ -17,6 +17,7 @@ use crate::set_assoc::SetAssocCache;
 use crate::stats::{CacheStats, MissBreakdown};
 use crate::victim::VictimCache;
 use crate::LineCache;
+use sortmid_observe::MissClass;
 
 /// A cache model dispatched by `match` instead of vtable.
 ///
@@ -139,6 +140,18 @@ impl LineCache for AnyCache {
     }
 
     #[inline]
+    fn access_line_classified(&mut self, line: u32) -> (bool, Option<MissClass>) {
+        match self {
+            AnyCache::Perfect(c) => c.access_line_classified(line),
+            AnyCache::SetAssoc(c) => c.access_line_classified(line),
+            AnyCache::Classifying(c) => c.access_line_classified(line),
+            AnyCache::TwoLevel(c) => c.access_line_classified(line),
+            AnyCache::Victim(c) => c.access_line_classified(line),
+            AnyCache::Dyn(c) => c.access_line_classified(line),
+        }
+    }
+
+    #[inline]
     fn stats(&self) -> &CacheStats {
         dispatch!(self, c => c.stats())
     }
@@ -229,5 +242,21 @@ mod tests {
         assert_eq!(b.compulsory, 1);
         // Non-classifying models report no breakdown.
         assert!(AnyCache::from(PerfectCache::new()).breakdown().is_none());
+    }
+
+    #[test]
+    fn classified_access_dispatches_per_variant() {
+        let mut any = AnyCache::from(ClassifyingCache::new(CacheGeometry::paper_l1()));
+        assert_eq!(
+            any.access_line_classified(9),
+            (false, Some(MissClass::Compulsory))
+        );
+        assert_eq!(any.access_line_classified(9), (true, None));
+        // Unclassified models miss without a class...
+        let mut sa = AnyCache::from(SetAssocCache::new(CacheGeometry::paper_l1()));
+        assert_eq!(sa.access_line_classified(9), (false, None));
+        // ...and the classified path must leave identical statistics.
+        assert_eq!(sa.stats().accesses(), 1);
+        assert_eq!(sa.stats().misses(), 1);
     }
 }

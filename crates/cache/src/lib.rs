@@ -52,8 +52,10 @@ pub use geometry::{CacheGeometry, CacheGeometryError};
 pub use hierarchy::TwoLevelCache;
 pub use perfect::PerfectCache;
 pub use set_assoc::SetAssocCache;
-pub use stats::CacheStats;
+pub use stats::{CacheStats, MissBreakdown, MissIdentityError};
 pub use victim::VictimCache;
+
+use sortmid_observe::MissClass;
 
 /// A line-granular cache simulator.
 ///
@@ -65,6 +67,17 @@ pub use victim::VictimCache;
 pub trait LineCache {
     /// Simulates one access to `line`; returns `true` on a hit.
     fn access_line(&mut self, line: u32) -> bool;
+
+    /// [`access_line`](Self::access_line) that additionally reports which
+    /// three-C class the miss falls in, for models that classify
+    /// ([`ClassifyingCache`] does; the default forwards to `access_line`
+    /// and reports `None`). The hit/miss result and every statistics side
+    /// effect are identical to `access_line` — classification only
+    /// observes, which is what keeps traced machine runs byte-identical to
+    /// untraced ones.
+    fn access_line_classified(&mut self, line: u32) -> (bool, Option<MissClass>) {
+        (self.access_line(line), None)
+    }
 
     /// Accumulated statistics.
     fn stats(&self) -> &CacheStats;

@@ -149,7 +149,53 @@ impl MissBreakdown {
     pub fn total(&self) -> u64 {
         self.compulsory + self.capacity + self.conflict
     }
+
+    /// Checks the exact-sum invariant `compulsory + capacity + conflict ==
+    /// misses` against a cache's miss counter. Every miss the classifier
+    /// sees falls in exactly one class, so any difference means the
+    /// decomposition silently dropped or double-counted misses — the
+    /// three-C analogue of `sortmid-observe`'s `CycleBreakdown::verify`
+    /// cycle identity, and enforced the same way by property tests and
+    /// `bench_check`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatching totals when the identity does not hold.
+    pub fn verify(&self, misses: u64) -> Result<(), MissIdentityError> {
+        if self.total() == misses {
+            Ok(())
+        } else {
+            Err(MissIdentityError {
+                breakdown: *self,
+                misses,
+            })
+        }
+    }
 }
+
+/// Violation of the three-C exact-sum identity: the classified misses do
+/// not add up to the cache's miss counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissIdentityError {
+    /// The failing decomposition.
+    pub breakdown: MissBreakdown,
+    /// The miss total it should have summed to.
+    pub misses: u64,
+}
+
+impl fmt::Display for MissIdentityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "miss classes ({}) sum to {}, cache counted {} misses",
+            self.breakdown,
+            self.breakdown.total(),
+            self.misses
+        )
+    }
+}
+
+impl std::error::Error for MissIdentityError {}
 
 impl fmt::Display for MissBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -241,5 +287,20 @@ mod tests {
         };
         assert_eq!(b.total(), 9);
         assert_eq!(b.to_string(), "compulsory=2 capacity=3 conflict=4");
+    }
+
+    #[test]
+    fn verify_enforces_the_exact_sum_identity() {
+        let b = MissBreakdown {
+            compulsory: 2,
+            capacity: 3,
+            conflict: 4,
+        };
+        assert!(b.verify(9).is_ok());
+        let err = b.verify(10).unwrap_err();
+        assert_eq!(err.misses, 10);
+        assert_eq!(err.breakdown, b);
+        let msg = err.to_string();
+        assert!(msg.contains("sum to 9") && msg.contains("10 misses"), "{msg}");
     }
 }

@@ -58,7 +58,11 @@ pub use distribution::Distribution;
 pub use machine::Machine;
 pub use plan::{OwnerLut, RoutingPlan};
 pub use report::{NodeReport, RunReport};
-pub use sortmid_observe::{CycleBreakdown, NullSink, TraceEvent, TraceRecorder, TraceSink};
+pub use sortmid_cache::{MissBreakdown, MissIdentityError};
+pub use sortmid_observe::{
+    CycleBreakdown, MissClass, MissClassCounts, NullSink, ScreenGrid, SpatialCollector, TileStats,
+    TraceEvent, TraceRecorder, TraceSink,
+};
 pub use sweep::{run_sweep, run_sweep_with_threads, SweepGrid};
 
 /// Maximum processor count the machine supports (the paper evaluates up to

@@ -4,9 +4,21 @@ use crate::config::MachineConfig;
 use crate::node::Node;
 use crate::plan::RoutingPlan;
 use crate::report::RunReport;
+use sortmid_geom::Rect;
 use sortmid_memsys::Cycle;
 use sortmid_observe::{NullSink, TraceEvent, TraceSink};
 use sortmid_raster::{Fragment, FragmentStream};
+
+/// The screen-space anchor a triangle's setup padding is attributed to in
+/// spatial traces: the bounding-box origin clamped to non-negative
+/// coordinates (an overlapped node pays the setup floor even when it owns
+/// no fragment of the triangle, so fragment positions cannot anchor it).
+fn setup_anchor(bbox: &Rect) -> (u16, u16) {
+    (
+        bbox.x0.clamp(0, u16::MAX as i32) as u16,
+        bbox.y0.clamp(0, u16::MAX as i32) as u16,
+    )
+}
 
 /// The machine: replays a [`FragmentStream`] under a [`MachineConfig`].
 ///
@@ -96,6 +108,25 @@ impl Machine {
     /// Panics if the plan was built for a different distribution or
     /// processor count than this machine's configuration.
     pub fn run_planned(&self, stream: &FragmentStream, plan: &RoutingPlan) -> RunReport {
+        self.run_planned_traced(stream, plan, &mut NullSink)
+    }
+
+    /// [`run_planned`](Self::run_planned) with a [`TraceSink`]: the same
+    /// event stream and spatial samples as
+    /// [`run_traced`](Self::run_traced), emitted from the plan-replay
+    /// path. Reports and recorded observations are identical between the
+    /// two paths — a property test pins this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different distribution or
+    /// processor count than this machine's configuration.
+    pub fn run_planned_traced<S: TraceSink>(
+        &self,
+        stream: &FragmentStream,
+        plan: &RoutingPlan,
+        sink: &mut S,
+    ) -> RunReport {
         assert!(
             plan.matches(&self.config.distribution, self.config.processors),
             "plan built for {}x{} does not fit machine {}x{}",
@@ -107,7 +138,7 @@ impl Machine {
         let mut nodes: Vec<Node> = (0..self.config.processors)
             .map(|_| Node::new(&self.config))
             .collect();
-        let routed = self.run_frame_planned(stream, plan, &mut nodes, &mut NullSink);
+        let routed = self.run_frame_planned(stream, plan, &mut nodes, sink);
         let total_cycles = nodes.iter().map(Node::finish_time).max().unwrap_or(0);
         let node_reports: Vec<_> = nodes.iter().map(Node::report).collect();
         RunReport::new(
@@ -212,6 +243,7 @@ impl Machine {
                         scratch[i].drain(..),
                         i as u32,
                         ti as u32,
+                        setup_anchor(&tri.bbox),
                         sink,
                     );
                 } else {
@@ -270,12 +302,20 @@ impl Machine {
                             bucket.iter().map(|&fi| &fragments[fi as usize]),
                             i as u32,
                             pt.tri,
+                            setup_anchor(&tri.bbox),
                             sink,
                         );
                     } else {
                         // Bounding-box overlap without owned fragments:
                         // the setup floor still applies.
-                        node.process_triangle_traced(send, [].iter(), i as u32, pt.tri, sink);
+                        node.process_triangle_traced(
+                            send,
+                            [].iter(),
+                            i as u32,
+                            pt.tri,
+                            setup_anchor(&tri.bbox),
+                            sink,
+                        );
                     }
                 } else {
                     node.discard_triangle_traced(send, i as u32, pt.tri, sink);

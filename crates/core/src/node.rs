@@ -4,7 +4,7 @@ use crate::config::MachineConfig;
 use crate::report::NodeReport;
 use sortmid_cache::{AnyCache, CacheStats, LineCache};
 use sortmid_memsys::{Cycle, EngineTiming, TriangleFifo};
-use sortmid_observe::{NullSink, TraceEvent, TraceSink};
+use sortmid_observe::{MissClassCounts, NullSink, TraceEvent, TraceSink};
 use sortmid_raster::Fragment;
 
 /// The simulation state of one node.
@@ -59,19 +59,24 @@ impl Node {
     where
         I: ExactSizeIterator<Item = &'a Fragment>,
     {
-        self.process_triangle_traced(arrival, frags, 0, 0, &mut NullSink)
+        self.process_triangle_traced(arrival, frags, 0, 0, (0, 0), &mut NullSink)
     }
 
     /// [`process_triangle`](Self::process_triangle) with a [`TraceSink`]:
     /// reports the FIFO dequeue, the triangle's start (with fragment
-    /// count), every bus line fill, and the retire. With [`NullSink`] all
-    /// event code monomorphizes away, leaving the untraced hot loop.
+    /// count), every bus line fill, the retire, and the spatial hooks —
+    /// one sample per fragment (with classified line misses) plus the
+    /// triangle's setup-floor padding anchored at `anchor` (the bounding
+    /// box origin, so overlaps that own no fragments still attribute their
+    /// setup somewhere meaningful). With [`NullSink`] all event code
+    /// monomorphizes away, leaving the untraced hot loop.
     pub(crate) fn process_triangle_traced<'a, I, S>(
         &mut self,
         arrival: Cycle,
         frags: I,
         node_id: u32,
         tri_id: u32,
+        anchor: (u16, u16),
         sink: &mut S,
     ) -> Cycle
     where
@@ -104,6 +109,7 @@ impl Node {
         }
         let free = self.engine.finish_triangle(self.setup_cycles);
         if S::ENABLED {
+            sink.record_setup(node_id, anchor.0, anchor.1, self.engine.last_setup_padding());
             sink.record(TraceEvent::TriRetire { node: node_id, tri: tri_id, at: free });
         }
         start
@@ -193,6 +199,11 @@ fn cache_stats_copy(stats: &CacheStats) -> CacheStats {
 /// The texel hot loop, generic over the concrete cache model so the probe
 /// fully inlines (`?Sized` keeps the `Box<dyn LineCache>` escape hatch
 /// usable through the same code path).
+///
+/// With an enabled sink the probes go through `access_line_classified`
+/// (identical hit/miss behaviour, but the three-C class rides along) and
+/// every fragment emits one spatial sample; the `S::ENABLED` branch
+/// const-folds, so the untraced loop compiles exactly as before.
 #[inline]
 fn scan_fragments<'a, C, I, S>(
     cache: &mut C,
@@ -208,14 +219,31 @@ fn scan_fragments<'a, C, I, S>(
     for frag in frags {
         let mut miss_lines = [0u32; 8];
         let mut misses = 0usize;
-        for texel in &frag.texels {
-            let line = texel.line();
-            if !cache.access_line(line) {
-                miss_lines[misses] = line;
-                misses += 1;
+        if S::ENABLED {
+            let mut classes = MissClassCounts::default();
+            for texel in &frag.texels {
+                let line = texel.line();
+                let (hit, class) = cache.access_line_classified(line);
+                if !hit {
+                    miss_lines[misses] = line;
+                    misses += 1;
+                }
+                if let Some(c) = class {
+                    classes.add(c);
+                }
             }
+            engine.fragment_lines_sink(&miss_lines[..misses], node_id, sink);
+            sink.record_fragment(node_id, frag.x, frag.y, misses as u32, classes);
+        } else {
+            for texel in &frag.texels {
+                let line = texel.line();
+                if !cache.access_line(line) {
+                    miss_lines[misses] = line;
+                    misses += 1;
+                }
+            }
+            engine.fragment_lines_sink(&miss_lines[..misses], node_id, sink);
         }
-        engine.fragment_lines_sink(&miss_lines[..misses], node_id, sink);
     }
 }
 

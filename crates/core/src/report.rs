@@ -58,6 +58,21 @@ impl NodeReport {
             idle: self.idle_cycles,
         }
     }
+
+    /// Checks the three-C exact-sum identity `compulsory + capacity +
+    /// conflict == misses` against this node's cache counters — the miss
+    /// analogue of the cycle identity above. Nodes without a classifying
+    /// cache carry no breakdown and trivially pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatching totals when the identity does not hold.
+    pub fn verify_misses(&self) -> Result<(), sortmid_cache::MissIdentityError> {
+        match &self.miss_breakdown {
+            Some(b) => b.verify(self.cache.misses()),
+            None => Ok(()),
+        }
+    }
 }
 
 /// The result of one machine run.

@@ -9,9 +9,11 @@
 //!   `32massive11255`, one series per parameter.
 
 use crate::common::{machine, short_name, PreparedScene, BLOCK_WIDTHS_FULL, PROC_CURVE, SLI_LINES};
-use sortmid::{work, CacheKind, Distribution, Machine};
+use sortmid::{work, CacheKind, Distribution, Machine, SpatialCollector};
+use sortmid_observe::owner_color;
 use sortmid_scene::Benchmark;
 use sortmid_util::table::{fmt_f, Table};
+use std::path::Path;
 
 /// Imbalance (%) of every benchmark × parameter on a `procs`-node machine.
 pub fn imbalance_table(scenes: &[PreparedScene], procs: u32, sli: bool) -> Table {
@@ -83,6 +85,51 @@ pub fn run(scale: f64) -> (Table, Table, Table, Table) {
     let sp_block = speedup_curves(massive, false);
     let sp_sli = speedup_curves(massive, true);
     (imb_block, imb_sli, sp_block, sp_sli)
+}
+
+/// Spatial companion to Figure 5: screen-space load-balance maps of Quake
+/// on a 64-processor machine, block-16 vs SLI-4. Writes
+/// `fig5_<dist>_fragments.ppm` (per-tile fragment heat) and
+/// `fig5_<dist>_owner.ppm` (tile ownership, one color per node) into
+/// `out`, and returns one `(label, fragment Gini)` pair per distribution
+/// so the caller can print how unevenly each scheme loads the nodes.
+///
+/// # Panics
+///
+/// Panics when a map cannot be written into `out`.
+pub fn heatmaps(scale: f64, out: &Path) -> Vec<(String, f64)> {
+    let scene = PreparedScene::new(Benchmark::Quake, scale);
+    let screen = scene.stream.screen();
+    let mut ginis = Vec::new();
+    for (label, dist) in [
+        ("block16", Distribution::block(16)),
+        ("sli4", Distribution::sli(4)),
+    ] {
+        let m = Machine::new(machine(64, dist, CacheKind::Perfect, Some(1.0), 10_000));
+        let mut col = SpatialCollector::new(
+            screen.width().max(1),
+            screen.height().max(1),
+            8,
+            64,
+        );
+        m.run_traced(&scene.stream, &mut col);
+        let grid = col.grid();
+        let frag = grid.render(4, |t| t.fragments as f64);
+        frag.write_ppm(out.join(format!("fig5_{label}_fragments.ppm")))
+            .expect("write fragment map");
+        let owner = grid.render_rgb(4, |t| {
+            if t.fragments == 0 {
+                [0, 0, 0]
+            } else {
+                owner_color(t.owner)
+            }
+        });
+        owner
+            .write_ppm(out.join(format!("fig5_{label}_owner.ppm")))
+            .expect("write owner map");
+        ginis.push((label.to_string(), col.fragment_gini()));
+    }
+    ginis
 }
 
 #[cfg(test)]

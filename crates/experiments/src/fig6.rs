@@ -10,8 +10,11 @@
 //! scenes behave like one of the two; we emit every scene.
 
 use crate::common::{machine, PreparedScene, BLOCK_WIDTHS, PROC_CURVE, SLI_LINES};
-use sortmid::{CacheKind, Distribution, Machine};
+use sortmid::{CacheKind, Distribution, Machine, MissClassCounts, SpatialCollector};
+use sortmid_cache::CacheGeometry;
+use sortmid_scene::Benchmark;
 use sortmid_util::table::{fmt_f, Table};
+use std::path::Path;
 
 /// Texel-to-fragment ratio of one scene vs processor count; one column per
 /// parameter value.
@@ -53,10 +56,67 @@ pub fn run(scale: f64) -> Vec<(String, Table, Table)> {
         .collect()
 }
 
+/// Spatial companion to Figure 6: texel-locality maps of Quake on a
+/// 64-processor machine with the classifying 16 KB cache, block-16 vs
+/// SLI-4. Writes `fig6_<dist>_lines.ppm` (texture lines fetched per tile)
+/// and `fig6_<dist>_missclass.ppm` (RGB = conflict/capacity/compulsory)
+/// into `out`, and returns one `(label, texel/fragment, class totals)`
+/// triple per distribution.
+///
+/// # Panics
+///
+/// Panics when a map cannot be written into `out`.
+pub fn heatmaps(scale: f64, out: &Path) -> Vec<(String, f64, MissClassCounts)> {
+    let scene = PreparedScene::new(Benchmark::Quake, scale);
+    let screen = scene.stream.screen();
+    let mut rows = Vec::new();
+    for (label, dist) in [
+        ("block16", Distribution::block(16)),
+        ("sli4", Distribution::sli(4)),
+    ] {
+        let m = Machine::new(machine(
+            64,
+            dist,
+            CacheKind::Classifying(CacheGeometry::paper_l1()),
+            None,
+            10_000,
+        ));
+        let mut col = SpatialCollector::new(
+            screen.width().max(1),
+            screen.height().max(1),
+            8,
+            64,
+        );
+        let report = m.run_traced(&scene.stream, &mut col);
+        let grid = col.grid();
+        grid.render(4, |t| t.lines_fetched as f64)
+            .write_ppm(out.join(format!("fig6_{label}_lines.ppm")))
+            .expect("write line-fetch map");
+        let class_max = grid
+            .cells()
+            .iter()
+            .map(|t| t.misses.compulsory.max(t.misses.capacity).max(t.misses.conflict))
+            .max()
+            .unwrap_or(0)
+            .max(1) as f64;
+        grid.render_rgb(4, |t| {
+            let ch = |v: u64| ((v as f64 / class_max).sqrt() * 255.0).round() as u8;
+            [ch(t.misses.conflict), ch(t.misses.capacity), ch(t.misses.compulsory)]
+        })
+        .write_ppm(out.join(format!("fig6_{label}_missclass.ppm")))
+        .expect("write miss-class map");
+        let mut totals = MissClassCounts::default();
+        for m in col.node_misses() {
+            totals.merge(m);
+        }
+        rows.push((label.to_string(), report.texel_to_fragment(), totals));
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sortmid_scene::Benchmark;
 
     fn col(table: &Table, row: usize, col: usize) -> f64 {
         table

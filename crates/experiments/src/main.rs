@@ -39,6 +39,7 @@ struct Options {
     dist: String,
     buffer: usize,
     trace: bool,
+    heatmap: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -63,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
         dist: "block-16".to_string(),
         buffer: 10_000,
         trace: false,
+        heatmap: false,
     };
     while let Some(flag) = args.next() {
         if !flag.starts_with("--") && opt.target.is_none() {
@@ -97,6 +99,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--csv" => opt.csv = true,
             "--trace" => opt.trace = true,
+            "--heatmap" => opt.heatmap = true,
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -105,7 +108,7 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> String {
     "usage: sortmid-experiments <table1|fig5|fig6|fig7|fig8|fig9|ablations|seeds|all> \
-     [--scale S] [--ratio R] [--out DIR] [--csv] [--trace]\n\
+     [--scale S] [--ratio R] [--out DIR] [--csv] [--trace] [--heatmap]\n\
      \x20      sortmid-experiments capture <benchmark> [--scale S] [--out DIR]\n\
      \x20      sortmid-experiments replay <trace.smfs> [--procs N] [--dist D] \
      [--ratio R] [--buffer B]"
@@ -245,12 +248,30 @@ fn run(opt: &Options) -> Result<(), String> {
             println!("speedup vs processors (SLI groups):");
             print!("{}", chart_curves(&sp_sli, "sli-"));
         }
+        if opt.heatmap {
+            std::fs::create_dir_all(&opt.out)
+                .map_err(|e| format!("create {}: {e}", opt.out.display()))?;
+            println!("Figure 5 heatmaps (quake, 64 procs) -> {}:", opt.out.display());
+            for (label, gini) in fig5::heatmaps(opt.scale, &opt.out) {
+                println!("   {label}: fragment-load gini {gini:.3}");
+            }
+            println!();
+        }
     }
     if wants("fig6") {
         matched = true;
         for (name, block, sli) in fig6::run(opt.scale) {
             emit(&format!("Figure 6: texel/fragment vs processors, {name}, block"), &block, opt.csv);
             emit(&format!("Figure 6: texel/fragment vs processors, {name}, SLI"), &sli, opt.csv);
+        }
+        if opt.heatmap {
+            std::fs::create_dir_all(&opt.out)
+                .map_err(|e| format!("create {}: {e}", opt.out.display()))?;
+            println!("Figure 6 heatmaps (quake, 64 procs, classifying 16KB) -> {}:", opt.out.display());
+            for (label, t2f, classes) in fig6::heatmaps(opt.scale, &opt.out) {
+                println!("   {label}: texel/fragment {t2f:.3}, {classes}");
+            }
+            println!();
         }
     }
     if wants("fig7") {

@@ -112,6 +112,7 @@ pub struct EngineTiming {
     busy_cycles: u64,
     stall_cycles: u64,
     setup_floor_cycles: u64,
+    last_setup_padding: Cycle,
     starved_cycles: u64,
     bus_busy: u64,
     fragments: u64,
@@ -144,6 +145,7 @@ impl EngineTiming {
             busy_cycles: 0,
             stall_cycles: 0,
             setup_floor_cycles: 0,
+            last_setup_padding: 0,
             starved_cycles: 0,
             bus_busy: 0,
             fragments: 0,
@@ -300,12 +302,23 @@ impl EngineTiming {
     /// (the 25-cycle setup floor); returns the cycle the engine is free.
     pub fn finish_triangle(&mut self, min_occupancy: Cycle) -> Cycle {
         let floor = self.tri_start + min_occupancy;
+        self.last_setup_padding = 0;
         if self.engine_t < floor {
-            self.busy_cycles += floor - self.engine_t;
-            self.setup_floor_cycles += floor - self.engine_t;
+            let padding = floor - self.engine_t;
+            self.busy_cycles += padding;
+            self.setup_floor_cycles += padding;
+            self.last_setup_padding = padding;
             self.engine_t = floor;
         }
         self.engine_t
+    }
+
+    /// Setup-floor padding added by the most recent
+    /// [`finish_triangle`](Self::finish_triangle) (0 when the scan covered
+    /// the floor). The spatial attribution layer reads this to charge the
+    /// padding to the triangle's screen tile.
+    pub fn last_setup_padding(&self) -> Cycle {
+        self.last_setup_padding
     }
 
     /// The cycle the engine becomes free (scan side only).
@@ -389,6 +402,7 @@ impl EngineTiming {
             busy_cycles: 0,
             stall_cycles: 0,
             setup_floor_cycles: 0,
+            last_setup_padding: 0,
             starved_cycles: 0,
             bus_busy: 0,
             fragments: 0,
@@ -615,6 +629,25 @@ mod tests {
         n.finish_triangle(25);
         assert_eq!(n.setup_floor_cycles(), 20);
         assert_eq!(n.busy_cycles(), 65);
+    }
+
+    #[test]
+    fn last_setup_padding_tracks_each_triangle() {
+        let mut n = node(1.0, Some(8));
+        n.start_triangle(0);
+        for _ in 0..5 {
+            n.fragment(0);
+        }
+        n.finish_triangle(25);
+        assert_eq!(n.last_setup_padding(), 20, "padded triangle");
+        n.start_triangle(0);
+        for _ in 0..40 {
+            n.fragment(0);
+        }
+        n.finish_triangle(25);
+        assert_eq!(n.last_setup_padding(), 0, "big triangle covers the floor");
+        n.reset();
+        assert_eq!(n.last_setup_padding(), 0);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Per-tile and per-node attribution of fragments, setup cycles and
+//! classified cache misses.
+//!
+//! [`SpatialCollector`] is a [`TraceSink`](crate::TraceSink) that listens
+//! to the machine's *spatial* hooks (per-fragment samples and per-triangle
+//! setup padding) instead of the temporal event stream. During a traced
+//! run it bins every sample into a [`ScreenGrid`] of [`TileStats`] and
+//! keeps per-node totals, answering the paper's *where* questions: which
+//! tiles carry the depth-complexity hotspots, where the setup floor burns
+//! cycles, and where the three-C classifier places the locality loss that
+//! makes SLI's best group size shrink.
+//!
+//! The miss classes mirror `sortmid-cache`'s classifier; [`MissClass`]
+//! lives here (the substrate crate) so the cache crate can report classes
+//! through the sink without a dependency cycle.
+
+use crate::heatmap::ScreenGrid;
+use crate::sink::TraceSink;
+use crate::{Cycle, TraceEvent};
+use sortmid_devharness::json::Json;
+use std::fmt;
+
+/// The classification of one cache miss, per the standard three-C model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    /// First-ever access to the line (misses in any cache).
+    Compulsory,
+    /// A fully-associative LRU cache of equal capacity would also miss.
+    Capacity,
+    /// Only the set-associative cache misses (associativity artefact).
+    Conflict,
+}
+
+/// Counters of classified misses, one per [`MissClass`].
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::{MissClass, MissClassCounts};
+///
+/// let mut c = MissClassCounts::default();
+/// c.add(MissClass::Compulsory);
+/// c.add(MissClass::Conflict);
+/// assert_eq!(c.total(), 2);
+/// assert_eq!(c.compulsory, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissClassCounts {
+    /// Classified-compulsory misses.
+    pub compulsory: u64,
+    /// Classified-capacity misses.
+    pub capacity: u64,
+    /// Classified-conflict misses.
+    pub conflict: u64,
+}
+
+impl MissClassCounts {
+    /// Counts one classified miss.
+    #[inline]
+    pub fn add(&mut self, class: MissClass) {
+        match class {
+            MissClass::Compulsory => self.compulsory += 1,
+            MissClass::Capacity => self.capacity += 1,
+            MissClass::Conflict => self.conflict += 1,
+        }
+    }
+
+    /// Sum over the three classes.
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &MissClassCounts) {
+        self.compulsory += other.compulsory;
+        self.capacity += other.capacity;
+        self.conflict += other.conflict;
+    }
+}
+
+impl fmt::Display for MissClassCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compulsory={} capacity={} conflict={}",
+            self.compulsory, self.capacity, self.conflict
+        )
+    }
+}
+
+/// Per-tile accumulators of one traced run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileStats {
+    /// Fragments drawn in the tile. Divided by the tile's pixel area this
+    /// is the tile's depth complexity.
+    pub fragments: u64,
+    /// Setup-floor padding cycles attributed to the tile (anchored at each
+    /// triangle's bounding-box origin).
+    pub setup_cycles: u64,
+    /// Texture lines fetched for the tile's fragments (×16 texels per line
+    /// and ÷ [`fragments`](Self::fragments) gives the tile's
+    /// texel-to-fragment ratio).
+    pub lines_fetched: u64,
+    /// Three-C split of the tile's misses (zero for unclassified caches).
+    pub misses: MissClassCounts,
+    /// Node that drew the tile's most recent fragment. With the static
+    /// distributions a tile no coarser than the distribution granularity
+    /// has exactly one owner, so "last" is "the" owner there.
+    pub owner: u32,
+}
+
+/// A [`TraceSink`] that accumulates spatial attribution: a
+/// [`ScreenGrid`] of [`TileStats`] plus per-node fragment/miss/setup
+/// totals. It ignores the temporal event stream, so it composes cheaply
+/// with big runs.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::{MissClassCounts, SpatialCollector, TraceSink};
+///
+/// let mut col = SpatialCollector::new(64, 64, 16, 4);
+/// col.record_fragment(1, 20, 8, 2, MissClassCounts::default());
+/// assert_eq!(col.grid().cell(1, 0).fragments, 1);
+/// assert_eq!(col.node_fragments()[1], 1);
+/// assert_eq!(col.fragment_total(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialCollector {
+    grid: ScreenGrid<TileStats>,
+    node_fragments: Vec<u64>,
+    node_lines: Vec<u64>,
+    node_setup: Vec<u64>,
+    node_misses: Vec<MissClassCounts>,
+}
+
+impl SpatialCollector {
+    /// A collector for a `width`×`height` screen binned at `tile` pixels,
+    /// with `procs` per-node accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the screen is empty, `tile` is zero, or `procs` is zero.
+    pub fn new(width: u32, height: u32, tile: u32, procs: u32) -> Self {
+        assert!(procs > 0, "collector needs at least one node");
+        SpatialCollector {
+            grid: ScreenGrid::new(width, height, tile),
+            node_fragments: vec![0; procs as usize],
+            node_lines: vec![0; procs as usize],
+            node_setup: vec![0; procs as usize],
+            node_misses: vec![MissClassCounts::default(); procs as usize],
+        }
+    }
+
+    /// The filled per-tile grid.
+    pub fn grid(&self) -> &ScreenGrid<TileStats> {
+        &self.grid
+    }
+
+    /// Fragments drawn per node.
+    pub fn node_fragments(&self) -> &[u64] {
+        &self.node_fragments
+    }
+
+    /// Lines fetched per node.
+    pub fn node_lines(&self) -> &[u64] {
+        &self.node_lines
+    }
+
+    /// Setup-floor padding cycles per node.
+    pub fn node_setup(&self) -> &[u64] {
+        &self.node_setup
+    }
+
+    /// Classified misses per node.
+    pub fn node_misses(&self) -> &[MissClassCounts] {
+        &self.node_misses
+    }
+
+    /// Total fragments seen (equals the run report's fragment count).
+    pub fn fragment_total(&self) -> u64 {
+        self.node_fragments.iter().sum()
+    }
+
+    /// Gini coefficient of the per-node fragment load (0 = perfectly even,
+    /// → 1 = one node drew everything).
+    pub fn fragment_gini(&self) -> f64 {
+        let loads: Vec<f64> = self.node_fragments.iter().map(|&f| f as f64).collect();
+        sortmid_util::stats::gini(&loads)
+    }
+
+    /// The `HEATMAP_<preset>.json` document: grid geometry, per-tile rows
+    /// for each metric, and per-node totals with the three-C identity
+    /// `compulsory + capacity + conflict == misses` that `bench_check`
+    /// enforces.
+    pub fn to_json(&self, preset: &str, config: &str) -> Json {
+        let g = &self.grid;
+        Json::obj([
+            ("preset", Json::str(preset)),
+            ("config", Json::str(config)),
+            (
+                "screen",
+                Json::obj([
+                    ("width", Json::U64(g.width() as u64)),
+                    ("height", Json::U64(g.height() as u64)),
+                ]),
+            ),
+            ("tile", Json::U64(g.tile() as u64)),
+            ("cols", Json::U64(g.cols() as u64)),
+            ("rows", Json::U64(g.rows() as u64)),
+            ("fragments", Json::U64(self.fragment_total())),
+            ("fragment_gini", Json::F64(self.fragment_gini())),
+            (
+                "tiles",
+                Json::obj([
+                    ("fragments", g.rows_json(|t| Json::U64(t.fragments))),
+                    ("setup_cycles", g.rows_json(|t| Json::U64(t.setup_cycles))),
+                    ("lines_fetched", g.rows_json(|t| Json::U64(t.lines_fetched))),
+                    ("miss_compulsory", g.rows_json(|t| Json::U64(t.misses.compulsory))),
+                    ("miss_capacity", g.rows_json(|t| Json::U64(t.misses.capacity))),
+                    ("miss_conflict", g.rows_json(|t| Json::U64(t.misses.conflict))),
+                    ("owner", g.rows_json(|t| Json::U64(t.owner as u64))),
+                ]),
+            ),
+            (
+                "nodes",
+                Json::arr((0..self.node_fragments.len()).map(|i| {
+                    let m = &self.node_misses[i];
+                    Json::obj([
+                        ("node", Json::U64(i as u64)),
+                        ("fragments", Json::U64(self.node_fragments[i])),
+                        ("setup_cycles", Json::U64(self.node_setup[i])),
+                        ("misses", Json::U64(m.total())),
+                        ("compulsory", Json::U64(m.compulsory)),
+                        ("capacity", Json::U64(m.capacity)),
+                        ("conflict", Json::U64(m.conflict)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+impl TraceSink for SpatialCollector {
+    /// The temporal stream is ignored — this sink is purely spatial.
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+
+    #[inline]
+    fn record_fragment(&mut self, node: u32, x: u16, y: u16, lines: u32, classes: MissClassCounts) {
+        let tile = self.grid.at(x as u32, y as u32);
+        tile.fragments += 1;
+        tile.lines_fetched += lines as u64;
+        tile.misses.merge(&classes);
+        tile.owner = node;
+        let n = node as usize;
+        self.node_fragments[n] += 1;
+        self.node_lines[n] += lines as u64;
+        self.node_misses[n].merge(&classes);
+    }
+
+    #[inline]
+    fn record_setup(&mut self, node: u32, x: u16, y: u16, padding: Cycle) {
+        if padding > 0 {
+            self.grid.at(x as u32, y as u32).setup_cycles += padding;
+            self.node_setup[node as usize] += padding;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes(c: u64, k: u64, f: u64) -> MissClassCounts {
+        MissClassCounts {
+            compulsory: c,
+            capacity: k,
+            conflict: f,
+        }
+    }
+
+    #[test]
+    fn fragments_and_misses_bin_by_tile_and_node() {
+        let mut col = SpatialCollector::new(32, 32, 16, 2);
+        col.record_fragment(0, 0, 0, 3, classes(2, 1, 0));
+        col.record_fragment(1, 20, 20, 1, classes(1, 0, 0));
+        col.record_fragment(1, 21, 20, 0, classes(0, 0, 0));
+        assert_eq!(col.grid().cell(0, 0).fragments, 1);
+        assert_eq!(col.grid().cell(1, 1).fragments, 2);
+        assert_eq!(col.grid().cell(1, 1).owner, 1);
+        assert_eq!(col.node_fragments(), &[1, 2]);
+        assert_eq!(col.node_lines(), &[3, 1]);
+        assert_eq!(col.node_misses()[0].total(), 3);
+        assert_eq!(col.fragment_total(), 3);
+    }
+
+    #[test]
+    fn setup_padding_accumulates_at_the_anchor() {
+        let mut col = SpatialCollector::new(64, 64, 16, 1);
+        col.record_setup(0, 17, 2, 20);
+        col.record_setup(0, 17, 2, 5);
+        col.record_setup(0, 0, 0, 0); // zero padding leaves no trace
+        assert_eq!(col.grid().cell(1, 0).setup_cycles, 25);
+        assert_eq!(col.grid().cell(0, 0).setup_cycles, 0);
+        assert_eq!(col.node_setup(), &[25]);
+    }
+
+    #[test]
+    fn json_carries_grid_geometry_and_node_identity() {
+        let mut col = SpatialCollector::new(32, 16, 16, 2);
+        col.record_fragment(1, 16, 0, 2, classes(1, 1, 0));
+        let doc = col.to_json("demo", "2p/block-16");
+        assert_eq!(doc.get("preset").and_then(Json::as_str), Some("demo"));
+        assert_eq!(doc.get("cols").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("rows").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("fragments").and_then(Json::as_u64), Some(1));
+        let nodes = doc.get("nodes").and_then(Json::as_arr).unwrap();
+        assert_eq!(nodes.len(), 2);
+        let n1 = &nodes[1];
+        assert_eq!(n1.get("misses").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            n1.get("compulsory").and_then(Json::as_u64).unwrap()
+                + n1.get("capacity").and_then(Json::as_u64).unwrap()
+                + n1.get("conflict").and_then(Json::as_u64).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn gini_is_zero_for_even_load() {
+        let mut col = SpatialCollector::new(16, 16, 8, 2);
+        col.record_fragment(0, 0, 0, 0, MissClassCounts::default());
+        col.record_fragment(1, 8, 8, 0, MissClassCounts::default());
+        assert!(col.fragment_gini().abs() < 1e-12);
+    }
+}

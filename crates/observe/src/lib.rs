@@ -25,6 +25,11 @@
 //!   `sortmid-util`.
 //! * [`perfetto`] — a Chrome-trace-event exporter: a recorded run becomes
 //!   a `TRACE_<config>.json` that opens directly in `ui.perfetto.dev`.
+//! * [`heatmap::ScreenGrid`] + [`attribution::SpatialCollector`] — the
+//!   *spatial* metrics layer: per-tile depth complexity, owner-node
+//!   fragment load, setup cycles and three-C-classified cache misses,
+//!   exported as false-color PPM heatmaps, `HEATMAP_<preset>.json`
+//!   artefacts, and terminal summaries.
 //!
 //! # Examples
 //!
@@ -41,14 +46,18 @@
 //! assert_eq!(rec.fifo_steps(0), vec![(10, 1), (35, -1)]);
 //! ```
 
+pub mod attribution;
 pub mod breakdown;
 pub mod event;
+pub mod heatmap;
 pub mod perfetto;
 pub mod series;
 pub mod sink;
 
+pub use attribution::{MissClass, MissClassCounts, SpatialCollector, TileStats};
 pub use breakdown::{breakdown_table, CycleBreakdown, CycleIdentityError};
 pub use event::TraceEvent;
+pub use heatmap::{owner_color, GridSummary, ScreenGrid};
 pub use perfetto::chrome_trace;
 pub use series::TimeSeries;
 pub use sink::{NullSink, TraceRecorder, TraceSink};

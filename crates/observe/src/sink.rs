@@ -6,6 +6,7 @@
 //! untraced hot paths compile to the same code (a bench guard in
 //! `sortmid-bench` keeps this honest).
 
+use crate::attribution::MissClassCounts;
 use crate::event::TraceEvent;
 use crate::Cycle;
 
@@ -18,6 +19,28 @@ pub trait TraceSink {
 
     /// Receives one event.
     fn record(&mut self, event: TraceEvent);
+
+    /// Spatial hook: one drawn fragment at screen pixel `(x, y)` on
+    /// `node`, with the texture lines it fetched and their three-C
+    /// classification (all-zero counts for unclassified cache models).
+    /// Default no-op so temporal sinks are unaffected; the
+    /// [`SpatialCollector`](crate::SpatialCollector) overrides it.
+    #[inline(always)]
+    fn record_fragment(
+        &mut self,
+        _node: u32,
+        _x: u16,
+        _y: u16,
+        _lines: u32,
+        _classes: MissClassCounts,
+    ) {
+    }
+
+    /// Spatial hook: `padding` setup-floor cycles of one triangle on
+    /// `node`, anchored at the triangle's bounding-box origin `(x, y)`.
+    /// Default no-op.
+    #[inline(always)]
+    fn record_setup(&mut self, _node: u32, _x: u16, _y: u16, _padding: Cycle) {}
 }
 
 /// The no-op sink: untraced runs monomorphize through this.

@@ -230,6 +230,32 @@ pub fn imbalance_percent(values: &[f64]) -> f64 {
     values.iter().copied().collect::<Summary>().imbalance_percent()
 }
 
+/// Gini coefficient of a non-negative load distribution: 0 for a perfectly
+/// even load, approaching 1 as one element carries everything. Returns 0
+/// for an empty or all-zero slice.
+///
+/// Complements [`imbalance_percent`]: the imbalance metric only sees the
+/// single busiest element, while Gini summarises the whole per-node load
+/// curve (two idle nodes out of 64 barely move `max/mean` but do move
+/// Gini).
+pub fn gini(values: &[f64]) -> f64 {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let n = sorted.len();
+    let total: f64 = sorted.iter().sum();
+    if n == 0 || total <= 0.0 {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    // Mean-difference form over the sorted slice:
+    // G = (2 * sum_i(i * x_i) / (n * total)) - (n + 1) / n, i 1-based.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
 /// Geometric mean of strictly positive values; returns `None` if the slice is
 /// empty or any value is non-positive.
 pub fn geometric_mean(values: &[f64]) -> Option<f64> {
@@ -275,6 +301,32 @@ mod tests {
     #[test]
     fn imbalance_of_uniform_work_is_zero() {
         assert_eq!(imbalance_percent(&[5.0; 16]), 0.0);
+    }
+
+    #[test]
+    fn gini_of_even_load_is_zero() {
+        assert!(gini(&[3.0; 8]).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_of_concentrated_load_approaches_one() {
+        // One of 100 elements carries everything: G = (n-1)/n = 0.99.
+        let mut v = vec![0.0; 100];
+        v[7] = 42.0;
+        assert!((gini(&v) - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_is_order_invariant_and_scale_invariant() {
+        let a = gini(&[1.0, 2.0, 3.0, 4.0]);
+        let b = gini(&[4.0, 1.0, 3.0, 2.0]);
+        let c = gini(&[10.0, 20.0, 30.0, 40.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - c).abs() < 1e-12);
+        // Known value: G([1,2,3,4]) = 0.25.
+        assert!((a - 0.25).abs() < 1e-12);
     }
 
     #[test]

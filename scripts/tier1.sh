@@ -10,7 +10,11 @@ set -eu
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo"
 
-echo "==> cargo build --release --offline"
+# Build warnings are errors throughout the gate.
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
+export RUSTFLAGS
+
+echo "==> cargo build --release --offline (RUSTFLAGS: -D warnings)"
 cargo build --release --offline
 
 echo "==> cargo test -q --workspace --offline"
@@ -23,16 +27,21 @@ else
     echo "==> cargo clippy not installed; skipping lint step"
 fi
 
-# Smoke-run the sweep bench (1 sample, tiny scene) and the trace bin (tiny
-# preset) into a scratch dir, then validate that the emitted BENCH_*.json
-# and TRACE_*.json artefacts parse with the expected schemas.
-echo "==> sweep bench + trace smoke + BENCH/TRACE json schema check"
+# Smoke-run the sweep bench (1 sample, tiny scene), the trace bin (tiny
+# preset) and the heatmap bin (tiny preset, small scene) into a scratch
+# dir, then validate that the emitted BENCH_*.json, TRACE_*.json and
+# HEATMAP_*.json artefacts parse with the expected schemas — and gate the
+# sweep's simulated cycle totals against the committed baseline.
+echo "==> sweep bench + trace/heatmap smoke + artefact schema check + regression gate"
 bench_dir=$(mktemp -d)
 trap 'rm -rf "$bench_dir"' EXIT
 SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin sweep
 SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin trace -- --scale 0.05 tiny
-cargo run -q --release --offline -p sortmid-bench --bin bench_check -- "$bench_dir"
+SORTMID_BENCH_DIR="$bench_dir" \
+    cargo run -q --release --offline -p sortmid-bench --bin heatmap -- --scale 0.05 --tile 16 tiny
+cargo run -q --release --offline -p sortmid-bench --bin bench_check -- \
+    "$bench_dir" --against "$repo/BENCH_baseline.json"
 
 echo "tier1: OK"

@@ -3,7 +3,8 @@
 //! internally consistent with the run report.
 
 use sortmid::{
-    CacheKind, Distribution, Machine, MachineConfig, RoutingPlan, TraceRecorder, TraceSink,
+    CacheKind, Distribution, Machine, MachineConfig, RoutingPlan, SpatialCollector, TraceRecorder,
+    TraceSink,
 };
 use sortmid_observe::{chrome_trace, TimeSeries};
 use sortmid_raster::FragmentStream;
@@ -161,4 +162,90 @@ fn custom_sinks_plug_in() {
     machine.run_traced(&s, &mut rec);
     assert_eq!(counter.0, rec.len() as u64);
     assert!(counter.0 > 0);
+}
+
+/// The spatial collector is a pure observer too, and the plan-replay path
+/// produces exactly the same spatial attribution as the direct path:
+/// identical tile stats, per-node fragment/setup totals and miss classes.
+#[test]
+fn spatial_collection_agrees_between_direct_and_plan_replay() {
+    let s = stream();
+    let machine = Machine::new(config(8, 100));
+    let untraced = machine.run(&s);
+    let screen = s.screen();
+    let collector =
+        || SpatialCollector::new(screen.width(), screen.height(), 16, 8);
+
+    let mut direct = collector();
+    assert_eq!(untraced, machine.run_traced(&s, &mut direct));
+
+    let plan = RoutingPlan::build(&s, &machine.config().distribution, 8);
+    let mut replay = collector();
+    assert_eq!(untraced, machine.run_planned_traced(&s, &plan, &mut replay));
+
+    assert_eq!(direct.grid().cells(), replay.grid().cells());
+    assert_eq!(direct.node_fragments(), replay.node_fragments());
+    assert_eq!(direct.node_lines(), replay.node_lines());
+    assert_eq!(direct.node_setup(), replay.node_setup());
+    assert_eq!(direct.node_misses(), replay.node_misses());
+    assert!(direct.fragment_total() > 0, "the scene draws fragments");
+}
+
+/// The heatmap JSON artefact round-trips through the devharness parser
+/// with its conservation and three-C identities intact.
+#[test]
+fn heatmap_json_roundtrips_through_the_devharness_parser() {
+    use sortmid_devharness::json::Json;
+
+    let s = stream();
+    let machine = Machine::new(
+        MachineConfig::builder()
+            .processors(8)
+            .distribution(Distribution::block(16))
+            .cache(CacheKind::Classifying(
+                sortmid_cache::CacheGeometry::paper_l1(),
+            ))
+            .bus_ratio(1.0)
+            .build()
+            .expect("valid config"),
+    );
+    let screen = s.screen();
+    let mut col = SpatialCollector::new(screen.width(), screen.height(), 32, 8);
+    let report = machine.run_traced(&s, &mut col);
+
+    let text = col.to_json("roundtrip", report.summary()).render();
+    let doc = Json::parse(&text).expect("rendered JSON must parse back");
+
+    assert_eq!(
+        doc.get("preset").and_then(Json::as_str),
+        Some("roundtrip")
+    );
+    assert_eq!(
+        doc.get("config").and_then(Json::as_str),
+        Some(report.summary())
+    );
+    assert_eq!(
+        doc.get("fragments").and_then(Json::as_u64),
+        Some(report.fragments())
+    );
+    let rows = doc.get("rows").and_then(Json::as_u64).unwrap();
+    let cols = doc.get("cols").and_then(Json::as_u64).unwrap();
+    let planes = doc.get("tiles").unwrap();
+    let mut tile_sum = 0;
+    let fragment_rows = planes.get("fragments").and_then(Json::as_arr).unwrap();
+    assert_eq!(fragment_rows.len() as u64, rows);
+    for row in fragment_rows {
+        let cells = row.as_arr().unwrap();
+        assert_eq!(cells.len() as u64, cols);
+        tile_sum += cells.iter().filter_map(Json::as_u64).sum::<u64>();
+    }
+    assert_eq!(tile_sum, report.fragments());
+    for node in doc.get("nodes").and_then(Json::as_arr).unwrap() {
+        let get = |k: &str| node.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(
+            get("compulsory") + get("capacity") + get("conflict"),
+            get("misses"),
+            "three-C identity must survive the round trip"
+        );
+    }
 }

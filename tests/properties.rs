@@ -1,7 +1,8 @@
 //! Cross-crate property tests on randomized machine configurations, running
 //! on the in-repo `sortmid-devharness` runner (fully offline).
 
-use sortmid::{CacheKind, Distribution, Machine, MachineConfig};
+use sortmid::{CacheKind, Distribution, Machine, MachineConfig, SpatialCollector};
+use sortmid_cache::CacheGeometry;
 use sortmid_devharness::prop::{check, Config, Gen};
 use sortmid_devharness::{prop_assert, prop_assert_eq};
 use sortmid_geom::Rect;
@@ -202,6 +203,103 @@ fn cycle_breakdown_identity() {
                     b.setup + b.busy,
                     "busy_cycles must stay scan + setup floor"
                 );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Spatial collection is a pure observer that conserves fragments: the
+/// traced report is byte-identical to the untraced one, the per-tile
+/// fragment counts sum to the report's fragment total, and the per-node
+/// totals match each node's pixel count — for random distributions,
+/// machine sizes, and tile granularities.
+#[test]
+fn spatial_collection_conserves_fragments() {
+    check(
+        "spatial_collection_conserves_fragments",
+        &machine_cases(),
+        |g| {
+            (
+                arb_distribution(g),
+                g.u32_in(1..64),
+                g.pick(&[4u32, 16, 33, 256]),
+            )
+        },
+        |(dist, procs, tile)| {
+            let s = stream();
+            let screen = s.screen();
+            let config = MachineConfig::builder()
+                .processors(*procs)
+                .distribution(dist.clone())
+                .cache(CacheKind::PaperL1)
+                .bus_ratio(1.0)
+                .build()
+                .expect("valid");
+            let machine = Machine::new(config);
+            let mut col = SpatialCollector::new(
+                screen.width().max(1),
+                screen.height().max(1),
+                *tile,
+                *procs,
+            );
+            let traced = machine.run_traced(s, &mut col);
+            prop_assert_eq!(&traced, &machine.run(s), "collection must not perturb");
+            let tile_sum: u64 = col.grid().cells().iter().map(|t| t.fragments).sum();
+            prop_assert_eq!(tile_sum, traced.fragments(), "tile sums must conserve");
+            prop_assert_eq!(col.fragment_total(), traced.fragments());
+            for (i, node) in traced.nodes().iter().enumerate() {
+                prop_assert_eq!(
+                    col.node_fragments()[i],
+                    node.pixels,
+                    "node {i} fragment attribution must match its pixel count"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The three-C identity under classification: on every node,
+/// `compulsory + capacity + conflict` equals the cache's miss counter
+/// exactly, and the spatially collected per-node class counts agree with
+/// the cache's own breakdown.
+#[test]
+fn three_c_identity_per_node() {
+    check(
+        "three_c_identity_per_node",
+        &machine_cases(),
+        |g| (arb_distribution(g), g.u32_in(1..48)),
+        |(dist, procs)| {
+            let s = stream();
+            let screen = s.screen();
+            let config = MachineConfig::builder()
+                .processors(*procs)
+                .distribution(dist.clone())
+                .cache(CacheKind::Classifying(CacheGeometry::paper_l1()))
+                .bus_ratio(1.0)
+                .build()
+                .expect("valid");
+            let machine = Machine::new(config);
+            let mut col = SpatialCollector::new(
+                screen.width().max(1),
+                screen.height().max(1),
+                16,
+                *procs,
+            );
+            let report = machine.run_traced(s, &mut col);
+            for (i, node) in report.nodes().iter().enumerate() {
+                prop_assert!(
+                    node.verify_misses().is_ok(),
+                    "node {i}: {}",
+                    node.verify_misses().unwrap_err()
+                );
+                let b = node.miss_breakdown.expect("classifying cache reports classes");
+                let c = col.node_misses()[i];
+                prop_assert_eq!(c.compulsory, b.compulsory, "node {i} compulsory");
+                prop_assert_eq!(c.capacity, b.capacity, "node {i} capacity");
+                prop_assert_eq!(c.conflict, b.conflict, "node {i} conflict");
+                prop_assert_eq!(c.total(), node.cache.misses(), "node {i} total");
             }
             Ok(())
         },
