@@ -29,7 +29,8 @@
 //! totals are additionally gated against a committed baseline (e.g.
 //! `BENCH_baseline.json`): configs are grouped by processor count and
 //! distribution, and any group whose median `total_cycles` regresses by
-//! more than 15% fails the check. Cycles are deterministic — unlike the
+//! more than 15% fails the check — as does any group present on only one
+//! side (coverage drift). Cycles are deterministic — unlike the
 //! wall-clock `median_ns`, which varies with the host and is therefore
 //! only reported, never gated.
 //!
@@ -119,6 +120,35 @@ fn check_sweep_extras(name: &str, doc: &Json, problems: &mut Vec<String>) {
             }
             if r.get("ratio").and_then(Json::as_f64).is_none() {
                 problems.push(format!("{name}/reference: missing or mistyped 'ratio'"));
+            }
+        }
+    }
+
+    match doc.get("trace_replay") {
+        None => problems.push(format!("{name}: missing 'trace_replay' extra")),
+        Some(t) => {
+            for key in ["configs", "base_configs", "median_ns", "base_median_ns"] {
+                if t.get(key).and_then(Json::as_u64).is_none() {
+                    problems.push(format!("{name}/trace_replay: missing or mistyped '{key}'"));
+                }
+            }
+            // The dense lane's whole point is pricing 100+ cache configs
+            // from one replay; a shrunken grid silently weakens the bench.
+            if let Some(n) = t.get("configs").and_then(Json::as_u64) {
+                if n < 100 {
+                    problems.push(format!(
+                        "{name}/trace_replay: dense lane covers only {n} cache configs (< 100)"
+                    ));
+                }
+            }
+            match t.get("marginal_ns_per_config").and_then(Json::as_f64) {
+                None => problems.push(format!(
+                    "{name}/trace_replay: missing or mistyped 'marginal_ns_per_config'"
+                )),
+                Some(m) if !m.is_finite() => problems.push(format!(
+                    "{name}/trace_replay: non-finite marginal cost {m}"
+                )),
+                Some(_) => {}
             }
         }
     }
@@ -389,9 +419,14 @@ fn sweep_group_medians(doc: &Json) -> BTreeMap<String, f64> {
         .collect()
 }
 
-/// Gates current per-group cycle medians against a baseline: any group
-/// regressing by more than [`REGRESSION_TOLERANCE`] — or missing from the
-/// current run — is a problem. Improvements and new groups only inform.
+/// Gates current per-group cycle medians against a baseline. Any group
+/// regressing by more than [`REGRESSION_TOLERANCE`] is a problem, and so is
+/// a group present on only one side — a silently skipped group is exactly
+/// how a dropped config axis would slip past the gate, so coverage drift in
+/// either direction fails until the baseline is regenerated. A zero-cycle
+/// baseline median cannot anchor a ratio: it passes only against a
+/// zero-cycle current median and fails (explicitly, without dividing) once
+/// the current group does real work.
 fn compare_groups(
     current: &BTreeMap<String, f64>,
     baseline: &BTreeMap<String, f64>,
@@ -405,7 +440,21 @@ fn compare_groups(
             ));
             continue;
         };
-        let ratio = if base > 0.0 { now / base } else { 1.0 };
+        if base <= 0.0 {
+            if now > 0.0 {
+                lines.push(format!(
+                    "  {group:24} {base:>14.0} -> {now:>14.0} cycles (no ratio)"
+                ));
+                problems.push(format!(
+                    "regression gate: group '{group}' has a zero-cycle baseline median but \
+                     {now:.0} current cycles — the baseline cannot anchor a ratio; regenerate it"
+                ));
+            } else {
+                lines.push(format!("  {group:24} {base:>14.0} -> {now:>14.0} cycles (+0.0%)"));
+            }
+            continue;
+        }
+        let ratio = now / base;
         lines.push(format!(
             "  {group:24} {base:>14.0} -> {now:>14.0} cycles ({:+.1}%)",
             (ratio - 1.0) * 100.0
@@ -421,7 +470,11 @@ fn compare_groups(
     }
     for group in current.keys() {
         if !baseline.contains_key(group) {
-            lines.push(format!("  {group:24} (new group, no baseline)"));
+            lines.push(format!("  {group:24} (no baseline entry)"));
+            problems.push(format!(
+                "regression gate: group '{group}' present in current sweep but missing from \
+                 the baseline — regenerate the baseline to cover it"
+            ));
         }
     }
     lines
@@ -632,13 +685,74 @@ mod tests {
     }
 
     #[test]
-    fn missing_group_fails_new_group_informs() {
+    fn trace_replay_extra_is_enforced_on_sweep_docs() {
+        let mut problems = Vec::new();
+        check_sweep_extras("sweep", &Json::obj::<&str>([]), &mut problems);
+        assert!(
+            problems.iter().any(|p| p.contains("trace_replay")),
+            "{problems:?}"
+        );
+
+        // A shrunken dense lane or non-finite marginal must fail too.
+        let doc = Json::obj([
+            (
+                "trace_replay",
+                Json::obj([
+                    ("configs", Json::U64(12)),
+                    ("base_configs", Json::U64(4)),
+                    ("median_ns", Json::U64(100)),
+                    ("base_median_ns", Json::U64(50)),
+                    ("marginal_ns_per_config", Json::F64(f64::INFINITY)),
+                ]),
+            ),
+            ("cycle_breakdowns", Json::arr([])),
+        ]);
+        let mut problems = Vec::new();
+        check_sweep_extras("sweep", &doc, &mut problems);
+        assert!(
+            problems.iter().any(|p| p.contains("< 100")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("non-finite")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn missing_groups_fail_in_both_directions() {
+        // Coverage drift is a failure whichever side dropped the group: a
+        // baseline group absent from the run AND a run group absent from
+        // the baseline.
         let base = groups(&[("16p/block-16", 1000.0)]);
         let cur = groups(&[("64p/sli-4", 500.0)]);
         let mut problems = Vec::new();
         compare_groups(&cur, &base, &mut problems);
-        assert_eq!(problems.len(), 1);
+        assert_eq!(problems.len(), 2, "{problems:?}");
         assert!(problems[0].contains("missing from current"), "{problems:?}");
+        assert!(problems[1].contains("missing from"), "{problems:?}");
+        assert!(problems[1].contains("64p/sli-4"), "{problems:?}");
+    }
+
+    #[test]
+    fn zero_baseline_with_work_in_current_fails_without_dividing() {
+        let base = groups(&[("16p/block-16", 0.0)]);
+        let cur = groups(&[("16p/block-16", 500.0)]);
+        let mut problems = Vec::new();
+        let lines = compare_groups(&cur, &base, &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("zero-cycle baseline"), "{problems:?}");
+        // The report line must not carry a NaN/inf percentage.
+        assert!(lines.iter().all(|l| !l.contains("NaN") && !l.contains("inf")), "{lines:?}");
+    }
+
+    #[test]
+    fn zero_baseline_and_zero_current_pass() {
+        let base = groups(&[("16p/block-16", 0.0)]);
+        let cur = groups(&[("16p/block-16", 0.0)]);
+        let mut problems = Vec::new();
+        compare_groups(&cur, &base, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
     }
 
     #[test]

@@ -5,29 +5,48 @@
 //! partitioning and simulation for every config — so the perf trajectory
 //! captures sweep throughput, not just single-machine speed.
 //!
-//! Two series are emitted into `BENCH_sweep.json`:
+//! Four series are emitted into `BENCH_sweep.json`:
 //!
 //! * `grid/shared-plan` — [`run_sweep_with_threads`]: configs grouped by
-//!   `(distribution, processors)`, one shared [`RoutingPlan`] per group;
+//!   `(distribution, processors)`, one shared [`RoutingPlan`] per group,
+//!   cache-heavy groups priced by stack-distance replay;
 //! * `grid/per-config` — the pre-optimization baseline: every config
 //!   re-derives per-fragment ownership and re-partitions the stream from
-//!   scratch (what `run_sweep` did before routing plans existed).
+//!   scratch (what `run_sweep` did before routing plans existed);
+//! * `grid/trace-replay` — a 10x-denser cache grid (every power-of-two
+//!   size from 512 B to 4 MB crossed with associativities 1–128, 100+
+//!   configs) on one routing plan, all priced from a single
+//!   `LineAccessTrace` replay;
+//! * `grid/trace-replay-base` — a small subset of the dense grid on the
+//!   same plan, so the difference of the two medians isolates the
+//!   *marginal* cost of each extra cache config.
 //!
-//! The ratio of the two medians is the plan-reuse speedup on this grid.
+//! The shared-plan/per-config ratio is the plan-reuse speedup; the
+//! dense/base difference prices extra cache configs.
 //!
-//! The artefact also carries two observability extras:
+//! The artefact also carries three observability extras:
 //!
-//! * `cycle_breakdowns` — for every config, each node's cycles attributed
-//!   to `[setup, busy, bus_stall, starved, idle]` (summing exactly to that
-//!   node's finish cycle — `bench_check` enforces the identity);
+//! * `cycle_breakdowns` — for every reference-grid config, each node's
+//!   cycles attributed to `[setup, busy, bus_stall, starved, idle]`
+//!   (summing exactly to that node's finish cycle — `bench_check` enforces
+//!   the identity);
 //! * `reference` — the `grid/shared-plan` median against the pre-tracing
 //!   recorded median, guarding that the `NullSink` event plumbing stays
-//!   monomorphized away.
+//!   monomorphized away;
+//! * `trace_replay` — the dense lane's config count and the marginal
+//!   nanoseconds each additional cache config costs on top of the shared
+//!   trace capture.
+//!
+//! Pass `--no-replay` to force every lane through the direct simulator
+//! (the stack-distance escape hatch); the reports are byte-identical, only
+//! the wall-clock changes.
 
 use sortmid::{
-    run_sweep_with_threads, CacheKind, Distribution, Machine, MachineConfig, RunReport, SweepGrid,
+    run_sweep_with_options, CacheKind, Distribution, Machine, MachineConfig, RunReport, SweepGrid,
+    SweepOptions,
 };
 use sortmid_bench::stream;
+use sortmid_cache::CacheGeometry;
 use sortmid_devharness::{Json, Suite};
 use sortmid_raster::FragmentStream;
 use sortmid_scene::Benchmark;
@@ -56,6 +75,50 @@ fn reference_grid() -> Vec<MachineConfig> {
         .build()
 }
 
+/// Cache geometries of the dense trace-replay lane: every power-of-two
+/// size from 512 B to 4 MB crossed with associativities 1–128 (ways capped
+/// so each size holds at least one full set of 64-byte lines) — 102
+/// geometries, all priced from one trace replay.
+fn dense_geometries() -> Vec<CacheGeometry> {
+    let mut out = Vec::new();
+    for log_size in 9..=22 {
+        let size = 1u32 << log_size;
+        for log_ways in 0..=7 {
+            let ways = 1u32 << log_ways;
+            if ways * 64 <= size {
+                out.push(CacheGeometry::new(size, ways, 64).expect("grid geometry is valid"));
+            }
+        }
+    }
+    out
+}
+
+/// A small subset of [`dense_geometries`] — same plan, same pipeline, a
+/// fraction of the configs — so `dense − base` isolates the marginal cost
+/// per extra cache config.
+fn base_geometries() -> Vec<CacheGeometry> {
+    [2048u32, 16_384, 131_072, 1_048_576]
+        .iter()
+        .flat_map(|&size| {
+            [1u32, 4, 16]
+                .iter()
+                .map(move |&ways| CacheGeometry::new(size, ways, 64).expect("valid"))
+        })
+        .collect()
+}
+
+/// One-plan sweep grid (16 processors, 16-pixel blocks) over the given
+/// cache geometries: every config shares the routing plan and the captured
+/// line trace, so wall-clock scales with the *evaluation*, not the
+/// routing.
+fn trace_replay_grid(geometries: &[CacheGeometry]) -> Vec<MachineConfig> {
+    SweepGrid::new()
+        .processors([16])
+        .distributions([Distribution::block(16)])
+        .caches(geometries.iter().map(|&g| CacheKind::SetAssoc(g)))
+        .build()
+}
+
 /// The pre-plan sweep: every config runs [`Machine::run`] independently,
 /// re-deriving ownership per fragment, on the same host-thread schedule.
 fn run_grid_per_config(
@@ -78,30 +141,52 @@ fn run_grid_per_config(
 }
 
 fn main() {
+    let replay = !std::env::args().skip(1).any(|a| a == "--no-replay");
     let s = stream(Benchmark::Quake);
     let configs = reference_grid();
+    let dense = trace_replay_grid(&dense_geometries());
+    let base = trace_replay_grid(&base_geometries());
+    assert!(
+        dense.len() >= 100,
+        "the dense lane must price 100+ cache configs per plan, got {}",
+        dense.len()
+    );
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let options = SweepOptions { threads, replay };
     eprintln!(
-        "sweep bench: {} configs, {} fragments, {} host threads",
+        "sweep bench: {} configs (+{} dense-cache), {} fragments, {} host threads, replay {}",
         configs.len(),
+        dense.len(),
         s.fragment_count(),
-        threads
+        threads,
+        if replay { "on" } else { "off (--no-replay)" },
     );
 
     let mut suite = Suite::new("sweep");
     let grid_work = s.fragment_count() * configs.len() as u64;
     suite.bench_with_elements("grid/shared-plan", grid_work, || {
-        black_box(run_sweep_with_threads(&s, &configs, threads))
+        black_box(run_sweep_with_options(&s, &configs, options))
     });
     suite.bench_with_elements("grid/per-config", grid_work, || {
         black_box(run_grid_per_config(&s, &configs, threads))
     });
+    suite.bench_with_elements(
+        "grid/trace-replay",
+        s.fragment_count() * dense.len() as u64,
+        || black_box(run_sweep_with_options(&s, &dense, options)),
+    );
+    suite.bench_with_elements(
+        "grid/trace-replay-base",
+        s.fragment_count() * base.len() as u64,
+        || black_box(run_sweep_with_options(&s, &base, options)),
+    );
 
     let results = suite.results();
     let mut plan_median_ns = 0;
-    if let [plan, direct] = results {
+    let mut trace_replay = Json::Null;
+    if let [plan, direct, dense_r, base_r] = results {
         let speedup = direct.median_ns as f64 / plan.median_ns.max(1) as f64;
         plan_median_ns = plan.median_ns;
         println!(
@@ -110,10 +195,34 @@ fn main() {
             plan.median_ns as f64 / 1e6,
             direct.median_ns as f64 / 1e6,
         );
+        // Marginal cost of one extra cache config: the dense and base
+        // lanes share the plan build and trace capture, so the median
+        // difference divided by the config-count difference prices exactly
+        // the added evaluation + report synthesis.
+        let extra = (dense.len() - base.len()) as f64;
+        let marginal = (dense_r.median_ns as f64 - base_r.median_ns as f64) / extra;
+        println!(
+            "trace-replay ({} configs, one plan): {:.1} ms dense vs {:.1} ms base \
+             -> {marginal:.0} ns marginal per extra cache config",
+            dense.len(),
+            dense_r.median_ns as f64 / 1e6,
+            base_r.median_ns as f64 / 1e6,
+        );
+        trace_replay = Json::obj([
+            ("id", Json::str("grid/trace-replay")),
+            ("replay", Json::Bool(replay)),
+            ("configs", Json::U64(dense.len() as u64)),
+            ("base_configs", Json::U64(base.len() as u64)),
+            ("median_ns", Json::U64(dense_r.median_ns)),
+            ("base_median_ns", Json::U64(base_r.median_ns)),
+            ("marginal_ns_per_config", Json::F64(marginal)),
+        ]);
     }
 
-    // One more (untimed) sweep to attach per-config cycle breakdowns.
-    let reports = run_sweep_with_threads(&s, &configs, threads);
+    // One more (untimed) sweep to attach per-config cycle breakdowns —
+    // reference grid only: the regression gate's groups must not absorb
+    // the dense cache lane.
+    let reports = run_sweep_with_options(&s, &configs, options);
     suite.finish_with([
         (
             "cycle_breakdowns".to_string(),
@@ -131,6 +240,7 @@ fn main() {
                 ),
             ]),
         ),
+        ("trace_replay".to_string(), trace_replay),
     ]);
 }
 

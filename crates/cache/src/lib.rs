@@ -20,6 +20,11 @@
 //!   texture memory (the paper's future-work question).
 //! * [`stats::CacheStats`] — hit/miss accounting and the texel-to-fragment
 //!   arithmetic.
+//! * [`trace::TracingCache`] / [`trace::LineAccessTrace`] — capture the
+//!   geometry-independent access sequence once per routing plan.
+//! * [`stackdist::evaluate_trace`] — Mattson stack-distance replay that
+//!   prices every (size × associativity) geometry of a sweep grid from one
+//!   captured trace.
 //!
 //! All models operate on **line addresses** (global texel index / 16); the
 //! rasterizer hands the machine 8 texel addresses per fragment and the node
@@ -43,7 +48,9 @@ pub mod geometry;
 pub mod hierarchy;
 pub mod perfect;
 pub mod set_assoc;
+pub mod stackdist;
 pub mod stats;
+pub mod trace;
 pub mod victim;
 
 pub use classify::ClassifyingCache;
@@ -52,7 +59,12 @@ pub use geometry::{CacheGeometry, CacheGeometryError};
 pub use hierarchy::TwoLevelCache;
 pub use perfect::PerfectCache;
 pub use set_assoc::SetAssocCache;
+pub use stackdist::{
+    evaluate_trace, evaluate_trace_auto, evaluate_trace_direct, GeometryRequest, MattsonProfile,
+    TraceEvaluation, STACKDIST_MIN_REQUESTS,
+};
 pub use stats::{CacheStats, MissBreakdown, MissIdentityError};
+pub use trace::{LineAccessTrace, TracingCache};
 pub use victim::VictimCache;
 
 use sortmid_observe::MissClass;

@@ -1,0 +1,166 @@
+//! Capturing line-access traces for replay-based cache evaluation.
+//!
+//! Which cache lines a node touches — and in what order — depends only on
+//! the fragment stream and the routing, never on the cache geometry: the
+//! node probes its cache once per texel read whatever the cache answers.
+//! A [`TracingCache`] plugged into the probe loop therefore records the
+//! exact access sequence any set-associative geometry would see, and a
+//! [`LineAccessTrace`] bundles those per-node sequences so the
+//! [stack-distance evaluator](crate::stackdist) can price every geometry
+//! of a sweep grid from one capture.
+
+use crate::stats::CacheStats;
+use crate::LineCache;
+
+/// A pseudo-cache that records the line address of every access.
+///
+/// Plugs into the same probe loop as the real models (it implements
+/// [`LineCache`]) but holds no contents: every access "misses" and is
+/// appended to the captured sequence. Only the recorded addresses are
+/// meaningful — the hit/miss answer exists to satisfy the trait.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_cache::{LineCache, TracingCache};
+///
+/// let mut t = TracingCache::new();
+/// t.access_line(7);
+/// t.access_line(7);
+/// t.access_line(9);
+/// assert_eq!(t.lines(), &[7, 7, 9]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TracingCache {
+    lines: Vec<u32>,
+    stats: CacheStats,
+}
+
+impl TracingCache {
+    /// Creates an empty capture.
+    pub fn new() -> Self {
+        TracingCache::default()
+    }
+
+    /// The captured access sequence so far.
+    pub fn lines(&self) -> &[u32] {
+        &self.lines
+    }
+
+    /// Consumes the capture, returning the access sequence.
+    pub fn into_lines(self) -> Vec<u32> {
+        self.lines
+    }
+}
+
+impl LineCache for TracingCache {
+    fn access_line(&mut self, line: u32) -> bool {
+        self.lines.push(line);
+        self.stats.record(false);
+        false
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset(&mut self) {
+        self.lines.clear();
+        self.stats.reset();
+    }
+}
+
+/// The deterministic sequence of (node, texture-line) accesses one routing
+/// plan produces, grouped per node in processing order.
+///
+/// Accesses come in fixed-size runs (`accesses_per_fragment`, 8 for the
+/// trilinear engine), so fragment boundaries are implicit — the evaluator
+/// uses them to reconstruct per-fragment miss counts for timing replay.
+#[derive(Debug, Clone)]
+pub struct LineAccessTrace {
+    nodes: Vec<Vec<u32>>,
+    accesses_per_fragment: u32,
+}
+
+impl LineAccessTrace {
+    /// Builds a trace from per-node access sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses_per_fragment` is zero or any node's sequence
+    /// length is not a multiple of it.
+    pub fn from_nodes(nodes: Vec<Vec<u32>>, accesses_per_fragment: u32) -> Self {
+        assert!(accesses_per_fragment > 0, "fragments make at least one access");
+        for (i, seq) in nodes.iter().enumerate() {
+            assert_eq!(
+                seq.len() % accesses_per_fragment as usize,
+                0,
+                "node {i} trace length {} is not whole fragments",
+                seq.len()
+            );
+        }
+        LineAccessTrace {
+            nodes,
+            accesses_per_fragment,
+        }
+    }
+
+    /// Number of nodes in the trace.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// One node's access sequence, in processing order.
+    pub fn node_lines(&self, node: usize) -> &[u32] {
+        &self.nodes[node]
+    }
+
+    /// Accesses per fragment (the texel reads of one pixel).
+    pub fn accesses_per_fragment(&self) -> u32 {
+        self.accesses_per_fragment
+    }
+
+    /// Fragments one node processes.
+    pub fn fragment_count(&self, node: usize) -> usize {
+        self.nodes[node].len() / self.accesses_per_fragment as usize
+    }
+
+    /// Total accesses across all nodes.
+    pub fn total_accesses(&self) -> u64 {
+        self.nodes.iter().map(|n| n.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracing_cache_records_in_order() {
+        let mut t = TracingCache::new();
+        for line in [3, 1, 4, 1, 5] {
+            assert!(!t.access_line(line), "capture always reports a miss");
+        }
+        assert_eq!(t.lines(), &[3, 1, 4, 1, 5]);
+        assert_eq!(t.stats().accesses(), 5);
+        t.reset();
+        assert!(t.lines().is_empty());
+        assert_eq!(t.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn trace_counts_fragments() {
+        let trace = LineAccessTrace::from_nodes(vec![vec![1, 2, 3, 4], vec![]], 2);
+        assert_eq!(trace.node_count(), 2);
+        assert_eq!(trace.fragment_count(0), 2);
+        assert_eq!(trace.fragment_count(1), 0);
+        assert_eq!(trace.total_accesses(), 4);
+        assert_eq!(trace.node_lines(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not whole fragments")]
+    fn ragged_trace_panics() {
+        LineAccessTrace::from_nodes(vec![vec![1, 2, 3]], 2);
+    }
+}

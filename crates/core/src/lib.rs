@@ -48,6 +48,7 @@ pub mod dynamic;
 pub mod machine;
 pub mod node;
 pub mod plan;
+pub mod replay;
 pub mod report;
 pub mod sortlast;
 pub mod sweep;
@@ -63,7 +64,10 @@ pub use sortmid_observe::{
     CycleBreakdown, MissClass, MissClassCounts, NullSink, ScreenGrid, SpatialCollector, TileStats,
     TraceEvent, TraceRecorder, TraceSink,
 };
-pub use sweep::{run_sweep, run_sweep_with_threads, SweepGrid};
+pub use replay::capture_line_trace;
+pub use sweep::{
+    run_sweep, run_sweep_with_options, run_sweep_with_threads, SweepGrid, SweepOptions,
+};
 
 /// Maximum processor count the machine supports (the paper evaluates up to
 /// 64; the overlap masks are 128-bit).

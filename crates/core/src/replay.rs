@@ -1,0 +1,272 @@
+//! Trace capture and report synthesis for one-pass multi-config sweeps.
+//!
+//! Which texture lines a node touches depends only on the fragment stream
+//! and the [`RoutingPlan`] — never on the cache, bus or buffer parameters.
+//! This module exploits that split: [`capture_line_trace`] records each
+//! node's access sequence once per plan through a
+//! [`TracingCache`](sortmid_cache::TracingCache), the
+//! [stack-distance evaluator](sortmid_cache::stackdist) prices every
+//! set-associative geometry of the sweep grid from that one trace, and
+//! [`run_replayed`] re-derives a [`RunReport`] for each config by driving
+//! the exact engine/FIFO timing model with the replayed per-fragment miss
+//! counts. The synthesized reports are byte-identical to
+//! [`Machine::run_planned`](crate::machine::Machine::run_planned) —
+//! property tests and the sweep's own internal grouping enforce it.
+
+use crate::config::{CacheKind, MachineConfig};
+use crate::plan::RoutingPlan;
+use crate::report::{NodeReport, RunReport};
+use sortmid_cache::{
+    CacheGeometry, LineAccessTrace, LineCache, TraceEvaluation, TracingCache,
+};
+use sortmid_memsys::{Cycle, EngineTiming, TriangleFifo};
+use sortmid_raster::FragmentStream;
+use sortmid_texture::TEXELS_PER_FRAGMENT;
+
+/// Captures the per-node texture-line access sequence one routing plan
+/// produces: every node's fragments in processing order, 8 texel lines per
+/// fragment — the geometry-independent half of a machine run.
+pub fn capture_line_trace(stream: &FragmentStream, plan: &RoutingPlan) -> LineAccessTrace {
+    let fragments = stream.fragments();
+    let triangles = stream.triangles();
+    let mut tracers: Vec<TracingCache> = (0..plan.procs())
+        .map(|_| TracingCache::new())
+        .collect();
+
+    // Same walk order as `run_frame_planned`: triangles in stream order,
+    // each owner's bucket in fragment-stream order.
+    for pt in &plan.triangles {
+        let tri = &triangles[pt.tri as usize];
+        let mut bucket_start = tri.frag_start as usize;
+        for seg in &plan.segments[pt.seg_start as usize..pt.seg_end as usize] {
+            let end = seg.end as usize;
+            let bucket = &plan.frag_order[bucket_start..end];
+            bucket_start = end;
+            let tracer = &mut tracers[seg.owner as usize];
+            for &fi in bucket {
+                for texel in &fragments[fi as usize].texels {
+                    tracer.access_line(texel.line());
+                }
+            }
+        }
+    }
+    LineAccessTrace::from_nodes(
+        tracers.into_iter().map(TracingCache::into_lines).collect(),
+        TEXELS_PER_FRAGMENT as u32,
+    )
+}
+
+/// The stack-distance request a config's cache maps to, when the replay
+/// path can serve it: the set-associative geometry plus whether the config
+/// wants the three-C decomposition. `None` for cache models the Mattson
+/// machinery cannot express (perfect, two-level, victim) and for machines
+/// with a DRAM row model (fill cost then depends on miss *addresses*, not
+/// just counts).
+pub(crate) fn replay_request(config: &MachineConfig) -> Option<(CacheGeometry, bool)> {
+    if config.dram.is_some() {
+        return None;
+    }
+    match config.cache {
+        CacheKind::PaperL1 => Some((CacheGeometry::paper_l1(), false)),
+        CacheKind::SetAssoc(g) => Some((g, false)),
+        CacheKind::Classifying(g) => Some((g, true)),
+        CacheKind::Perfect
+        | CacheKind::TwoLevel(_, _)
+        | CacheKind::Victim(_, _) => None,
+    }
+}
+
+/// Synthesizes the [`RunReport`] of `config` from a plan evaluation,
+/// byte-identical to [`Machine::run_planned`](crate::machine::Machine::run_planned):
+/// the routing walk, FIFO backpressure, engine scan/stall/setup-floor
+/// timing and bus occupancy are simulated exactly as in the direct path,
+/// but every texel probe is replaced by the precomputed per-fragment miss
+/// count of the config's geometry.
+///
+/// `geom` indexes the config's geometry in `eval`'s request grid;
+/// `classify` selects whether the report carries the three-C breakdown
+/// (a [`CacheKind::Classifying`] config does, a plain set-associative one
+/// does not, even when both share a geometry slot).
+pub(crate) fn run_replayed(
+    config: &MachineConfig,
+    stream: &FragmentStream,
+    plan: &RoutingPlan,
+    eval: &TraceEvaluation,
+    geom: usize,
+    classify: bool,
+) -> RunReport {
+    assert!(
+        plan.matches(&config.distribution, config.processors),
+        "plan built for {}x{} does not fit machine {}x{}",
+        plan.distribution(),
+        plan.procs(),
+        config.distribution,
+        config.processors,
+    );
+    let procs = config.processors as usize;
+    let triangles = stream.triangles();
+
+    let mut engines: Vec<EngineTiming> = (0..procs)
+        .map(|_| EngineTiming::new(config.bus, config.prefetch_window))
+        .collect();
+    let mut fifos: Vec<TriangleFifo> = (0..procs)
+        .map(|_| TriangleFifo::new(config.triangle_buffer))
+        .collect();
+    let mut pixels = vec![0u64; procs];
+    let mut routed_tris = vec![0u64; procs];
+    let mut discarded = vec![0u64; procs];
+    // Per-node cursor into the replayed per-fragment miss counts; the walk
+    // below visits fragments in exactly the order the trace recorded them.
+    let mut cursor = vec![0usize; procs];
+    let mut send_time: Cycle = 0;
+
+    for pt in &plan.triangles {
+        let mut send = send_time + config.geometry_cycles_per_triangle;
+        for fifo in &fifos {
+            send = send.max(fifo.earliest_send());
+        }
+        send_time = send;
+
+        let tri = &triangles[pt.tri as usize];
+        let mut seg = pt.seg_start as usize;
+        let seg_end = pt.seg_end as usize;
+        let mut bucket_start = tri.frag_start as usize;
+
+        let mut m = pt.mask;
+        for i in 0..procs {
+            if m & 1 != 0 {
+                let count = if seg < seg_end && plan.segments[seg].owner == i as u32 {
+                    let end = plan.segments[seg].end as usize;
+                    seg += 1;
+                    let count = end - bucket_start;
+                    bucket_start = end;
+                    count
+                } else {
+                    // Bounding-box overlap without owned fragments: the
+                    // setup floor still applies.
+                    0
+                };
+                let start = engines[i].start_triangle(send);
+                fifos[i].record_start(start);
+                routed_tris[i] += 1;
+                pixels[i] += count as u64;
+                let frag_misses = eval.fragment_misses(i, geom);
+                for _ in 0..count {
+                    engines[i].fragment(frag_misses[cursor[i]] as u32);
+                    cursor[i] += 1;
+                }
+                engines[i].finish_triangle(config.setup_cycles);
+            } else {
+                let start = engines[i].engine_free().max(send);
+                fifos[i].record_start(start);
+                discarded[i] += 1;
+            }
+            m >>= 1;
+        }
+    }
+
+    let node_reports: Vec<NodeReport> = (0..procs)
+        .map(|i| {
+            let stats = eval.stats(i, geom);
+            NodeReport {
+                pixels: pixels[i],
+                triangles: routed_tris[i],
+                discarded: discarded[i],
+                finish: engines[i].finish_time(),
+                busy_cycles: engines[i].busy_cycles(),
+                stall_cycles: engines[i].stall_cycles(),
+                setup_floor_cycles: engines[i].setup_floor_cycles(),
+                starved_cycles: engines[i].starved_cycles(),
+                idle_cycles: engines[i].fill_tail_cycles(),
+                bus_busy_cycles: engines[i].bus_busy_cycles(),
+                cache: stats,
+                miss_breakdown: if classify { eval.breakdown(i, geom) } else { None },
+                external_fetches: stats.misses(),
+            }
+        })
+        .collect();
+    let total_cycles = node_reports.iter().map(|n| n.finish).max().unwrap_or(0);
+    RunReport::new(
+        config.summary(),
+        total_cycles,
+        node_reports,
+        stream.fragment_count(),
+        stream.triangle_count() as u64,
+        plan.routed(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Distribution;
+    use crate::machine::Machine;
+    use sortmid_cache::{evaluate_trace, GeometryRequest};
+    use sortmid_scene::{Benchmark, SceneBuilder};
+
+    fn stream() -> FragmentStream {
+        SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.1)
+            .build()
+            .rasterize()
+    }
+
+    fn config(procs: u32, cache: CacheKind) -> MachineConfig {
+        MachineConfig::builder()
+            .processors(procs)
+            .distribution(Distribution::block(16))
+            .cache(cache)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trace_covers_every_fragment_once() {
+        let s = stream();
+        let plan = RoutingPlan::build(&s, &Distribution::block(16), 4);
+        let trace = capture_line_trace(&s, &plan);
+        assert_eq!(trace.node_count(), 4);
+        let fragments: usize = (0..4).map(|n| trace.fragment_count(n)).sum();
+        assert_eq!(fragments as u64, s.fragment_count());
+    }
+
+    #[test]
+    fn replayed_report_is_byte_identical_to_direct() {
+        let s = stream();
+        let geometry = CacheGeometry::paper_l1();
+        for (cache, classify) in [
+            (CacheKind::PaperL1, false),
+            (CacheKind::Classifying(geometry), true),
+        ] {
+            let cfg = config(4, cache);
+            let plan = RoutingPlan::build(&s, &cfg.distribution, cfg.processors);
+            let trace = capture_line_trace(&s, &plan);
+            let eval = evaluate_trace(&trace, &[GeometryRequest { geometry, classify }]);
+            let replayed = run_replayed(&cfg, &s, &plan, &eval, 0, classify);
+            let direct = Machine::new(cfg).run(&s);
+            assert_eq!(replayed, direct);
+        }
+    }
+
+    #[test]
+    fn replay_request_covers_the_mattson_expressible_kinds() {
+        let g = CacheGeometry::paper_l1();
+        assert_eq!(
+            replay_request(&config(2, CacheKind::PaperL1)),
+            Some((g, false))
+        );
+        assert_eq!(
+            replay_request(&config(2, CacheKind::SetAssoc(g))),
+            Some((g, false))
+        );
+        assert_eq!(
+            replay_request(&config(2, CacheKind::Classifying(g))),
+            Some((g, true))
+        );
+        assert_eq!(replay_request(&config(2, CacheKind::Perfect)), None);
+        assert_eq!(
+            replay_request(&config(2, CacheKind::Victim(g, 4))),
+            None
+        );
+    }
+}

@@ -12,12 +12,23 @@
 //! replays it read-only from every config in the group: a grid that varies
 //! caches and buffers over a handful of distributions pays the per-fragment
 //! ownership math once per distribution instead of once per cell.
+//!
+//! On top of plan sharing, groups with several set-associative cache
+//! configs go through **stack-distance replay**: one
+//! [`LineAccessTrace`](sortmid_cache::LineAccessTrace) capture per plan,
+//! one [Mattson evaluation](sortmid_cache::stackdist) pricing every
+//! geometry in the group, and per-config reports synthesized from the
+//! replayed miss counts ([`crate::replay`]). The synthesized reports are
+//! byte-identical to the direct path — [`SweepOptions::replay`] is the
+//! escape hatch that forces every config down the direct simulator.
 
 use crate::config::{CacheKind, MachineConfig};
 use crate::distribution::Distribution;
 use crate::machine::Machine;
 use crate::plan::RoutingPlan;
+use crate::replay::{capture_line_trace, replay_request, run_replayed};
 use crate::report::RunReport;
+use sortmid_cache::{evaluate_trace_auto, GeometryRequest, TraceEvaluation};
 use sortmid_raster::FragmentStream;
 
 /// Builds the cartesian product of machine-parameter axes — the shape of
@@ -167,10 +178,7 @@ impl Default for SweepGrid {
 /// assert_eq!(reports.len(), 2);
 /// ```
 pub fn run_sweep(stream: &FragmentStream, configs: &[MachineConfig]) -> Vec<RunReport> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    run_sweep_with_threads(stream, configs, threads)
+    run_sweep_with_options(stream, configs, SweepOptions::default())
 }
 
 /// [`run_sweep`] with an explicit host-thread count.
@@ -187,7 +195,68 @@ pub fn run_sweep_with_threads(
     configs: &[MachineConfig],
     threads: usize,
 ) -> Vec<RunReport> {
-    assert!(threads > 0, "need at least one host thread");
+    run_sweep_with_options(
+        stream,
+        configs,
+        SweepOptions {
+            threads,
+            ..SweepOptions::default()
+        },
+    )
+}
+
+/// Knobs of [`run_sweep_with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Host threads to spread the per-config runs over.
+    pub threads: usize,
+    /// Evaluate groups of cache-only-varying configs from one
+    /// stack-distance replay of the shared plan's line trace (`true`, the
+    /// default). `false` is the escape hatch forcing every config through
+    /// the direct simulator — reports are byte-identical either way.
+    pub replay: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            replay: true,
+        }
+    }
+}
+
+/// A plan group's replay-eligible configs, down two pipelines: capturing a
+/// trace pays off once at least this many configs replay from it.
+///
+/// Measured on the sweep bench: synthesizing a report from a replayed
+/// trace costs ~1/4 of a direct simulation, but the capture plus a
+/// one-geometry evaluation costs ~3 synthesized configs — so groups of
+/// two or three replay-eligible configs are cheaper simulated directly.
+const REPLAY_MIN_GROUP: usize = 4;
+
+/// How one sweep config gets its report: direct plan-replay simulation, or
+/// synthesis from the plan's stack-distance evaluation (geometry index +
+/// whether the report carries the three-C breakdown).
+#[derive(Debug, Clone, Copy)]
+enum ConfigPath {
+    Direct,
+    Replay { geom: usize, classify: bool },
+}
+
+/// [`run_sweep`] with every knob explicit.
+///
+/// # Panics
+///
+/// Panics if `options.threads` is zero.
+pub fn run_sweep_with_options(
+    stream: &FragmentStream,
+    configs: &[MachineConfig],
+    options: SweepOptions,
+) -> Vec<RunReport> {
+    assert!(options.threads > 0, "need at least one host thread");
     if configs.is_empty() {
         return Vec::new();
     }
@@ -213,12 +282,74 @@ pub fn run_sweep_with_threads(
     }
     let plans = &plans[..];
 
-    let threads = threads.min(configs.len());
+    // Decide each config's path. Replay-eligible configs of one plan share
+    // a geometry request grid (deduplicated by geometry, classification
+    // merged by OR so a Classifying and a plain SetAssoc config of the
+    // same geometry share one evaluation slot).
+    let mut requests: Vec<Vec<GeometryRequest>> = vec![Vec::new(); plans.len()];
+    let mut path_of: Vec<ConfigPath> = vec![ConfigPath::Direct; configs.len()];
+    if options.replay {
+        let mut eligible = vec![0usize; plans.len()];
+        for (ci, config) in configs.iter().enumerate() {
+            if let Some((geometry, classify)) = replay_request(config) {
+                let reqs = &mut requests[plan_of[ci]];
+                let geom = match reqs.iter().position(|r| r.geometry == geometry) {
+                    Some(gi) => {
+                        reqs[gi].classify |= classify;
+                        gi
+                    }
+                    None => {
+                        reqs.push(GeometryRequest { geometry, classify });
+                        reqs.len() - 1
+                    }
+                };
+                path_of[ci] = ConfigPath::Replay { geom, classify };
+                eligible[plan_of[ci]] += 1;
+            }
+        }
+        // Too-small groups fall back: capturing and replaying a trace only
+        // pays off when it serves several configs.
+        for (pi, count) in eligible.iter().enumerate() {
+            if *count < REPLAY_MIN_GROUP {
+                requests[pi].clear();
+            }
+        }
+        for (ci, path) in path_of.iter_mut().enumerate() {
+            if requests[plan_of[ci]].is_empty() {
+                *path = ConfigPath::Direct;
+            }
+        }
+    }
+
+    // Evaluate each plan's geometry grid from one captured trace, plans in
+    // parallel (each evaluation is independent).
+    let mut evals: Vec<Option<TraceEvaluation>> = vec![None; plans.len()];
+    std::thread::scope(|scope| {
+        for (slot, (plan, reqs)) in evals.iter_mut().zip(plans.iter().zip(&requests)) {
+            if !reqs.is_empty() {
+                scope.spawn(move || {
+                    let trace = capture_line_trace(stream, plan);
+                    *slot = Some(evaluate_trace_auto(&trace, reqs));
+                });
+            }
+        }
+    });
+    let evals = &evals[..];
+
+    let run_one = |config: &MachineConfig, pi: usize, path: ConfigPath| match path {
+        ConfigPath::Direct => Machine::new(config.clone()).run_planned(stream, &plans[pi]),
+        ConfigPath::Replay { geom, classify } => {
+            let eval = evals[pi].as_ref().expect("replay path has an evaluation");
+            run_replayed(config, stream, &plans[pi], eval, geom, classify)
+        }
+    };
+
+    let threads = options.threads.min(configs.len());
     if threads <= 1 || configs.len() <= 1 {
         return configs
             .iter()
-            .zip(&plan_of)
-            .map(|(c, &pi)| Machine::new(c.clone()).run_planned(stream, &plans[pi]))
+            .enumerate()
+            .map(|(ci, c)| run_one(c, plan_of[ci], path_of[ci]))
             .collect();
     }
 
@@ -228,16 +359,21 @@ pub fn run_sweep_with_threads(
     let mut out: Vec<Option<RunReport>> = vec![None; configs.len()];
     let chunk = configs.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        for ((out_chunk, cfg_chunk), idx_chunk) in out
+        for (((out_chunk, cfg_chunk), idx_chunk), path_chunk) in out
             .chunks_mut(chunk)
             .zip(configs.chunks(chunk))
             .zip(plan_of.chunks(chunk))
+            .zip(path_of.chunks(chunk))
         {
+            let run_one = &run_one;
             scope.spawn(move || {
-                for ((slot, config), &pi) in
-                    out_chunk.iter_mut().zip(cfg_chunk).zip(idx_chunk)
+                for (((slot, config), &pi), &path) in out_chunk
+                    .iter_mut()
+                    .zip(cfg_chunk)
+                    .zip(idx_chunk)
+                    .zip(path_chunk)
                 {
-                    *slot = Some(Machine::new(config.clone()).run_planned(stream, &plans[pi]));
+                    *slot = Some(run_one(config, pi, path));
                 }
             });
         }
@@ -299,6 +435,42 @@ mod tests {
             let direct = Machine::new(config.clone()).run(&stream);
             assert_eq!(report, &direct, "{}", config.summary());
         }
+    }
+
+    #[test]
+    fn replay_and_direct_paths_emit_identical_reports() {
+        // The --no-replay escape hatch must be an observational no-op: a
+        // grid dense in cache geometries gets byte-identical reports from
+        // the stack-distance replay and the direct simulator.
+        let stream = SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.1)
+            .build()
+            .rasterize();
+        let geometries = [
+            sortmid_cache::CacheGeometry::new(4096, 2, 64).unwrap(),
+            sortmid_cache::CacheGeometry::new(16384, 4, 64).unwrap(),
+            sortmid_cache::CacheGeometry::new(65536, 8, 64).unwrap(),
+        ];
+        let mut caches = vec![CacheKind::Perfect, CacheKind::PaperL1];
+        caches.extend(geometries.iter().map(|&g| CacheKind::SetAssoc(g)));
+        caches.extend(geometries.iter().map(|&g| CacheKind::Classifying(g)));
+        let configs = SweepGrid::new()
+            .processors([4])
+            .distributions([Distribution::block(16), Distribution::sli(2)])
+            .caches(caches)
+            .buffers([8, 10_000])
+            .build();
+        let replayed = run_sweep_with_options(
+            &stream,
+            &configs,
+            SweepOptions { threads: 3, replay: true },
+        );
+        let direct = run_sweep_with_options(
+            &stream,
+            &configs,
+            SweepOptions { threads: 3, replay: false },
+        );
+        assert_eq!(replayed, direct);
     }
 
     #[test]

@@ -78,6 +78,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -218,9 +219,15 @@ impl fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
+/// Containers may nest at most this deep: the parser recurses per level,
+/// so unbounded nesting (e.g. a few thousand `[`s) would overflow the
+/// stack instead of reporting a parse error.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -265,12 +272,27 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
             None => Err(self.err("unexpected end of input")),
         }
+    }
+
+    /// Runs a container parser one nesting level down, failing cleanly at
+    /// [`MAX_DEPTH`] (each level is a stack frame).
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<Json, JsonParseError>,
+    ) -> Result<Json, JsonParseError> {
+        if self.depth == MAX_DEPTH {
+            return Err(self.err(format!("containers nested deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let out = inner(self);
+        self.depth -= 1;
+        out
     }
 
     fn array(&mut self) -> Result<Json, JsonParseError> {
@@ -407,9 +429,15 @@ impl<'a> Parser<'a> {
                 return Ok(Json::U64(n));
             }
         }
-        text.parse::<f64>()
-            .map(Json::F64)
-            .map_err(|_| self.err(format!("invalid number '{text}'")))
+        match text.parse::<f64>() {
+            // `1e999` parses "successfully" to infinity; a finiteness
+            // check keeps non-representable numbers out of the document
+            // (Json::F64 renders non-finite values as null, so accepting
+            // them would silently corrupt round trips).
+            Ok(v) if v.is_finite() => Ok(Json::F64(v)),
+            Ok(_) => Err(self.err(format!("number '{text}' is not representable"))),
+            Err(_) => Err(self.err(format!("invalid number '{text}'"))),
+        }
     }
 }
 
@@ -514,5 +542,62 @@ mod tests {
         assert!(e.message.contains("unterminated"), "{e}");
         assert!(Json::parse("").is_err());
         assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // One level inside the cap parses...
+        let fine = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&fine).is_ok());
+        // ...one past it reports a clean error (and a pathological input
+        // far past it must not blow the stack).
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let e = Json::parse(&over).unwrap_err();
+        assert!(e.message.contains("nested deeper"), "{e}");
+        let bomb = format!("{}{}", "[".repeat(100_000), "{".repeat(100_000));
+        assert!(Json::parse(&bomb).is_err());
+        let mixed = format!("{}1{}", "[{\"k\":".repeat(80), "}]".repeat(80));
+        let e = Json::parse(&mixed).unwrap_err();
+        assert!(e.message.contains("nested deeper"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_after_any_document() {
+        for doc in ["1 2", "[] []", "{} null", "\"s\"garbage", "truefalse"] {
+            assert!(Json::parse(doc).is_err(), "{doc:?} must not parse");
+        }
+        // Whitespace after the document is fine.
+        assert!(Json::parse("  [1, 2]\n\t ").is_ok());
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        for doc in [r#""\ud800""#, r#""\udfff""#, r#"{"k":"\ud912"}"#] {
+            let e = Json::parse(doc).unwrap_err();
+            assert!(e.message.contains("scalar value"), "{doc:?}: {e}");
+        }
+        // An escaped surrogate *pair* is still two lone escapes to this
+        // parser (it does not combine them) and is rejected; actual astral
+        // characters pass through as raw UTF-8 instead.
+        assert!(Json::parse(r#""\ud83d\ude00""#).is_err());
+        assert_eq!(
+            Json::parse("\"\u{1f600}\"").unwrap().as_str(),
+            Some("\u{1f600}")
+        );
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected_not_infinite() {
+        for doc in ["1e999", "-1e999", "1e308e"] {
+            assert!(Json::parse(doc).is_err(), "{doc:?} must not parse");
+        }
+        // The largest finite doubles still parse.
+        assert_eq!(Json::parse("1e308").unwrap().as_f64(), Some(1e308));
+        assert_eq!(Json::parse("-1.7976931348623157e308").unwrap().as_f64(), Some(f64::MIN));
+        // Integers beyond u64 fall back to (finite) floats.
+        assert_eq!(
+            Json::parse("99999999999999999999999999").unwrap().as_f64(),
+            Some(1e26)
+        );
     }
 }

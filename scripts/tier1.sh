@@ -27,14 +27,17 @@ else
     echo "==> cargo clippy not installed; skipping lint step"
 fi
 
-# Smoke-run the sweep bench (1 sample, tiny scene), the trace bin (tiny
-# preset) and the heatmap bin (tiny preset, small scene) into a scratch
-# dir, then validate that the emitted BENCH_*.json, TRACE_*.json and
-# HEATMAP_*.json artefacts parse with the expected schemas — and gate the
-# sweep's simulated cycle totals against the committed baseline.
+# Smoke-run the sweep bench (1 sample, tiny scene — includes the
+# grid/trace-replay lanes pricing 100+ cache configs from one stack-
+# distance replay), the trace bin (tiny preset) and the heatmap bin (tiny
+# preset, small scene) into a scratch dir, then validate that the emitted
+# BENCH_*.json, TRACE_*.json and HEATMAP_*.json artefacts parse with the
+# expected schemas — and gate the sweep's simulated cycle totals against
+# the committed baseline.
 echo "==> sweep bench + trace/heatmap smoke + artefact schema check + regression gate"
 bench_dir=$(mktemp -d)
-trap 'rm -rf "$bench_dir"' EXIT
+noreplay_dir=$(mktemp -d)
+trap 'rm -rf "$bench_dir" "$noreplay_dir"' EXIT
 SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin sweep
 SORTMID_BENCH_DIR="$bench_dir" \
@@ -43,5 +46,12 @@ SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin heatmap -- --scale 0.05 --tile 16 tiny
 cargo run -q --release --offline -p sortmid-bench --bin bench_check -- \
     "$bench_dir" --against "$repo/BENCH_baseline.json"
+
+# The --no-replay escape hatch must produce byte-identical simulated
+# cycles: the same baseline gate has to pass on its artefact too.
+SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$noreplay_dir" \
+    cargo run -q --release --offline -p sortmid-bench --bin sweep -- --no-replay
+cargo run -q --release --offline -p sortmid-bench --bin bench_check -- \
+    "$noreplay_dir" --against "$repo/BENCH_baseline.json"
 
 echo "tier1: OK"

@@ -1,0 +1,293 @@
+//! Property tests proving the stack-distance replay pipeline equivalent to
+//! direct simulation, on the in-repo `sortmid-devharness` runner.
+//!
+//! The tentpole claim of the one-pass cache evaluation is *exact*
+//! equivalence, not approximation: replaying one captured
+//! [`LineAccessTrace`](sortmid_cache::LineAccessTrace) through the Mattson
+//! stack must reproduce — for every `(size, associativity)` point of a
+//! random grid — the hit/miss/eviction counters a direct
+//! [`SetAssocCache`](sortmid_cache::SetAssocCache) simulation produces,
+//! and the sweep's replay path must emit byte-identical [`RunReport`]s.
+//! These properties randomize the distribution, machine size and cache
+//! grid so the equivalence is exercised far beyond the reference sweep.
+
+use sortmid::{
+    capture_line_trace, run_sweep_with_options, CacheKind, Distribution, MachineConfig,
+    RoutingPlan, RunReport, SweepOptions,
+};
+use sortmid_cache::{
+    evaluate_trace, evaluate_trace_direct, CacheGeometry, ClassifyingCache, GeometryRequest,
+    LineCache, SetAssocCache,
+};
+use sortmid_devharness::prop::{check, Config, Gen};
+use sortmid_devharness::{prop_assert, prop_assert_eq};
+use sortmid_raster::FragmentStream;
+use sortmid_scene::{Benchmark, SceneBuilder};
+use std::sync::OnceLock;
+
+/// One small shared stream (building scenes per property case is too slow).
+fn stream() -> &'static FragmentStream {
+    static STREAM: OnceLock<FragmentStream> = OnceLock::new();
+    STREAM.get_or_init(|| {
+        SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.08)
+            .build()
+            .rasterize()
+    })
+}
+
+/// Block with width 1..200 or SLI with 1..64 lines.
+fn arb_distribution(g: &mut Gen) -> Distribution {
+    match g.choice(2) {
+        0 => Distribution::block(g.u32_in(1..200)),
+        _ => Distribution::sli(g.u32_in(1..64)),
+    }
+}
+
+/// A random grid of 4..=7 distinct cache geometries (random power-of-two
+/// sizes and associativities, 64-byte lines) with random classify flags —
+/// at least four so the sweep's replay path stays engaged
+/// (`REPLAY_MIN_GROUP`).
+fn arb_cache_grid(g: &mut Gen) -> Vec<GeometryRequest> {
+    let count = g.usize_in(4..8);
+    let mut grid: Vec<GeometryRequest> = Vec::new();
+    while grid.len() < count {
+        let size = 512u32 << g.u32_in(0..10);
+        let max_log_ways = (size / 64).trailing_zeros().min(4);
+        let ways = 1u32 << g.u32_in(0..max_log_ways + 1);
+        let geometry = CacheGeometry::new(size, ways, 64).expect("power-of-two grid point");
+        if grid.iter().all(|r| r.geometry != geometry) {
+            grid.push(GeometryRequest {
+                geometry,
+                classify: g.bool(),
+            });
+        }
+    }
+    grid
+}
+
+fn config_for(dist: &Distribution, procs: u32, cache: CacheKind, buffer: usize) -> MachineConfig {
+    MachineConfig::builder()
+        .processors(procs)
+        .distribution(dist.clone())
+        .cache(cache)
+        .bus_ratio(1.0)
+        .triangle_buffer(buffer)
+        .build()
+        .expect("valid config")
+}
+
+/// The tentpole equivalence: for random scenes-distribution-grid triples,
+/// one trace replay reproduces the direct simulator's per-node hit, miss
+/// and eviction counts at every `(size, associativity)` of the grid — and
+/// the full sweep over those configs emits byte-identical reports down
+/// both pipelines.
+#[test]
+fn prop_stackdist_replay_equals_direct() {
+    check(
+        "prop_stackdist_replay_equals_direct",
+        &Config::with_cases(16),
+        |g| (arb_distribution(g), g.u32_in(1..32), arb_cache_grid(g)),
+        |(dist, procs, grid)| {
+            let s = stream();
+
+            // Counter equivalence: evaluate the captured trace once and
+            // check every geometry against a fresh direct cache fed the
+            // same per-node sequence.
+            let plan = RoutingPlan::build(s, dist, *procs);
+            let trace = capture_line_trace(s, &plan);
+            let eval = evaluate_trace(&trace, grid);
+            for node in 0..trace.node_count() {
+                let lines = trace.node_lines(node);
+                for (gi, req) in grid.iter().enumerate() {
+                    let mut direct = SetAssocCache::new(req.geometry);
+                    for &line in lines {
+                        direct.access_line(line);
+                    }
+                    let stats = eval.stats(node, gi);
+                    prop_assert_eq!(
+                        &stats,
+                        direct.stats(),
+                        "node {node} {}: replayed stats diverge",
+                        req.geometry
+                    );
+                    let resident = direct.resident_lines() as u64;
+                    prop_assert_eq!(
+                        eval.evictions(node, gi),
+                        direct.stats().misses() - resident,
+                        "node {node} {}: replayed evictions diverge",
+                        req.geometry
+                    );
+                    if req.classify {
+                        let mut classed = ClassifyingCache::new(req.geometry);
+                        for &line in lines {
+                            classed.access_line(line);
+                        }
+                        prop_assert_eq!(
+                            eval.breakdown(node, gi).expect("classified request"),
+                            classed.breakdown(),
+                            "node {node} {}: three-C decomposition diverges",
+                            req.geometry
+                        );
+                    }
+                }
+            }
+
+            // Report equivalence: the same grid as sweep configs, replay
+            // path against the direct path, byte-identical reports.
+            let configs: Vec<MachineConfig> = grid
+                .iter()
+                .map(|r| {
+                    let kind = if r.classify {
+                        CacheKind::Classifying(r.geometry)
+                    } else {
+                        CacheKind::SetAssoc(r.geometry)
+                    };
+                    config_for(dist, *procs, kind, 100)
+                })
+                .collect();
+            let replayed = run_sweep_with_options(
+                s,
+                &configs,
+                SweepOptions {
+                    threads: 1,
+                    replay: true,
+                },
+            );
+            let direct = run_sweep_with_options(
+                s,
+                &configs,
+                SweepOptions {
+                    threads: 1,
+                    replay: false,
+                },
+            );
+            prop_assert_eq!(replayed.len(), direct.len());
+            for (r, d) in replayed.iter().zip(&direct) {
+                prop_assert_eq!(r, d, "replayed report diverges for {}", r.summary());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Mattson inclusion and compulsory-miss equivalence: at fixed
+/// associativity, growing the cache (more sets) never loses hits — and the
+/// profile's compulsory count equals the direct classifying simulator's
+/// per-node compulsory counter (both backends agree on it).
+#[test]
+fn prop_mattson_profile_monotone_and_compulsory_exact() {
+    const WAYS: [u32; 3] = [1, 2, 4];
+    check(
+        "prop_mattson_profile_monotone_and_compulsory_exact",
+        &Config::with_cases(16),
+        |g| (arb_distribution(g), g.u32_in(1..24)),
+        |(dist, procs)| {
+            let s = stream();
+            // Every power-of-two size from 512 B to 256 KB at each fixed
+            // associativity: a capacity ladder per ways value.
+            let grid: Vec<GeometryRequest> = (0..10)
+                .flat_map(|log| {
+                    WAYS.iter().map(move |&ways| GeometryRequest {
+                        geometry: CacheGeometry::new(512 << log, ways, 64)
+                            .expect("power-of-two ladder"),
+                        classify: false,
+                    })
+                })
+                .collect();
+            let plan = RoutingPlan::build(s, dist, *procs);
+            let trace = capture_line_trace(s, &plan);
+            let eval = evaluate_trace(&trace, &grid);
+            let fallback = evaluate_trace_direct(&trace, &grid);
+            for node in 0..trace.node_count() {
+                let profile = eval.profile(node);
+                for &ways in &WAYS {
+                    let mut prev = 0u64;
+                    for log in 0..10 {
+                        let sets = (512u32 << log) / 64 / ways;
+                        prop_assert!(
+                            profile.supports(sets, ways),
+                            "node {node}: profile must track {sets} sets x {ways} ways"
+                        );
+                        let hits = profile.hits(sets, ways);
+                        prop_assert!(
+                            hits >= prev,
+                            "node {node}: hits fell from {prev} to {hits} growing to \
+                             {sets} sets at {ways} ways"
+                        );
+                        prop_assert_eq!(
+                            hits + profile.misses(sets, ways),
+                            profile.accesses(),
+                            "node {node}: hits + misses must cover every access"
+                        );
+                        prev = hits;
+                    }
+                }
+
+                // Compulsory misses are geometry-independent first
+                // touches: the profile, the direct replay backend and a
+                // direct classifying simulation must all agree.
+                let mut direct = ClassifyingCache::new(CacheGeometry::paper_l1());
+                for &line in trace.node_lines(node) {
+                    direct.access_line(line);
+                }
+                prop_assert_eq!(
+                    eval.compulsory(node),
+                    direct.breakdown().compulsory,
+                    "node {node}: walk compulsory diverges from direct simulation"
+                );
+                prop_assert_eq!(
+                    fallback.compulsory(node),
+                    eval.compulsory(node),
+                    "node {node}: the two replay backends disagree on compulsory"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The sweep's `--no-replay` escape hatch and its default path agree on a
+/// mixed grid that includes replay-ineligible configs (perfect caches),
+/// so path selection can never change results.
+#[test]
+fn prop_mixed_grid_sweep_is_path_independent() {
+    check(
+        "prop_mixed_grid_sweep_is_path_independent",
+        &Config::with_cases(8),
+        |g| {
+            (
+                arb_distribution(g),
+                g.u32_in(1..24),
+                g.pick(&[1usize, 100, 10_000]),
+            )
+        },
+        |(dist, procs, buffer)| {
+            let s = stream();
+            let geometries = [
+                CacheGeometry::new(4096, 2, 64).expect("valid"),
+                CacheGeometry::new(16_384, 4, 64).expect("valid"),
+                CacheGeometry::paper_l1(),
+            ];
+            let mut configs = vec![config_for(dist, *procs, CacheKind::Perfect, *buffer)];
+            configs.push(config_for(dist, *procs, CacheKind::PaperL1, *buffer));
+            for g in geometries {
+                configs.push(config_for(dist, *procs, CacheKind::SetAssoc(g), *buffer));
+                configs.push(config_for(dist, *procs, CacheKind::Classifying(g), *buffer));
+            }
+            let run = |replay: bool| -> Vec<RunReport> {
+                run_sweep_with_options(
+                    s,
+                    &configs,
+                    SweepOptions { threads: 2, replay },
+                )
+            };
+            let replayed = run(true);
+            let direct = run(false);
+            for (r, d) in replayed.iter().zip(&direct) {
+                prop_assert_eq!(r, d, "paths diverge for {}", r.summary());
+            }
+            Ok(())
+        },
+    );
+}
