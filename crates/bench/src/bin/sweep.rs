@@ -38,8 +38,10 @@
 //!   trace capture.
 //!
 //! Pass `--no-replay` to force every lane through the direct simulator
-//! (the stack-distance escape hatch); the reports are byte-identical, only
-//! the wall-clock changes.
+//! (the stack-distance escape hatch) and `--scalar` to force direct
+//! simulations onto the per-texel scalar loop instead of the batched
+//! fragment core; the reports are byte-identical either way, only the
+//! wall-clock changes.
 
 use sortmid::{
     run_sweep_with_options, CacheKind, Distribution, Machine, MachineConfig, RunReport, SweepGrid,
@@ -141,7 +143,9 @@ fn run_grid_per_config(
 }
 
 fn main() {
-    let replay = !std::env::args().skip(1).any(|a| a == "--no-replay");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let replay = !args.iter().any(|a| a == "--no-replay");
+    let batch = !args.iter().any(|a| a == "--scalar");
     let s = stream(Benchmark::Quake);
     let configs = reference_grid();
     let dense = trace_replay_grid(&dense_geometries());
@@ -154,14 +158,16 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let options = SweepOptions { threads, replay };
+    let options = SweepOptions { threads, replay, batch };
     eprintln!(
-        "sweep bench: {} configs (+{} dense-cache), {} fragments, {} host threads, replay {}",
+        "sweep bench: {} configs (+{} dense-cache), {} fragments, {} host threads, replay {}, \
+         fragment core {}",
         configs.len(),
         dense.len(),
         s.fragment_count(),
         threads,
         if replay { "on" } else { "off (--no-replay)" },
+        if batch { "batched" } else { "scalar (--scalar)" },
     );
 
     let mut suite = Suite::new("sweep");

@@ -14,10 +14,10 @@
 //! of compulsory lines but reuses them less.
 
 use crate::geometry::CacheGeometry;
-use crate::set_assoc::SetAssocCache;
+use crate::set_assoc::{SetAssocCache, EMPTY};
 use crate::stats::{CacheStats, MissBreakdown};
 use crate::LineCache;
-use sortmid_observe::MissClass;
+use sortmid_observe::{MissClass, MissClassCounts};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A fully-associative LRU cache used as the capacity-miss oracle.
@@ -143,6 +143,42 @@ impl LineCache for ClassifyingCache {
             MissClass::Conflict => self.breakdown.conflict += 1,
         }
         (false, Some(class))
+    }
+
+    /// Batched classified probe. Consecutive duplicate lines are skipped:
+    /// the repeat is a guaranteed MRU hit in the set-associative inner
+    /// cache *and* in the fully-associative oracle, `seen` is already
+    /// populated, and a hit carries no class — so skipping changes only
+    /// the oracle's private sequence counter, never a future
+    /// classification. The inner statistics are bumped in bulk for the
+    /// skipped hits, keeping reports byte-identical to the scalar loop.
+    #[inline]
+    fn access_lane(
+        &mut self,
+        lane: &[u32],
+        miss_out: &mut [u32],
+        classes: &mut MissClassCounts,
+    ) -> usize {
+        let mut misses = 0;
+        let mut skipped = 0u64;
+        let mut prev = EMPTY;
+        for &line in lane {
+            if line == prev {
+                skipped += 1;
+                continue;
+            }
+            prev = line;
+            let (hit, class) = self.access_line_classified(line);
+            if !hit {
+                miss_out[misses] = line;
+                misses += 1;
+                if let Some(class) = class {
+                    classes.add(class);
+                }
+            }
+        }
+        self.inner.record_lane_hits(skipped);
+        misses
     }
 
     fn stats(&self) -> &CacheStats {

@@ -17,7 +17,7 @@ use crate::set_assoc::SetAssocCache;
 use crate::stats::{CacheStats, MissBreakdown};
 use crate::victim::VictimCache;
 use crate::LineCache;
-use sortmid_observe::MissClass;
+use sortmid_observe::{MissClass, MissClassCounts};
 
 /// A cache model dispatched by `match` instead of vtable.
 ///
@@ -152,6 +152,26 @@ impl LineCache for AnyCache {
     }
 
     #[inline]
+    fn access_lane(
+        &mut self,
+        lane: &[u32],
+        miss_out: &mut [u32],
+        classes: &mut MissClassCounts,
+    ) -> usize {
+        // Explicit arms (not `dispatch!`) so each model's batched probe —
+        // SWAR compares for SetAssoc, counter bumps for Perfect — inlines
+        // into the per-fragment loop.
+        match self {
+            AnyCache::Perfect(c) => c.access_lane(lane, miss_out, classes),
+            AnyCache::SetAssoc(c) => c.access_lane(lane, miss_out, classes),
+            AnyCache::Classifying(c) => c.access_lane(lane, miss_out, classes),
+            AnyCache::TwoLevel(c) => c.access_lane(lane, miss_out, classes),
+            AnyCache::Victim(c) => c.access_lane(lane, miss_out, classes),
+            AnyCache::Dyn(c) => c.access_lane(lane, miss_out, classes),
+        }
+    }
+
+    #[inline]
     fn stats(&self) -> &CacheStats {
         dispatch!(self, c => c.stats())
     }
@@ -242,6 +262,48 @@ mod tests {
         assert_eq!(b.compulsory, 1);
         // Non-classifying models report no breakdown.
         assert!(AnyCache::from(PerfectCache::new()).breakdown().is_none());
+    }
+
+    #[test]
+    fn access_lane_matches_scalar_loop_for_every_variant() {
+        // Two independently-built pools so batched and scalar runs start
+        // from identical cold caches.
+        for (mut batched, mut scalar) in all_kinds().into_iter().zip(all_kinds()) {
+            let mut x = 7u32;
+            let mut lane = [0u32; 8];
+            for _ in 0..400 {
+                for slot in lane.iter_mut() {
+                    x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                    // Small space + forced runs: duplicates are common.
+                    *slot = (x >> 16) % 40;
+                }
+                lane[1] = lane[0];
+                lane[4] = lane[3];
+                let mut miss_out = [0u32; 8];
+                let mut classes = MissClassCounts::default();
+                let n = batched.access_lane(&lane, &mut miss_out, &mut classes);
+                let mut expect = Vec::new();
+                let mut expect_classes = MissClassCounts::default();
+                for &line in &lane {
+                    let (hit, class) = scalar.access_line_classified(line);
+                    if !hit {
+                        expect.push(line);
+                        if let Some(class) = class {
+                            expect_classes.add(class);
+                        }
+                    }
+                }
+                assert_eq!(&miss_out[..n], &expect[..], "{batched:?}");
+                assert_eq!(classes, expect_classes, "{batched:?}");
+            }
+            assert_eq!(batched.stats(), scalar.stats(), "{batched:?}");
+            assert_eq!(batched.external_fetches(), scalar.external_fetches());
+            assert_eq!(
+                LineCache::breakdown(&batched),
+                LineCache::breakdown(&scalar),
+                "{batched:?}"
+            );
+        }
     }
 
     #[test]

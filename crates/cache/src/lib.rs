@@ -67,7 +67,7 @@ pub use stats::{CacheStats, MissBreakdown, MissIdentityError};
 pub use trace::{LineAccessTrace, TracingCache};
 pub use victim::VictimCache;
 
-use sortmid_observe::MissClass;
+use sortmid_observe::{MissClass, MissClassCounts};
 
 /// A line-granular cache simulator.
 ///
@@ -89,6 +89,44 @@ pub trait LineCache {
     /// untraced ones.
     fn access_line_classified(&mut self, line: u32) -> (bool, Option<MissClass>) {
         (self.access_line(line), None)
+    }
+
+    /// Resolves a whole *lane* of line addresses — one fragment's texel
+    /// footprint — in one call. Miss lines are written to the front of
+    /// `miss_out` **in access order** and the miss count is returned;
+    /// classified misses (when the model classifies) are accumulated into
+    /// `classes`.
+    ///
+    /// The contract is strict equivalence with the scalar loop: after the
+    /// call, residency, eviction order, statistics, breakdowns and the
+    /// reported miss lines are byte-identical to calling
+    /// [`access_line_classified`](Self::access_line_classified) once per
+    /// element of `lane`. The default implementation *is* that loop;
+    /// models override it only to go faster (batched compares, run
+    /// collapsing), never to change observable behaviour.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `miss_out.len() < lane.len()` (every probe can miss).
+    #[inline]
+    fn access_lane(
+        &mut self,
+        lane: &[u32],
+        miss_out: &mut [u32],
+        classes: &mut MissClassCounts,
+    ) -> usize {
+        let mut misses = 0;
+        for &line in lane {
+            let (hit, class) = self.access_line_classified(line);
+            if !hit {
+                miss_out[misses] = line;
+                misses += 1;
+                if let Some(class) = class {
+                    classes.add(class);
+                }
+            }
+        }
+        misses
     }
 
     /// Accumulated statistics.

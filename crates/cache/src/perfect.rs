@@ -8,6 +8,7 @@
 
 use crate::stats::CacheStats;
 use crate::LineCache;
+use sortmid_observe::MissClassCounts;
 
 /// A cache model that always hits and never touches external memory.
 ///
@@ -37,6 +38,18 @@ impl LineCache for PerfectCache {
     fn access_line(&mut self, _line: u32) -> bool {
         self.stats.record(true);
         true
+    }
+
+    /// A whole lane of always-hits collapses to one counter bump.
+    #[inline]
+    fn access_lane(
+        &mut self,
+        lane: &[u32],
+        _miss_out: &mut [u32],
+        _classes: &mut MissClassCounts,
+    ) -> usize {
+        self.stats.record_hits(lane.len() as u64);
+        0
     }
 
     fn stats(&self) -> &CacheStats {

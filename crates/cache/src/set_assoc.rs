@@ -3,9 +3,47 @@
 use crate::geometry::CacheGeometry;
 use crate::stats::CacheStats;
 use crate::LineCache;
+use sortmid_observe::MissClassCounts;
 
 /// Sentinel tag meaning "way is empty".
-const EMPTY: u32 = u32::MAX;
+pub(crate) const EMPTY: u32 = u32::MAX;
+
+/// SWAR zero-lane detector over two 32-bit lanes packed in a `u64`.
+///
+/// For `v = word ^ pattern`, returns a mask whose bit 31 is set when the
+/// low lane of `v` is zero. Bit 63 is set when the high lane is zero *or*
+/// when the low lane is zero and the high lane equals 1 (the subtraction's
+/// borrow crosses the lane boundary only in that case) — a false positive
+/// [`find_way4`] is proven to tolerate.
+#[inline(always)]
+fn lane_match_mask(v: u64) -> u64 {
+    v.wrapping_sub(0x0000_0001_0000_0001) & !v & 0x8000_0000_8000_0000
+}
+
+/// Branch-free 4-way tag compare: index of the lowest way holding `line`.
+///
+/// Packs the four tags into two `u64`s and finds zero lanes of `tags ^
+/// line` with [`lane_match_mask`]. The detector's only false positive is a
+/// *high* lane reporting a match when its *low* lane truly matches and the
+/// high tag is `line ^ 1`; because a set never holds duplicate tags, any
+/// such phantom sits at a strictly higher way index than a real match, so
+/// taking the lowest set bit always lands on the true way. `EMPTY`
+/// (`u32::MAX`) never matches a valid line address.
+#[inline(always)]
+fn find_way4(set: &[u32; 4], line: u32) -> Option<usize> {
+    let a = (set[0] as u64) | ((set[1] as u64) << 32);
+    let b = (set[2] as u64) | ((set[3] as u64) << 32);
+    let pat = (line as u64) | ((line as u64) << 32);
+    let ma = lane_match_mask(a ^ pat);
+    let mb = lane_match_mask(b ^ pat);
+    // way i match -> bit i: lane indicators live at bits 31/63 of ma/mb.
+    let bits = ((ma >> 31) & 1) | ((ma >> 62) & 2) | ((mb >> 29) & 4) | ((mb >> 60) & 8);
+    if bits == 0 {
+        None
+    } else {
+        Some(bits.trailing_zeros() as usize)
+    }
+}
 
 /// A set-associative cache with true-LRU replacement, simulated at line
 /// granularity.
@@ -67,6 +105,54 @@ impl SetAssocCache {
     pub fn resident_lines(&self) -> usize {
         self.tags.iter().filter(|&&t| t != EMPTY).count()
     }
+
+    /// Probe-and-update core shared by the batched path: looks `line` up
+    /// (branch-free compare for the ubiquitous 4-way geometry), applies the
+    /// LRU update, and returns `true` on a hit — **without** touching
+    /// statistics, which the caller records in bulk.
+    ///
+    /// The unified update `k = if hit { pos } else { ways - 1 };
+    /// copy_within(0..k, 1); set[0] = line` is exactly the scalar path's
+    /// hit-rotate / miss-evict pair, so eviction order stays identical.
+    #[inline(always)]
+    pub(crate) fn probe_insert(&mut self, line: u32) -> bool {
+        debug_assert_ne!(line, EMPTY, "line address clashes with the empty sentinel");
+        let ways = self.ways;
+        let base = (line & self.set_mask) as usize * ways;
+        if ways == 4 {
+            // Fixed-width set: the compare, rotate and write-back all see a
+            // compile-time length, so every bounds check folds away.
+            let set: &mut [u32; 4] = (&mut self.tags[base..base + 4])
+                .try_into()
+                .expect("slice is 4 wide");
+            let (hit, k) = match find_way4(set, line) {
+                Some(0) => return true, // MRU hit: no reordering needed.
+                Some(pos) => (true, pos),
+                None => (false, 3),
+            };
+            set.copy_within(0..k, 1);
+            set[0] = line;
+            return hit;
+        }
+        let set = &mut self.tags[base..base + ways];
+        let (hit, k) = match set.iter().position(|&t| t == line) {
+            Some(0) => return true, // MRU hit: no reordering needed.
+            Some(pos) => (true, pos),
+            None => (false, ways - 1),
+        };
+        set.copy_within(0..k, 1);
+        set[0] = line;
+        hit
+    }
+
+    /// Bulk-records hits whose probes were provably skippable (consecutive
+    /// duplicate lines are always MRU hits with no state change). Exposed
+    /// to [`ClassifyingCache`](crate::ClassifyingCache), whose batched path
+    /// skips the same runs but owns this cache privately.
+    #[inline]
+    pub(crate) fn record_lane_hits(&mut self, n: u64) {
+        self.stats.record_hits(n);
+    }
 }
 
 impl LineCache for SetAssocCache {
@@ -95,6 +181,39 @@ impl LineCache for SetAssocCache {
         };
         self.stats.record(hit);
         hit
+    }
+
+    /// Batched footprint probe: collapses consecutive duplicate lines
+    /// (guaranteed MRU hits — common inside a 4×4-block trilinear
+    /// footprint) and resolves the rest through the branch-free
+    /// [`probe_insert`](Self::probe_insert) core. Statistics are recorded
+    /// in bulk; the result is byte-identical to the scalar loop.
+    #[inline]
+    fn access_lane(
+        &mut self,
+        lane: &[u32],
+        miss_out: &mut [u32],
+        _classes: &mut MissClassCounts,
+    ) -> usize {
+        let mut misses = 0;
+        let mut hits = 0u64;
+        let mut prev = EMPTY;
+        for &line in lane {
+            if line == prev {
+                hits += 1;
+                continue;
+            }
+            prev = line;
+            if self.probe_insert(line) {
+                hits += 1;
+            } else {
+                miss_out[misses] = line;
+                misses += 1;
+            }
+        }
+        self.stats.record_hits(hits);
+        self.stats.record_misses(misses as u64);
+        misses
     }
 
     fn stats(&self) -> &CacheStats {
@@ -206,6 +325,118 @@ mod tests {
                     c.access_line(l);
                     prop_assert!(c.probe(l));
                     prop_assert!(c.resident_lines() <= 8);
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn find_way4_matches_linear_scan_on_adversarial_tags() {
+        // The SWAR detector's only false positive needs tag == line ^ 1 in
+        // the lane above a true match; duplicate-free sets make the lowest
+        // set bit exact. Exercise exactly those shapes.
+        let cases: [( [u32; 4], u32 ); 8] = [
+            ([7, 7 ^ 1, EMPTY, EMPTY], 7),        // phantom right above the match
+            ([7 ^ 1, 7, EMPTY, EMPTY], 7),        // xor-1 neighbour *below*: no borrow
+            ([1, 2, 3, 4], 9),                    // pure miss
+            ([9, 8, 3, 4], 9),                    // MRU hit, 8 == 9 ^ 1
+            ([3, 4, 9, 8], 9),                    // hit in the second word
+            ([3, 4, 8, 9], 9),                    // hit in the top lane
+            ([EMPTY, EMPTY, EMPTY, EMPTY], 0),    // cold set
+            ([0, 1, 2, 3], 0),                    // line 0 vs EMPTY sentinel
+        ];
+        for (set, line) in cases {
+            assert_eq!(
+                find_way4(&set, line),
+                set.iter().position(|&t| t == line),
+                "set {set:?} line {line}"
+            );
+        }
+    }
+
+    /// `find_way4` agrees with the linear scan on random duplicate-free
+    /// sets, including planted `line ^ 1` phantoms.
+    #[test]
+    fn prop_find_way4_equals_position() {
+        check(
+            "find_way4_equals_position",
+            &Config::default(),
+            |g| {
+                let line = g.u32_in(0..1 << 20);
+                let tags = [
+                    g.u32_in(0..1 << 20),
+                    g.u32_in(0..1 << 20),
+                    line ^ 1, // adversarial neighbour somewhere in the set
+                    g.u32_in(0..1 << 20),
+                ];
+                (line, tags)
+            },
+            |&(line, mut tags)| {
+                // Deduplicate: real sets never hold the same tag twice.
+                for i in 1..4 {
+                    while tags[..i].contains(&tags[i]) {
+                        tags[i] = tags[i].wrapping_add(1) & 0x000F_FFFF;
+                    }
+                }
+                prop_assert!(
+                    find_way4(&tags, line) == tags.iter().position(|&t| t == line),
+                    "set {tags:?} line {line}"
+                );
+                Ok(())
+            },
+        );
+    }
+
+    /// The batched lane probe leaves the cache in exactly the state the
+    /// scalar loop would: same stats, same miss lines, same residency and
+    /// eviction order.
+    #[test]
+    fn prop_access_lane_equals_scalar_loop() {
+        check(
+            "access_lane_equals_scalar_loop",
+            &Config::default(),
+            |g| {
+                g.vec(1..40, |g| {
+                    let len = g.usize_in(1..9);
+                    // Small line space with explicit runs of duplicates.
+                    let mut lane = Vec::with_capacity(len);
+                    let mut cur = g.u32_in(0..48);
+                    for _ in 0..len {
+                        if g.bool() {
+                            cur = g.u32_in(0..48);
+                        }
+                        lane.push(cur);
+                    }
+                    lane
+                })
+            },
+            |lanes| {
+                for geometry in [
+                    CacheGeometry::new(512, 2, 64).unwrap(),
+                    CacheGeometry::paper_l1(), // 4-way: SWAR path
+                ] {
+                    let mut batched = SetAssocCache::new(geometry);
+                    let mut scalar = SetAssocCache::new(geometry);
+                    for lane in lanes {
+                        let mut miss_out = [0u32; 16];
+                        let mut classes = MissClassCounts::default();
+                        let n = batched.access_lane(lane, &mut miss_out, &mut classes);
+                        let mut expect = Vec::new();
+                        for &line in lane {
+                            if !scalar.access_line(line) {
+                                expect.push(line);
+                            }
+                        }
+                        prop_assert!(
+                            miss_out[..n] == expect[..],
+                            "miss lines diverge: {:?} vs {expect:?}",
+                            &miss_out[..n]
+                        );
+                        prop_assert!(classes == MissClassCounts::default());
+                    }
+                    prop_assert!(batched.stats() == scalar.stats());
+                    prop_assert!(batched.tags == scalar.tags, "residency/eviction diverged");
                 }
                 Ok(())
             },

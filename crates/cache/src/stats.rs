@@ -65,6 +65,22 @@ impl CacheStats {
         }
     }
 
+    /// Records `n` hits at once. The accumulator is a pair of order-free
+    /// counters, so bulk recording is indistinguishable from `n` calls to
+    /// `record(true)` — the batched probe paths rely on that to stay
+    /// byte-identical to the scalar loop.
+    #[inline]
+    pub fn record_hits(&mut self, n: u64) {
+        self.accesses += n;
+    }
+
+    /// Records `n` misses at once (see [`record_hits`](Self::record_hits)).
+    #[inline]
+    pub fn record_misses(&mut self, n: u64) {
+        self.accesses += n;
+        self.misses += n;
+    }
+
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
         self.accesses

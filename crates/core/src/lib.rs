@@ -42,6 +42,7 @@
 //! ```
 
 pub mod analysis;
+pub mod batch;
 pub mod config;
 pub mod distribution;
 pub mod dynamic;
@@ -54,6 +55,7 @@ pub mod sortlast;
 pub mod sweep;
 pub mod work;
 
+pub use batch::PlanLanes;
 pub use config::{CacheKind, ConfigError, MachineConfig, MachineConfigBuilder};
 pub use distribution::Distribution;
 pub use machine::Machine;

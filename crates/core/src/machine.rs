@@ -1,5 +1,6 @@
 //! The parallel sort-middle machine simulation.
 
+use crate::batch::PlanLanes;
 use crate::config::MachineConfig;
 use crate::node::Node;
 use crate::plan::RoutingPlan;
@@ -103,6 +104,14 @@ impl Machine {
     /// summary string — the plan only precomputes *where* work goes, never
     /// *how long* it takes.
     ///
+    /// Internally this runs the **batched fragment core**: the plan is
+    /// pivoted into [`PlanLanes`] (struct-of-arrays line-id lanes) and
+    /// each fragment's footprint resolves through the cache's batched
+    /// probe. Use [`run_planned_with_lanes`](Self::run_planned_with_lanes)
+    /// to amortise the pivot across configs, or
+    /// [`run_planned_scalar`](Self::run_planned_scalar) to force the
+    /// scalar reference path.
+    ///
     /// # Panics
     ///
     /// Panics if the plan was built for a different distribution or
@@ -113,9 +122,9 @@ impl Machine {
 
     /// [`run_planned`](Self::run_planned) with a [`TraceSink`]: the same
     /// event stream and spatial samples as
-    /// [`run_traced`](Self::run_traced), emitted from the plan-replay
-    /// path. Reports and recorded observations are identical between the
-    /// two paths — a property test pins this.
+    /// [`run_traced`](Self::run_traced), emitted from the batched
+    /// plan-replay path. Reports and recorded observations are identical
+    /// between the paths — property tests pin this.
     ///
     /// # Panics
     ///
@@ -127,14 +136,94 @@ impl Machine {
         plan: &RoutingPlan,
         sink: &mut S,
     ) -> RunReport {
+        let lanes = PlanLanes::build(stream, plan);
+        self.run_planned_with_lanes_traced(stream, plan, &lanes, sink)
+    }
+
+    /// [`run_planned`](Self::run_planned) with the plan's [`PlanLanes`]
+    /// already pivoted — the sweep builds the lanes once per plan group
+    /// and replays them read-only from every config in the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not fit this machine's configuration or the
+    /// lanes were built for a different plan.
+    pub fn run_planned_with_lanes(
+        &self,
+        stream: &FragmentStream,
+        plan: &RoutingPlan,
+        lanes: &PlanLanes,
+    ) -> RunReport {
+        self.run_planned_with_lanes_traced(stream, plan, lanes, &mut NullSink)
+    }
+
+    /// [`run_planned_with_lanes`](Self::run_planned_with_lanes) with a
+    /// [`TraceSink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not fit this machine's configuration or the
+    /// lanes were built for a different plan.
+    pub fn run_planned_with_lanes_traced<S: TraceSink>(
+        &self,
+        stream: &FragmentStream,
+        plan: &RoutingPlan,
+        lanes: &PlanLanes,
+        sink: &mut S,
+    ) -> RunReport {
+        self.assert_plan_fits(plan);
         assert!(
-            plan.matches(&self.config.distribution, self.config.processors),
-            "plan built for {}x{} does not fit machine {}x{}",
-            plan.distribution(),
-            plan.procs(),
-            self.config.distribution,
-            self.config.processors,
+            lanes.procs() == plan.procs() && lanes.fragment_count() == stream.fragment_count(),
+            "lanes built for a different plan ({} nodes, {} fragments)",
+            lanes.procs(),
+            lanes.fragment_count(),
         );
+        let mut nodes: Vec<Node> = (0..self.config.processors)
+            .map(|_| Node::new(&self.config))
+            .collect();
+        let routed = self.run_frame_lanes(stream, plan, lanes, &mut nodes, sink);
+        let total_cycles = nodes.iter().map(Node::finish_time).max().unwrap_or(0);
+        let node_reports: Vec<_> = nodes.iter().map(Node::report).collect();
+        RunReport::new(
+            self.config.summary(),
+            total_cycles,
+            node_reports,
+            stream.fragment_count(),
+            stream.triangle_count() as u64,
+            routed,
+        )
+    }
+
+    /// The scalar plan-replay path: identical routing and timing, but
+    /// every texel probes the cache one line at a time through the
+    /// reference [`scan_fragments`] loop. This is the `--scalar` escape
+    /// hatch and the semantics the batched core is property-tested
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different distribution or
+    /// processor count than this machine's configuration.
+    ///
+    /// [`scan_fragments`]: crate::node
+    pub fn run_planned_scalar(&self, stream: &FragmentStream, plan: &RoutingPlan) -> RunReport {
+        self.run_planned_scalar_traced(stream, plan, &mut NullSink)
+    }
+
+    /// [`run_planned_scalar`](Self::run_planned_scalar) with a
+    /// [`TraceSink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different distribution or
+    /// processor count than this machine's configuration.
+    pub fn run_planned_scalar_traced<S: TraceSink>(
+        &self,
+        stream: &FragmentStream,
+        plan: &RoutingPlan,
+        sink: &mut S,
+    ) -> RunReport {
+        self.assert_plan_fits(plan);
         let mut nodes: Vec<Node> = (0..self.config.processors)
             .map(|_| Node::new(&self.config))
             .collect();
@@ -149,6 +238,17 @@ impl Machine {
             stream.triangle_count() as u64,
             routed,
         )
+    }
+
+    fn assert_plan_fits(&self, plan: &RoutingPlan) {
+        assert!(
+            plan.matches(&self.config.distribution, self.config.processors),
+            "plan built for {}x{} does not fit machine {}x{}",
+            plan.distribution(),
+            plan.procs(),
+            self.config.distribution,
+            self.config.processors,
+        );
     }
 
     /// Simulates a *sequence* of frames on the same machine: timing and
@@ -317,6 +417,72 @@ impl Machine {
                             sink,
                         );
                     }
+                } else {
+                    node.discard_triangle_traced(send, i as u32, pt.tri, sink);
+                }
+                m >>= 1;
+            }
+        }
+        plan.routed()
+    }
+
+    /// [`run_frame_planned`](Self::run_frame_planned) on the batched core:
+    /// the same plan walk, but each owner's bucket is a contiguous
+    /// [`TriangleLanes`](crate::batch::TriangleLanes) slice of the
+    /// prebuilt [`PlanLanes`] instead of a gather through `frag_order`,
+    /// and fragments resolve through the cache's batched lane probe.
+    /// Routing, broadcast gating and timing are unchanged — reports stay
+    /// byte-identical to the scalar walk.
+    fn run_frame_lanes<S: TraceSink>(
+        &self,
+        stream: &FragmentStream,
+        plan: &RoutingPlan,
+        lanes: &PlanLanes,
+        nodes: &mut [Node],
+        sink: &mut S,
+    ) -> u64 {
+        let triangles = stream.triangles();
+        let mut send_time: Cycle = 0;
+        // Per-node read cursor into the lanes; the plan walk visits each
+        // node's fragments in exactly lane order, so consumption is a
+        // front-to-back scan.
+        let mut cursor = vec![0usize; nodes.len()];
+
+        for pt in &plan.triangles {
+            let mut send = send_time + self.config.geometry_cycles_per_triangle;
+            for node in nodes.iter() {
+                send = send.max(node.earliest_send());
+            }
+            send_time = send;
+
+            let tri = &triangles[pt.tri as usize];
+            let mut seg = pt.seg_start as usize;
+            let seg_end = pt.seg_end as usize;
+            let mut bucket_start = tri.frag_start as usize;
+
+            let mut m = pt.mask;
+            for (i, node) in nodes.iter_mut().enumerate() {
+                if S::ENABLED {
+                    sink.record(TraceEvent::FifoPush { node: i as u32, at: send });
+                }
+                if m & 1 != 0 {
+                    let mut count = 0usize;
+                    if seg < seg_end && plan.segments[seg].owner == i as u32 {
+                        let end = plan.segments[seg].end as usize;
+                        seg += 1;
+                        count = end - bucket_start;
+                        bucket_start = end;
+                    }
+                    let at = cursor[i];
+                    cursor[i] += count;
+                    node.process_triangle_lanes(
+                        send,
+                        lanes.triangle_lanes(i, at, count),
+                        i as u32,
+                        pt.tri,
+                        setup_anchor(&tri.bbox),
+                        sink,
+                    );
                 } else {
                     node.discard_triangle_traced(send, i as u32, pt.tri, sink);
                 }

@@ -1,11 +1,13 @@
 //! One texture-mapping node: engine timing + cache + triangle FIFO.
 
+use crate::batch::TriangleLanes;
 use crate::config::MachineConfig;
 use crate::report::NodeReport;
 use sortmid_cache::{AnyCache, CacheStats, LineCache};
 use sortmid_memsys::{Cycle, EngineTiming, TriangleFifo};
 use sortmid_observe::{MissClassCounts, NullSink, TraceEvent, TraceSink};
 use sortmid_raster::Fragment;
+use sortmid_texture::TEXELS_PER_FRAGMENT;
 
 /// The simulation state of one node.
 ///
@@ -115,6 +117,55 @@ impl Node {
         start
     }
 
+    /// The batched counterpart of
+    /// [`process_triangle_traced`](Self::process_triangle_traced): the
+    /// triangle's fragments arrive as struct-of-arrays lanes (contiguous
+    /// line ids and pixel coordinates from a
+    /// [`PlanLanes`](crate::batch::PlanLanes)) instead of an `&Fragment`
+    /// iterator. FIFO, counter and event framing are identical; only the
+    /// scan body differs — it resolves each fragment's footprint through
+    /// the cache's batched [`access_lane`](LineCache::access_lane), which
+    /// is contractually byte-identical to the scalar probe loop.
+    pub(crate) fn process_triangle_lanes<S: TraceSink>(
+        &mut self,
+        arrival: Cycle,
+        lanes: TriangleLanes<'_>,
+        node_id: u32,
+        tri_id: u32,
+        anchor: (u16, u16),
+        sink: &mut S,
+    ) -> Cycle {
+        let start = self.engine.start_triangle(arrival);
+        self.fifo.record_start(start);
+        self.triangles_routed += 1;
+        self.pixel_work += lanes.len() as u64;
+        if S::ENABLED {
+            sink.record(TraceEvent::FifoPop { node: node_id, at: start });
+            sink.record(TraceEvent::TriStart {
+                node: node_id,
+                tri: tri_id,
+                at: start,
+                frags: lanes.len() as u32,
+            });
+        }
+        // As in the scalar path: dispatch on the cache variant once per
+        // triangle so the concrete batched probe inlines into the loop.
+        match &mut self.cache {
+            AnyCache::Perfect(c) => scan_lanes(c, &mut self.engine, lanes, node_id, sink),
+            AnyCache::SetAssoc(c) => scan_lanes(c, &mut self.engine, lanes, node_id, sink),
+            AnyCache::Classifying(c) => scan_lanes(c, &mut self.engine, lanes, node_id, sink),
+            AnyCache::TwoLevel(c) => scan_lanes(c, &mut self.engine, lanes, node_id, sink),
+            AnyCache::Victim(c) => scan_lanes(c, &mut self.engine, lanes, node_id, sink),
+            AnyCache::Dyn(c) => scan_lanes(c.as_mut(), &mut self.engine, lanes, node_id, sink),
+        }
+        let free = self.engine.finish_triangle(self.setup_cycles);
+        if S::ENABLED {
+            sink.record_setup(node_id, anchor.0, anchor.1, self.engine.last_setup_padding());
+            sink.record(TraceEvent::TriRetire { node: node_id, tri: tri_id, at: free });
+        }
+        start
+    }
+
     /// Accepts a broadcast triangle whose bounding box misses this node's
     /// region: the clipping hardware discards it for free, but it occupied
     /// a FIFO slot until the engine reached it — that occupancy is the
@@ -196,14 +247,19 @@ fn cache_stats_copy(stats: &CacheStats) -> CacheStats {
     *stats
 }
 
-/// The texel hot loop, generic over the concrete cache model so the probe
-/// fully inlines (`?Sized` keeps the `Box<dyn LineCache>` escape hatch
-/// usable through the same code path).
+/// The scalar texel hot loop, generic over the concrete cache model so the
+/// probe fully inlines (`?Sized` keeps the `Box<dyn LineCache>` escape
+/// hatch usable through the same code path).
 ///
-/// With an enabled sink the probes go through `access_line_classified`
-/// (identical hit/miss behaviour, but the three-C class rides along) and
-/// every fragment emits one spatial sample; the `S::ENABLED` branch
-/// const-folds, so the untraced loop compiles exactly as before.
+/// One body serves traced and untraced runs: probes always go through
+/// `access_line_classified` (identical hit/miss behaviour and statistics
+/// to `access_line` — classification only observes, and a class only
+/// exists on a miss), and the single `S::ENABLED` branch around the
+/// spatial sample const-folds away under [`NullSink`]. This path is the
+/// **reference semantics** the batched [`scan_lanes`] is pinned against —
+/// it deliberately probes texel by texel rather than through
+/// [`LineCache::access_lane`], so the equivalence properties compare two
+/// genuinely different implementations.
 #[inline]
 fn scan_fragments<'a, C, I, S>(
     cache: &mut C,
@@ -217,33 +273,80 @@ fn scan_fragments<'a, C, I, S>(
     S: TraceSink,
 {
     for frag in frags {
-        let mut miss_lines = [0u32; 8];
+        let mut miss_lines = [0u32; TEXELS_PER_FRAGMENT];
         let mut misses = 0usize;
-        if S::ENABLED {
-            let mut classes = MissClassCounts::default();
-            for texel in &frag.texels {
-                let line = texel.line();
-                let (hit, class) = cache.access_line_classified(line);
-                if !hit {
-                    miss_lines[misses] = line;
-                    misses += 1;
-                }
-                if let Some(c) = class {
-                    classes.add(c);
+        let mut classes = MissClassCounts::default();
+        for texel in &frag.texels {
+            let line = texel.line();
+            let (hit, class) = cache.access_line_classified(line);
+            if !hit {
+                miss_lines[misses] = line;
+                misses += 1;
+                if let Some(class) = class {
+                    classes.add(class);
                 }
             }
-            engine.fragment_lines_sink(&miss_lines[..misses], node_id, sink);
-            sink.record_fragment(node_id, frag.x, frag.y, misses as u32, classes);
-        } else {
-            for texel in &frag.texels {
-                let line = texel.line();
-                if !cache.access_line(line) {
-                    miss_lines[misses] = line;
-                    misses += 1;
-                }
-            }
-            engine.fragment_lines_sink(&miss_lines[..misses], node_id, sink);
         }
+        debug_assert!(
+            misses <= frag.texels.len(),
+            "fragment at ({}, {}) reported {misses} misses for an {}-texel footprint",
+            frag.x,
+            frag.y,
+            frag.texels.len(),
+        );
+        engine.fragment_lines_sink(&miss_lines[..misses], node_id, sink);
+        if S::ENABLED {
+            sink.record_fragment(node_id, frag.x, frag.y, misses as u32, classes);
+        }
+    }
+}
+
+/// The batched hot loop: one [`LineCache::access_lane`] call resolves a
+/// fragment's whole footprint (branch-free compares, duplicate-run
+/// collapse — whatever the concrete model overrides), and the miss lines
+/// feed the engine exactly as in [`scan_fragments`].
+#[inline]
+fn scan_lanes<C, S>(
+    cache: &mut C,
+    engine: &mut EngineTiming,
+    lanes: TriangleLanes<'_>,
+    node_id: u32,
+    sink: &mut S,
+) where
+    C: LineCache + ?Sized,
+    S: TraceSink,
+{
+    // Untraced runs coalesce consecutive all-hit fragments into one bulk
+    // engine advance ([`EngineTiming::fragments_clean`]); traced runs keep
+    // the per-fragment engine calls because every fragment owes the sink a
+    // spatial sample.
+    let mut clean_run: u64 = 0;
+    for (i, lane) in lanes.lines.chunks_exact(TEXELS_PER_FRAGMENT).enumerate() {
+        let mut miss_lines = [0u32; TEXELS_PER_FRAGMENT];
+        let mut classes = MissClassCounts::default();
+        let misses = cache.access_lane(lane, &mut miss_lines, &mut classes);
+        debug_assert!(
+            misses <= lane.len(),
+            "fragment at ({}, {}) reported {misses} misses for an {}-texel footprint",
+            lanes.xs[i],
+            lanes.ys[i],
+            lane.len(),
+        );
+        if !S::ENABLED && misses == 0 {
+            clean_run += 1;
+            continue;
+        }
+        if clean_run > 0 {
+            engine.fragments_clean(clean_run);
+            clean_run = 0;
+        }
+        engine.fragment_lines_sink(&miss_lines[..misses], node_id, sink);
+        if S::ENABLED {
+            sink.record_fragment(node_id, lanes.xs[i], lanes.ys[i], misses as u32, classes);
+        }
+    }
+    if clean_run > 0 {
+        engine.fragments_clean(clean_run);
     }
 }
 

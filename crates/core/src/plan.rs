@@ -22,7 +22,7 @@
 
 use crate::distribution::Distribution;
 use sortmid_geom::Rect;
-use sortmid_raster::FragmentStream;
+use sortmid_raster::{FragBatch, FragmentStream};
 
 /// Per-pixel owner lookup replacing [`Distribution::owner`]'s div/rem
 /// chain with two table reads and one conditional subtract.
@@ -185,6 +185,33 @@ impl RoutingPlan {
     ///
     /// Panics if `procs` is outside `1..=`[`crate::MAX_PROCESSORS`].
     pub fn build(stream: &FragmentStream, dist: &Distribution, procs: u32) -> RoutingPlan {
+        Self::build_inner(stream, None, dist, procs)
+    }
+
+    /// Like [`build`](Self::build) with the stream's [`FragBatch`] already
+    /// pivoted: per-fragment ownership reads the batch's dense coordinate
+    /// lanes instead of gathering 40-byte fragments. The plan is identical
+    /// either way — the batch mirrors the stream coordinate for coordinate.
+    pub fn build_from_batch(
+        stream: &FragmentStream,
+        batch: &FragBatch,
+        dist: &Distribution,
+        procs: u32,
+    ) -> RoutingPlan {
+        assert_eq!(
+            batch.len() as u64,
+            stream.fragment_count(),
+            "batch does not mirror the stream"
+        );
+        Self::build_inner(stream, Some(batch), dist, procs)
+    }
+
+    fn build_inner(
+        stream: &FragmentStream,
+        batch: Option<&FragBatch>,
+        dist: &Distribution,
+        procs: u32,
+    ) -> RoutingPlan {
         assert!(
             (1..=crate::MAX_PROCESSORS).contains(&procs),
             "processor count {procs} outside 1..={}",
@@ -212,11 +239,23 @@ impl RoutingPlan {
 
             let range = tri.frag_start as usize..tri.frag_end as usize;
             owners.clear();
-            for frag in &fragments[range.clone()] {
-                let owner = lut.owner(frag.x, frag.y);
-                debug_assert!(mask & (1u128 << owner) != 0, "owner outside overlap mask");
-                owners.push(owner);
-                counts[owner as usize] += 1;
+            match batch {
+                Some(batch) => {
+                    for fi in range.clone() {
+                        let owner = lut.owner(batch.x(fi), batch.y(fi));
+                        debug_assert!(mask & (1u128 << owner) != 0, "owner outside overlap mask");
+                        owners.push(owner);
+                        counts[owner as usize] += 1;
+                    }
+                }
+                None => {
+                    for frag in &fragments[range.clone()] {
+                        let owner = lut.owner(frag.x, frag.y);
+                        debug_assert!(mask & (1u128 << owner) != 0, "owner outside overlap mask");
+                        owners.push(owner);
+                        counts[owner as usize] += 1;
+                    }
+                }
             }
 
             // Bucket boundaries (ascending owner), then the stable scatter.

@@ -22,14 +22,18 @@
 //! byte-identical to the direct path — [`SweepOptions::replay`] is the
 //! escape hatch that forces every config down the direct simulator.
 
+use crate::batch::PlanLanes;
 use crate::config::{CacheKind, MachineConfig};
 use crate::distribution::Distribution;
 use crate::machine::Machine;
 use crate::plan::RoutingPlan;
-use crate::replay::{capture_line_trace, replay_request, run_replayed};
+use crate::replay::{
+    capture_direct, capture_line_trace, replay_request, run_direct_captured, run_replayed,
+    DirectCapture,
+};
 use crate::report::RunReport;
 use sortmid_cache::{evaluate_trace_auto, GeometryRequest, TraceEvaluation};
-use sortmid_raster::FragmentStream;
+use sortmid_raster::{FragBatch, FragmentStream};
 
 /// Builds the cartesian product of machine-parameter axes — the shape of
 /// every figure sweep in the paper.
@@ -215,6 +219,12 @@ pub struct SweepOptions {
     /// default). `false` is the escape hatch forcing every config through
     /// the direct simulator — reports are byte-identical either way.
     pub replay: bool,
+    /// Run direct simulations on the batched fragment core: one
+    /// [`PlanLanes`] pivot per plan group, shared read-only by every config
+    /// in the group (`true`, the default). `false` is the escape hatch
+    /// forcing the scalar per-texel reference loop — reports are
+    /// byte-identical either way.
+    pub batch: bool,
 }
 
 impl Default for SweepOptions {
@@ -224,6 +234,7 @@ impl Default for SweepOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             replay: true,
+            batch: true,
         }
     }
 }
@@ -237,12 +248,14 @@ impl Default for SweepOptions {
 /// two or three replay-eligible configs are cheaper simulated directly.
 const REPLAY_MIN_GROUP: usize = 4;
 
-/// How one sweep config gets its report: direct plan-replay simulation, or
-/// synthesis from the plan's stack-distance evaluation (geometry index +
-/// whether the report carries the three-C breakdown).
+/// How one sweep config gets its report: direct plan-replay simulation,
+/// engine replay of a shared `(plan, cache model)` capture, or synthesis
+/// from the plan's stack-distance evaluation (geometry index + whether the
+/// report carries the three-C breakdown).
 #[derive(Debug, Clone, Copy)]
 enum ConfigPath {
     Direct,
+    Captured { slot: usize },
     Replay { geom: usize, classify: bool },
 }
 
@@ -261,6 +274,12 @@ pub fn run_sweep_with_options(
         return Vec::new();
     }
 
+    // The stream's footprint batch (the 8 line-id expansion plus dense
+    // coordinate lanes, one pivot per sweep) feeds the plan builds, the
+    // lane pivots and the capture passes below.
+    let batch = options.batch.then(|| FragBatch::from_stream(stream));
+    let batch = batch.as_ref();
+
     // Group the grid by (distribution, processors): one routing plan per
     // group serves every cache/bus/buffer variation. Grids are small, so a
     // linear key scan beats hashing Distribution (which holds an Arc axis).
@@ -271,11 +290,15 @@ pub fn run_sweep_with_options(
             .iter()
             .position(|p| p.matches(&config.distribution, config.processors))
             .unwrap_or_else(|| {
-                plans.push(RoutingPlan::build(
-                    stream,
-                    &config.distribution,
-                    config.processors,
-                ));
+                plans.push(match batch {
+                    Some(b) => RoutingPlan::build_from_batch(
+                        stream,
+                        b,
+                        &config.distribution,
+                        config.processors,
+                    ),
+                    None => RoutingPlan::build(stream, &config.distribution, config.processors),
+                });
                 plans.len() - 1
             });
         plan_of.push(idx);
@@ -321,14 +344,114 @@ pub fn run_sweep_with_options(
         }
     }
 
+    // Group the remaining direct configs by (plan, cache model): which
+    // texel probes hit or miss depends only on the node access sequences,
+    // so one pass of the model over the plan's fragment buckets serves
+    // every bus/buffer/DRAM variant in the grid — each such config then
+    // replays only its engine/FIFO timing against the recorded misses.
+    // This covers the cache models the Mattson machinery cannot express
+    // (perfect, two-level, victim, DRAM-backed) and the groups too small
+    // for a stack-distance evaluation to pay off.
+    let mut capture_keys: Vec<(usize, CacheKind)> = Vec::new();
+    let mut capture_uses: Vec<usize> = Vec::new();
+    if options.batch {
+        for (ci, config) in configs.iter().enumerate() {
+            if matches!(path_of[ci], ConfigPath::Direct) {
+                let key = (plan_of[ci], config.cache);
+                match capture_keys.iter().position(|k| *k == key) {
+                    Some(k) => capture_uses[k] += 1,
+                    None => {
+                        capture_keys.push(key);
+                        capture_uses.push(1);
+                    }
+                }
+            }
+        }
+    }
+    // A capture costs about one direct cache pass, so it only pays off
+    // when at least two configs replay it.
+    let mut capture_slot = vec![usize::MAX; capture_keys.len()];
+    let mut slots = 0usize;
+    for (k, &uses) in capture_uses.iter().enumerate() {
+        if uses >= 2 {
+            capture_slot[k] = slots;
+            slots += 1;
+        }
+    }
+    if slots > 0 {
+        for (ci, config) in configs.iter().enumerate() {
+            if matches!(path_of[ci], ConfigPath::Direct) {
+                let key = (plan_of[ci], config.cache);
+                let k = capture_keys
+                    .iter()
+                    .position(|kk| *kk == key)
+                    .expect("key was registered in the first pass");
+                if capture_slot[k] != usize::MAX {
+                    path_of[ci] = ConfigPath::Captured { slot: capture_slot[k] };
+                }
+            }
+        }
+    }
+
+    // Pivot the plans that still need struct-of-arrays lanes, in parallel:
+    // one pivot serves every remaining direct config in its group and
+    // doubles as the stack-distance replay's line trace. Plans whose
+    // configs all went down the captured path skip the pivot — the capture
+    // walk reads the batch through the plan directly.
+    let mut needs_lanes = vec![false; plans.len()];
+    for (ci, &path) in path_of.iter().enumerate() {
+        if matches!(path, ConfigPath::Direct | ConfigPath::Replay { .. }) {
+            needs_lanes[plan_of[ci]] = true;
+        }
+    }
+    let mut lanes: Vec<Option<PlanLanes>> = vec![None; plans.len()];
+    if let Some(batch) = batch {
+        std::thread::scope(|scope| {
+            for ((slot, plan), _) in lanes
+                .iter_mut()
+                .zip(plans)
+                .zip(&needs_lanes)
+                .filter(|(_, &needed)| needed)
+            {
+                scope.spawn(move || {
+                    *slot = Some(PlanLanes::from_batch(batch, stream, plan));
+                });
+            }
+        });
+    }
+    let lanes = &lanes[..];
+
+    let mut captures: Vec<Option<DirectCapture>> = vec![None; slots];
+    std::thread::scope(|scope| {
+        let mut free = captures.iter_mut();
+        for (k, &(pi, kind)) in capture_keys.iter().enumerate() {
+            if capture_slot[k] == usize::MAX {
+                continue;
+            }
+            let slot = free.next().expect("one slot was reserved per used key");
+            let batch = batch.expect("captures only exist on batched sweeps");
+            let plan = &plans[pi];
+            scope.spawn(move || {
+                *slot = Some(capture_direct(kind, batch, stream, plan));
+            });
+        }
+    });
+    let captures = &captures[..];
+
     // Evaluate each plan's geometry grid from one captured trace, plans in
     // parallel (each evaluation is independent).
     let mut evals: Vec<Option<TraceEvaluation>> = vec![None; plans.len()];
     std::thread::scope(|scope| {
-        for (slot, (plan, reqs)) in evals.iter_mut().zip(plans.iter().zip(&requests)) {
+        for (slot, ((plan, reqs), lane)) in evals
+            .iter_mut()
+            .zip(plans.iter().zip(&requests).zip(lanes))
+        {
             if !reqs.is_empty() {
                 scope.spawn(move || {
-                    let trace = capture_line_trace(stream, plan);
+                    let trace = match lane {
+                        Some(l) => l.to_trace(),
+                        None => capture_line_trace(stream, plan),
+                    };
                     *slot = Some(evaluate_trace_auto(&trace, reqs));
                 });
             }
@@ -337,7 +460,14 @@ pub fn run_sweep_with_options(
     let evals = &evals[..];
 
     let run_one = |config: &MachineConfig, pi: usize, path: ConfigPath| match path {
-        ConfigPath::Direct => Machine::new(config.clone()).run_planned(stream, &plans[pi]),
+        ConfigPath::Direct => match &lanes[pi] {
+            Some(l) => Machine::new(config.clone()).run_planned_with_lanes(stream, &plans[pi], l),
+            None => Machine::new(config.clone()).run_planned_scalar(stream, &plans[pi]),
+        },
+        ConfigPath::Captured { slot } => {
+            let capture = captures[slot].as_ref().expect("captured path has a capture");
+            run_direct_captured(config, stream, &plans[pi], capture)
+        }
         ConfigPath::Replay { geom, classify } => {
             let eval = evals[pi].as_ref().expect("replay path has an evaluation");
             run_replayed(config, stream, &plans[pi], eval, geom, classify)
@@ -463,14 +593,57 @@ mod tests {
         let replayed = run_sweep_with_options(
             &stream,
             &configs,
-            SweepOptions { threads: 3, replay: true },
+            SweepOptions { threads: 3, replay: true, batch: true },
         );
         let direct = run_sweep_with_options(
             &stream,
             &configs,
-            SweepOptions { threads: 3, replay: false },
+            SweepOptions { threads: 3, replay: false, batch: true },
         );
         assert_eq!(replayed, direct);
+        // The --scalar escape hatch must be an observational no-op too.
+        let scalar = run_sweep_with_options(
+            &stream,
+            &configs,
+            SweepOptions { threads: 3, replay: false, batch: false },
+        );
+        assert_eq!(direct, scalar);
+    }
+
+    #[test]
+    fn captured_path_matches_direct_runs_for_unreplayable_kinds() {
+        // The (plan, cache-model) capture path serves exactly the kinds the
+        // stack-distance machinery cannot express: perfect, two-level,
+        // victim, and DRAM-backed machines. Pairs of configs differing only
+        // in buffer depth share one capture; every synthesized report must
+        // equal the unbatched simulator's.
+        let stream = SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(0.1)
+            .build()
+            .rasterize();
+        let g = sortmid_cache::CacheGeometry::paper_l1();
+        let l2 = sortmid_cache::CacheGeometry::new(65536, 8, 64).unwrap();
+        let mut configs = SweepGrid::new()
+            .processors([4])
+            .distributions([Distribution::block(16)])
+            .caches([CacheKind::TwoLevel(g, l2), CacheKind::Victim(g, 8)])
+            .buffers([8, 10_000])
+            .build();
+        for buffer in [8usize, 10_000] {
+            let mut b = MachineConfig::builder();
+            b.processors(4)
+                .distribution(Distribution::block(16))
+                .triangle_buffer(buffer)
+                .dram(Some(sortmid_memsys::DramConfig::sdram_like(
+                    sortmid_memsys::BusConfig::ratio(1.0),
+                )));
+            configs.push(b.build().unwrap());
+        }
+        let swept = run_sweep_with_threads(&stream, &configs, 2);
+        for (config, report) in configs.iter().zip(&swept) {
+            let direct = Machine::new(config.clone()).run(&stream);
+            assert_eq!(report, &direct, "{}", config.summary());
+        }
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub struct BenchResult {
     pub p10_ns: u64,
     /// 90th percentile (nearest-rank).
     pub p90_ns: u64,
+    /// Fastest sample — the least-perturbed iteration on a noisy host.
+    pub min_ns: u64,
+    /// Median absolute deviation from the median: a robust spread measure
+    /// (outlier samples cannot inflate it the way a standard deviation
+    /// would).
+    pub mad_ns: u64,
     /// Elements processed per iteration, when declared.
     pub elements: Option<u64>,
 }
@@ -79,6 +85,8 @@ impl BenchResult {
             ("median_ns".to_string(), Json::U64(self.median_ns)),
             ("p10_ns".to_string(), Json::U64(self.p10_ns)),
             ("p90_ns".to_string(), Json::U64(self.p90_ns)),
+            ("min_ns".to_string(), Json::U64(self.min_ns)),
+            ("mad_ns".to_string(), Json::U64(self.mad_ns)),
             (
                 "samples_ns".to_string(),
                 Json::arr(self.samples_ns.iter().map(|&ns| Json::U64(ns))),
@@ -172,18 +180,25 @@ impl Suite {
         }
         let mut sorted = samples_ns.clone();
         sorted.sort_unstable();
+        let median_ns = percentile(&sorted, 50.0);
+        let mut deviations: Vec<u64> = sorted.iter().map(|&s| s.abs_diff(median_ns)).collect();
+        deviations.sort_unstable();
         let result = BenchResult {
             id: id.to_string(),
-            median_ns: percentile(&sorted, 50.0),
+            median_ns,
             p10_ns: percentile(&sorted, 10.0),
             p90_ns: percentile(&sorted, 90.0),
+            min_ns: sorted[0],
+            mad_ns: percentile(&deviations, 50.0),
             samples_ns,
             elements,
         };
         eprintln!(
-            "bench {}/{id}: median {} (p10 {}, p90 {}){}",
+            "bench {}/{id}: median {} (min {}, mad {}, p10 {}, p90 {}){}",
             self.name,
             fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.mad_ns),
             fmt_ns(result.p10_ns),
             fmt_ns(result.p90_ns),
             result
@@ -291,8 +306,23 @@ mod tests {
             acc
         });
         assert_eq!(r.samples_ns.len(), 5);
+        assert!(r.min_ns <= r.p10_ns);
         assert!(r.p10_ns <= r.median_ns);
         assert!(r.median_ns <= r.p90_ns);
+        assert!(r.mad_ns <= r.p90_ns.saturating_sub(r.p10_ns).max(r.median_ns));
+    }
+
+    #[test]
+    fn min_and_mad_are_robust_to_one_outlier() {
+        // Hand-check the spread stats on a known sample set: the single
+        // outlier moves neither the median nor the MAD.
+        let sorted = [10u64, 11, 12, 13, 1000];
+        let median = percentile(&sorted, 50.0);
+        assert_eq!(median, 12);
+        let mut dev: Vec<u64> = sorted.iter().map(|&s| s.abs_diff(median)).collect();
+        dev.sort_unstable();
+        assert_eq!(percentile(&dev, 50.0), 1);
+        assert_eq!(sorted[0], 10);
     }
 
     #[test]
@@ -303,6 +333,8 @@ mod tests {
             median_ns: 2_000_000,
             p10_ns: 2_000_000,
             p90_ns: 2_000_000,
+            min_ns: 2_000_000,
+            mad_ns: 0,
             elements: Some(1_000),
         };
         let tput = r.throughput_per_sec().unwrap();
@@ -330,6 +362,8 @@ mod tests {
             "\"median_ns\":",
             "\"p10_ns\":",
             "\"p90_ns\":",
+            "\"min_ns\":",
+            "\"mad_ns\":",
             "\"elements\":100",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");

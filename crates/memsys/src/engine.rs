@@ -298,6 +298,59 @@ impl EngineTiming {
         }
     }
 
+    /// Scans `n` consecutive fragments that all hit the cache — exactly
+    /// equivalent to `n` calls of [`fragment`](Self::fragment)`(0)`, in
+    /// bulk.
+    ///
+    /// A clean fragment issues at `engine_t + 1` and completes the same
+    /// cycle, so the only way it can stall is an *older* in-flight fill
+    /// still pending when the prefetch window is full. Every completion in
+    /// the window is bounded by `max(engine_t, bus_free)`: once the bus has
+    /// caught up with the scan (`bus_free <= engine_t + 1`), no queued
+    /// completion can exceed any future clean fragment's issue cycle, and
+    /// the whole run collapses to counter arithmetic plus rebuilding the
+    /// window's trailing completion times.
+    pub fn fragments_clean(&mut self, n: u64) {
+        let mut remaining = n;
+        if self.window.is_some() {
+            // Drain per-fragment while an in-flight fill could still stall
+            // the engine; each step advances `engine_t` by at least one
+            // cycle, so this catches up to `bus_free` and terminates.
+            while remaining > 0 && self.bus_free > self.engine_t + 1 {
+                self.fragment(0);
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 {
+            return;
+        }
+        let first = self.engine_t + 1;
+        self.engine_t += remaining;
+        self.busy_cycles += remaining;
+        self.fragments += remaining;
+        if self.engine_t > self.last_completion {
+            self.last_completion = self.engine_t;
+        }
+        let last = self.engine_t;
+        if let Some(ring) = &mut self.window {
+            let cap = ring.slots.len() as u64;
+            if remaining >= cap {
+                // Only the trailing `cap` completions survive the run.
+                ring.clear();
+                for completion in (last + 1 - cap)..=last {
+                    ring.push(completion);
+                }
+            } else {
+                for completion in first..=last {
+                    if ring.is_full() {
+                        ring.pop();
+                    }
+                    ring.push(completion);
+                }
+            }
+        }
+    }
+
     /// Ends the current triangle, enforcing the minimum engine occupancy
     /// (the 25-cycle setup floor); returns the cycle the engine is free.
     pub fn finish_triangle(&mut self, min_occupancy: Cycle) -> Cycle {
@@ -672,6 +725,61 @@ mod tests {
         assert_eq!(
             n.finish_time(),
             n.engine_free() + n.fill_tail_cycles()
+        );
+    }
+
+    #[test]
+    fn bulk_clean_fragments_match_singles() {
+        // fragments_clean(n) must be indistinguishable from n calls of
+        // fragment(0), interleaved with missing fragments that load the
+        // bus and the prefetch window — including runs shorter than,
+        // equal to and longer than the window.
+        for window in [Some(2usize), Some(4), Some(32), None] {
+            for ratio in [0.25, 1.0] {
+                let mut bulk = node(ratio, window);
+                let mut single = node(ratio, window);
+                for n in [&mut bulk, &mut single] {
+                    n.start_triangle(0);
+                }
+                let runs: [(u32, u64); 7] = [(3, 1), (0, 5), (8, 0), (2, 40), (1, 2), (0, 0), (5, 7)];
+                for &(misses, clean) in &runs {
+                    bulk.fragment(misses);
+                    bulk.fragments_clean(clean);
+                    single.fragment(misses);
+                    for _ in 0..clean {
+                        single.fragment(0);
+                    }
+                }
+                // Force both windows to drain through further misses so a
+                // divergent ring state would surface in the timing.
+                for _ in 0..40 {
+                    bulk.fragment(1);
+                    single.fragment(1);
+                }
+                for n in [&mut bulk, &mut single] {
+                    n.finish_triangle(25);
+                }
+                assert_eq!(bulk.finish_time(), single.finish_time(), "{window:?} {ratio}");
+                assert_eq!(bulk.stall_cycles(), single.stall_cycles(), "{window:?} {ratio}");
+                assert_eq!(bulk.busy_cycles(), single.busy_cycles());
+                assert_eq!(bulk.fragments(), single.fragments());
+                assert_eq!(bulk.lines_fetched(), single.lines_fetched());
+                assert_eq!(bulk.window_len(), single.window_len());
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_clean_preserves_attribution_identity() {
+        let mut n = node(0.5, Some(4));
+        n.start_triangle(10);
+        n.fragment(3);
+        n.fragments_clean(100);
+        n.fragment(2);
+        n.finish_triangle(25);
+        assert_eq!(
+            n.engine_free(),
+            n.busy_cycles() + n.stall_cycles() + n.starved_cycles()
         );
     }
 

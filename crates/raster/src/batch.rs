@@ -1,0 +1,179 @@
+//! Struct-of-arrays fragment batches for the machine's hot loop.
+//!
+//! The AoS [`Fragment`](crate::Fragment) is the stream's interchange format
+//! — 40 bytes per fragment, texel addresses included — but the simulator's
+//! inner loop only ever needs three things per fragment: its pixel
+//! coordinate (for routing and spatial attribution) and the 8 *cache-line
+//! ids* of its trilinear footprint. [`FragBatch`] pivots a whole
+//! [`FragmentStream`](crate::FragmentStream) into parallel `x`/`y`/line-id
+//! arrays once, so every later pass (direct scans under dozens of machine
+//! configurations, trace capture for the stack-distance replay) streams
+//! through dense lanes instead of gathering 40-byte structs.
+
+use crate::fragment::Fragment;
+use crate::stream::FragmentStream;
+use sortmid_texture::{footprint_lines, TEXELS_PER_FRAGMENT};
+
+/// A fragment stream pivoted into struct-of-arrays lanes.
+///
+/// Fragment `i` of the source stream owns `xs[i]`, `ys[i]` and the
+/// `TEXELS_PER_FRAGMENT`-wide slice `lines[8*i..8*i+8]` (its footprint's
+/// line ids in probe order). Triangle framing is unchanged — the stream's
+/// `TriangleRecord` ranges index this batch directly.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_geom::{Rect, Triangle, Vertex};
+/// use sortmid_texture::{TextureDesc, TextureRegistry};
+/// use sortmid_raster::{rasterize, FragBatch};
+///
+/// let mut reg = TextureRegistry::new();
+/// let tex = reg.register(TextureDesc::new(64, 64)?)?;
+/// let tri = Triangle::new(
+///     tex.0,
+///     [
+///         Vertex::new(0.0, 0.0, 0.0, 0.0),
+///         Vertex::new(8.0, 0.0, 8.0, 0.0),
+///         Vertex::new(0.0, 8.0, 0.0, 8.0),
+///     ],
+/// );
+/// let stream = rasterize(&[tri], &reg, Rect::of_size(64, 64));
+/// let batch = FragBatch::from_stream(&stream);
+/// assert_eq!(batch.len(), stream.fragment_count() as usize);
+/// assert_eq!(batch.lane(0).len(), 8);
+/// # Ok::<(), sortmid_texture::TextureError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FragBatch {
+    xs: Vec<u16>,
+    ys: Vec<u16>,
+    /// `TEXELS_PER_FRAGMENT` line ids per fragment, contiguous.
+    lines: Vec<u32>,
+}
+
+impl FragBatch {
+    /// Pivots a stream into lanes (one pass over the fragments).
+    pub fn from_stream(stream: &FragmentStream) -> Self {
+        Self::from_fragments(stream.fragments())
+    }
+
+    /// Pivots a raw fragment slice into lanes.
+    pub fn from_fragments(fragments: &[Fragment]) -> Self {
+        let mut xs = Vec::with_capacity(fragments.len());
+        let mut ys = Vec::with_capacity(fragments.len());
+        let mut lines = Vec::with_capacity(fragments.len() * TEXELS_PER_FRAGMENT);
+        for f in fragments {
+            xs.push(f.x);
+            ys.push(f.y);
+            lines.extend_from_slice(&footprint_lines(&f.texels));
+        }
+        FragBatch { xs, ys, lines }
+    }
+
+    /// Number of fragments in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the batch holds no fragments.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Fragment `i`'s footprint line ids, in probe order.
+    #[inline]
+    pub fn lane(&self, i: usize) -> &[u32] {
+        self.lane_array(i)
+    }
+
+    /// Fragment `i`'s footprint line ids as a fixed-size array reference —
+    /// the length is a compile-time constant, so bulk gathers (the
+    /// per-plan lane pivot) compile to fixed-width copies.
+    #[inline]
+    pub fn lane_array(&self, i: usize) -> &[u32; TEXELS_PER_FRAGMENT] {
+        self.lines[i * TEXELS_PER_FRAGMENT..]
+            .first_chunk::<TEXELS_PER_FRAGMENT>()
+            .expect("fragment index out of range")
+    }
+
+    /// Fragment `i`'s pixel x coordinate.
+    #[inline]
+    pub fn x(&self, i: usize) -> u16 {
+        self.xs[i]
+    }
+
+    /// Fragment `i`'s pixel y coordinate.
+    #[inline]
+    pub fn y(&self, i: usize) -> u16 {
+        self.ys[i]
+    }
+
+    /// All line ids, fragment-major (`TEXELS_PER_FRAGMENT` per fragment).
+    #[inline]
+    pub fn lines(&self) -> &[u32] {
+        &self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::rasterize;
+    use sortmid_geom::{Rect, Triangle, Vertex};
+    use sortmid_texture::{TextureDesc, TextureRegistry};
+
+    fn sample_stream() -> FragmentStream {
+        let mut reg = TextureRegistry::new();
+        let a = reg.register(TextureDesc::new(64, 64).unwrap()).unwrap();
+        let b = reg.register(TextureDesc::new(32, 32).unwrap()).unwrap();
+        let tri = |tex: sortmid_texture::TextureId, o: f32| {
+            Triangle::new(
+                tex.0,
+                [
+                    Vertex::new(o, o, o, o),
+                    Vertex::new(o + 12.0, o, o + 12.0, o),
+                    Vertex::new(o, o + 12.0, o, o + 12.0),
+                ],
+            )
+        };
+        rasterize(&[tri(a, 0.0), tri(b, 7.0)], &reg, Rect::of_size(64, 64))
+    }
+
+    #[test]
+    fn batch_mirrors_stream_fragment_for_fragment() {
+        let stream = sample_stream();
+        let batch = FragBatch::from_stream(&stream);
+        assert_eq!(batch.len() as u64, stream.fragment_count());
+        assert_eq!(batch.lines().len(), batch.len() * TEXELS_PER_FRAGMENT);
+        for (i, f) in stream.fragments().iter().enumerate() {
+            assert_eq!((batch.x(i), batch.y(i)), (f.x, f.y));
+            for (j, t) in f.texels.iter().enumerate() {
+                assert_eq!(batch.lane(i)[j], t.line(), "fragment {i} probe {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_ranges_index_the_batch() {
+        let stream = sample_stream();
+        let batch = FragBatch::from_stream(&stream);
+        for rec in stream.triangles() {
+            for fi in rec.frag_start..rec.frag_end {
+                let f = &stream.fragments()[fi as usize];
+                assert!(rec.bbox.contains(batch.x(fi as usize) as i32, f.y as i32));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_batch() {
+        let reg = TextureRegistry::new();
+        let stream = rasterize(&[], &reg, Rect::of_size(8, 8));
+        let batch = FragBatch::from_stream(&stream);
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+    }
+}

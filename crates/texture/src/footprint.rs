@@ -79,6 +79,24 @@ impl<'a> TrilinearSampler<'a> {
     }
 }
 
+/// Converts a fragment's 8-texel trilinear footprint into its 8 cache-line
+/// ids, in probe order.
+///
+/// This is the struct-of-arrays pivot the batched fragment core builds on:
+/// the machine only ever probes the cache at *line* granularity, so
+/// flattening footprints into contiguous line-id lanes up front removes the
+/// per-probe `TexelAddr` walk from the hot loop. Each 2×2 bilinear quad
+/// usually sits inside one or two 4×4 blocks, so lanes carry runs of equal
+/// line ids — exactly what the batched probes collapse.
+#[inline]
+pub fn footprint_lines(texels: &[TexelAddr; TEXELS_PER_FRAGMENT]) -> [u32; TEXELS_PER_FRAGMENT] {
+    let mut out = [0u32; TEXELS_PER_FRAGMENT];
+    for (slot, t) in out.iter_mut().zip(texels) {
+        *slot = t.line();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +192,17 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    #[test]
+    fn footprint_lines_matches_per_texel_line() {
+        let (reg, id) = setup(64, 64);
+        let s = TrilinearSampler::new(&reg);
+        let fp = s.footprint(id, 13.7, 41.2, 0.8);
+        let lines = footprint_lines(&fp);
+        for (i, t) in fp.iter().enumerate() {
+            assert_eq!(lines[i], t.line());
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod texel_set;
 
 pub use contents::ProceduralTexels;
 pub use desc::{MipChain, TextureDesc};
-pub use footprint::TrilinearSampler;
+pub use footprint::{footprint_lines, TrilinearSampler};
 pub use layout::{BlockOrder, TexelAddr, TextureId, TextureRegistry};
 pub use texel_set::TexelSet;
 

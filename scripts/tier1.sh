@@ -37,7 +37,8 @@ fi
 echo "==> sweep bench + trace/heatmap smoke + artefact schema check + regression gate"
 bench_dir=$(mktemp -d)
 noreplay_dir=$(mktemp -d)
-trap 'rm -rf "$bench_dir" "$noreplay_dir"' EXIT
+scalar_dir=$(mktemp -d)
+trap 'rm -rf "$bench_dir" "$noreplay_dir" "$scalar_dir"' EXIT
 SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin sweep
 SORTMID_BENCH_DIR="$bench_dir" \
@@ -53,5 +54,18 @@ SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$noreplay_dir"
     cargo run -q --release --offline -p sortmid-bench --bin sweep -- --no-replay
 cargo run -q --release --offline -p sortmid-bench --bin bench_check -- \
     "$noreplay_dir" --against "$repo/BENCH_baseline.json"
+
+# Same for the --scalar escape hatch: the batched fragment core and the
+# per-texel scalar loop must simulate identical cycles.
+SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$scalar_dir" \
+    cargo run -q --release --offline -p sortmid-bench --bin sweep -- --scalar --no-replay
+cargo run -q --release --offline -p sortmid-bench --bin bench_check -- \
+    "$scalar_dir" --against "$repo/BENCH_baseline.json"
+
+# The batched == scalar property lane, in release (the debug run above
+# already covered it functionally; release exercises the SWAR probe the
+# sweep actually ships).
+echo "==> batched-vs-scalar property lane (release)"
+cargo test -q --release --offline --test batched
 
 echo "tier1: OK"

@@ -152,6 +152,7 @@ fn prop_stackdist_replay_equals_direct() {
                 SweepOptions {
                     threads: 1,
                     replay: true,
+                    batch: true,
                 },
             );
             let direct = run_sweep_with_options(
@@ -160,6 +161,7 @@ fn prop_stackdist_replay_equals_direct() {
                 SweepOptions {
                     threads: 1,
                     replay: false,
+                    batch: false,
                 },
             );
             prop_assert_eq!(replayed.len(), direct.len());
@@ -275,15 +277,15 @@ fn prop_mixed_grid_sweep_is_path_independent() {
                 configs.push(config_for(dist, *procs, CacheKind::SetAssoc(g), *buffer));
                 configs.push(config_for(dist, *procs, CacheKind::Classifying(g), *buffer));
             }
-            let run = |replay: bool| -> Vec<RunReport> {
+            let run = |replay: bool, batch: bool| -> Vec<RunReport> {
                 run_sweep_with_options(
                     s,
                     &configs,
-                    SweepOptions { threads: 2, replay },
+                    SweepOptions { threads: 2, replay, batch },
                 )
             };
-            let replayed = run(true);
-            let direct = run(false);
+            let replayed = run(true, true);
+            let direct = run(false, false);
             for (r, d) in replayed.iter().zip(&direct) {
                 prop_assert_eq!(r, d, "paths diverge for {}", r.summary());
             }
