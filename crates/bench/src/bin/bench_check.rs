@@ -1,13 +1,13 @@
-//! CI validator for `BENCH_*.json`, `TRACE_*.json` and `HEATMAP_*.json`
-//! artefacts, plus the bench regression gate.
+//! CI validator for `BENCH_*.json`, `TRACE_*.json`, `HEATMAP_*.json` and
+//! `METRICS_*.json` artefacts, plus the bench regression gate.
 //!
 //! Parses every `BENCH_*.json` in a directory (argument, or the workspace
 //! root when run without one — resolved from the manifest so the check
 //! works from any cwd) with the devharness JSON reader and checks the
 //! schema that [`sortmid_devharness::bench::Suite`] emits: top-level
 //! `suite`, `warmup_iters`, `samples`, and a `benchmarks` array whose
-//! entries carry `id`, `median_ns`, `p10_ns`, `p90_ns` and a non-empty
-//! `samples_ns` array. The sweep artefact must additionally carry the
+//! entries carry `id`, `median_ns`, the `p10_ns`/`p50_ns`/`p90_ns`/`p99_ns`
+//! percentile ladder and a non-empty `samples_ns` array. The sweep artefact must additionally carry the
 //! observability extras: `cycle_breakdowns` (per config, per node
 //! `[setup, busy, bus_stall, starved, idle, finish]` — the first five must
 //! sum *exactly* to the sixth, and the machine total must be the max node
@@ -25,11 +25,19 @@
 //! total), and the per-node three-C identity
 //! `compulsory + capacity + conflict == misses`.
 //!
+//! `METRICS_*.json` host profiles (from the sweep bench's profiled run)
+//! are checked for the `HostProfile` schema and its structural invariants:
+//! every span nests inside its parent on the parent's thread, siblings
+//! never overlap within a thread, every worker satisfies
+//! `busy + idle == wall` *exactly*, and a sweep profile's span tree must
+//! name the whole pipeline (at least [`REQUIRED_SWEEP_PHASES`]).
+//!
 //! With `--against <baseline>` the sweep artefact's *simulated* cycle
 //! totals are additionally gated against a committed baseline (e.g.
 //! `BENCH_baseline.json`): configs are grouped by processor count and
 //! distribution, and any group whose median `total_cycles` regresses by
-//! more than 15% fails the check — as does any group present on only one
+//! more than the tolerance (15% default, `--tolerance <pct>` to override)
+//! fails the check — as does any group present on only one
 //! side (coverage drift). Cycles are deterministic — unlike the
 //! wall-clock `median_ns`, which varies with the host and is therefore
 //! only reported, never gated.
@@ -45,8 +53,23 @@ use std::process::ExitCode;
 use sortmid_devharness::json::Json;
 
 /// Fractional simulated-cycle growth a config group may show over the
-/// baseline before the gate fails.
+/// baseline before the gate fails (the `--tolerance` default).
 const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Pipeline phases a sweep host profile must cover: if any is absent the
+/// instrumentation regressed (the sweep bench profiles both the reference
+/// grid and the dense replay lane, so every stage below runs).
+const REQUIRED_SWEEP_PHASES: [&str; 9] = [
+    "run-sweep",
+    "batch-pivot",
+    "plan-build",
+    "path-select",
+    "lane-pivot",
+    "capture",
+    "trace-eval",
+    "run-configs",
+    "worker-run",
+];
 
 /// The workspace root, resolved from this crate's manifest
 /// (`crates/bench` → two levels up) so the default paths work from any
@@ -85,7 +108,7 @@ fn check_doc(name: &str, doc: &Json, problems: &mut Vec<String>) {
         if id.is_none() {
             problems.push(format!("{label}: missing or mistyped key 'id'"));
         }
-        for key in ["median_ns", "p10_ns", "p90_ns"] {
+        for key in ["median_ns", "p10_ns", "p50_ns", "p90_ns", "p99_ns"] {
             if b.get(key).and_then(Json::as_u64).is_none() {
                 problems.push(format!("{label}: missing or mistyped key '{key}'"));
             }
@@ -383,6 +406,187 @@ fn check_heatmap(name: &str, doc: &Json, problems: &mut Vec<String>) {
     }
 }
 
+/// Validates one `METRICS_*.json` host profile: schema, span-nesting and
+/// sibling-overlap invariants, the exact per-worker `busy + idle == wall`
+/// identity, and (for the sweep profile) full pipeline-phase coverage.
+fn check_metrics(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    let profile = doc.get("profile").and_then(Json::as_str);
+    if profile.is_none() {
+        problems.push(format!("{name}: missing or mistyped key 'profile'"));
+    }
+    if doc.get("peak_rss_bytes").and_then(Json::as_u64).is_none() {
+        problems.push(format!("{name}: missing or mistyped key 'peak_rss_bytes'"));
+    }
+    for key in ["counters", "gauges", "histograms"] {
+        if !matches!(doc.get("metrics").and_then(|m| m.get(key)), Some(Json::Obj(_))) {
+            problems.push(format!("{name}: missing or mistyped 'metrics.{key}'"));
+        }
+    }
+
+    // Spans: decode, then check the tree invariants.
+    struct Span {
+        name: String,
+        thread: u64,
+        parent: Option<usize>,
+        start: u64,
+        end: u64,
+    }
+    let mut spans: Vec<Span> = Vec::new();
+    match doc.get("spans").and_then(Json::as_arr) {
+        None => problems.push(format!("{name}: missing or mistyped 'spans'")),
+        Some(rows) => {
+            if rows.is_empty() {
+                problems.push(format!("{name}: 'spans' is empty"));
+            }
+            for (i, row) in rows.iter().enumerate() {
+                let fields = (
+                    row.get("name").and_then(Json::as_str),
+                    row.get("thread").and_then(Json::as_u64),
+                    row.get("depth").and_then(Json::as_u64),
+                    row.get("start_ns").and_then(Json::as_u64),
+                    row.get("dur_ns").and_then(Json::as_u64),
+                );
+                let parent = match row.get("parent") {
+                    Some(Json::Null) => None,
+                    Some(Json::U64(p)) => Some(*p as usize),
+                    _ => {
+                        problems.push(format!(
+                            "{name}/span#{i}: 'parent' must be null or an integer index"
+                        ));
+                        continue;
+                    }
+                };
+                let (Some(sname), Some(thread), Some(_), Some(start), Some(dur)) = fields else {
+                    problems.push(format!(
+                        "{name}/span#{i}: missing or mistyped name/thread/depth/start_ns/dur_ns"
+                    ));
+                    continue;
+                };
+                spans.push(Span {
+                    name: sname.to_string(),
+                    thread,
+                    parent,
+                    start,
+                    end: start + dur,
+                });
+            }
+            for (i, span) in spans.iter().enumerate() {
+                if let Some(p) = span.parent {
+                    match spans.get(p) {
+                        None => problems.push(format!(
+                            "{name}/span#{i} '{}': parent index {p} out of range",
+                            span.name
+                        )),
+                        Some(parent) => {
+                            if parent.thread != span.thread {
+                                problems.push(format!(
+                                    "{name}/span#{i} '{}': crosses threads (parent '{}')",
+                                    span.name, parent.name
+                                ));
+                            }
+                            if span.start < parent.start || span.end > parent.end {
+                                problems.push(format!(
+                                    "{name}/span#{i} '{}': [{}, {}] escapes parent '{}' [{}, {}]",
+                                    span.name, span.start, span.end,
+                                    parent.name, parent.start, parent.end
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            // Siblings (same thread, same parent) must not overlap.
+            type Siblings<'a> = Vec<(u64, u64, &'a str)>;
+            let mut groups: BTreeMap<(u64, Option<usize>), Siblings> = BTreeMap::new();
+            for span in &spans {
+                groups
+                    .entry((span.thread, span.parent))
+                    .or_default()
+                    .push((span.start, span.end, &span.name));
+            }
+            for ((thread, _), mut siblings) in groups {
+                siblings.sort_unstable();
+                for pair in siblings.windows(2) {
+                    if pair[1].0 < pair[0].1 {
+                        problems.push(format!(
+                            "{name}: spans '{}' and '{}' overlap on thread {thread}",
+                            pair[0].2, pair[1].2
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Workers: the identity must hold exactly, not approximately.
+    match doc.get("workers").and_then(Json::as_arr) {
+        None => problems.push(format!("{name}: missing or mistyped 'workers'")),
+        Some(rows) => {
+            if rows.is_empty() {
+                problems.push(format!("{name}: 'workers' is empty"));
+            }
+            for (i, row) in rows.iter().enumerate() {
+                if row.get("lane").and_then(Json::as_str).is_none() {
+                    problems.push(format!("{name}/worker#{i}: missing or mistyped 'lane'"));
+                }
+                let counters = (
+                    row.get("wall_ns").and_then(Json::as_u64),
+                    row.get("busy_ns").and_then(Json::as_u64),
+                    row.get("idle_ns").and_then(Json::as_u64),
+                    row.get("items").and_then(Json::as_u64),
+                );
+                let (Some(wall), Some(busy), Some(idle), Some(_)) = counters else {
+                    problems.push(format!(
+                        "{name}/worker#{i}: missing or mistyped wall_ns/busy_ns/idle_ns/items"
+                    ));
+                    continue;
+                };
+                if busy + idle != wall {
+                    problems.push(format!(
+                        "{name}/worker#{i}: utilization identity broken: \
+                         busy {busy} + idle {idle} != wall {wall}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Phases: aggregate table, and full coverage for the sweep profile.
+    let mut phase_names: Vec<String> = Vec::new();
+    match doc.get("phases").and_then(Json::as_arr) {
+        None => problems.push(format!("{name}: missing or mistyped 'phases'")),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                match row.get("name").and_then(Json::as_str) {
+                    Some(p) => phase_names.push(p.to_string()),
+                    None => problems.push(format!("{name}/phase#{i}: missing or mistyped 'name'")),
+                }
+                for key in ["count", "total_ns", "self_ns"] {
+                    if row.get(key).and_then(Json::as_u64).is_none() {
+                        problems.push(format!("{name}/phase#{i}: missing or mistyped '{key}'"));
+                    }
+                }
+            }
+        }
+    }
+    for phase in &phase_names {
+        if !spans.iter().any(|s| s.name == *phase) {
+            problems.push(format!(
+                "{name}: phase '{phase}' has no backing span"
+            ));
+        }
+    }
+    if profile == Some("sweep") {
+        for phase in REQUIRED_SWEEP_PHASES {
+            if !phase_names.iter().any(|p| p == phase) {
+                problems.push(format!(
+                    "{name}: sweep profile is missing required pipeline phase '{phase}'"
+                ));
+            }
+        }
+    }
+}
+
 /// Per-group median simulated cycles of a sweep document, keyed by the
 /// first two config segments (`<procs>p/<distribution>`).
 fn sweep_group_medians(doc: &Json) -> BTreeMap<String, f64> {
@@ -430,6 +634,7 @@ fn sweep_group_medians(doc: &Json) -> BTreeMap<String, f64> {
 fn compare_groups(
     current: &BTreeMap<String, f64>,
     baseline: &BTreeMap<String, f64>,
+    tolerance: f64,
     problems: &mut Vec<String>,
 ) -> Vec<String> {
     let mut lines = Vec::new();
@@ -459,12 +664,12 @@ fn compare_groups(
             "  {group:24} {base:>14.0} -> {now:>14.0} cycles ({:+.1}%)",
             (ratio - 1.0) * 100.0
         ));
-        if ratio > 1.0 + REGRESSION_TOLERANCE {
+        if ratio > 1.0 + tolerance {
             problems.push(format!(
                 "regression gate: group '{group}' median cycles regressed {:.1}% \
-                 (baseline {base:.0}, current {now:.0}, tolerance {:.0}%)",
+                 (baseline {base:.0}, current {now:.0}, tolerance {:.1}%)",
                 (ratio - 1.0) * 100.0,
-                REGRESSION_TOLERANCE * 100.0
+                tolerance * 100.0
             ));
         }
     }
@@ -482,7 +687,7 @@ fn compare_groups(
 
 /// Runs the `--against` gate: loads both sweep documents, validates the
 /// baseline's own identities, and compares per-group cycle medians.
-fn run_gate(dir: &Path, baseline_path: &Path, problems: &mut Vec<String>) {
+fn run_gate(dir: &Path, baseline_path: &Path, tolerance: f64, problems: &mut Vec<String>) {
     let baseline_path = if baseline_path.exists() {
         baseline_path.to_path_buf()
     } else {
@@ -534,12 +739,12 @@ fn run_gate(dir: &Path, baseline_path: &Path, problems: &mut Vec<String>) {
         ));
         return;
     }
-    let lines = compare_groups(&cur_groups, &base_groups, problems);
+    let lines = compare_groups(&cur_groups, &base_groups, tolerance, problems);
     println!(
-        "regression gate vs {} ({} groups, tolerance {:.0}%):",
+        "regression gate vs {} ({} groups, tolerance {:.1}%):",
         baseline_path.display(),
         base_groups.len(),
-        REGRESSION_TOLERANCE * 100.0
+        tolerance * 100.0
     );
     for line in lines {
         println!("{line}");
@@ -557,7 +762,10 @@ fn run(dir: &Path) -> Result<usize, String> {
             p.file_name()
                 .and_then(|n| n.to_str())
                 .is_some_and(|n| {
-                    (n.starts_with("BENCH_") || n.starts_with("TRACE_") || n.starts_with("HEATMAP_"))
+                    (n.starts_with("BENCH_")
+                        || n.starts_with("TRACE_")
+                        || n.starts_with("HEATMAP_")
+                        || n.starts_with("METRICS_"))
                         && n.ends_with(".json")
                 })
         })
@@ -579,6 +787,8 @@ fn run(dir: &Path) -> Result<usize, String> {
                     check_trace(&name, &doc, &mut problems);
                 } else if name.starts_with("HEATMAP_") {
                     check_heatmap(&name, &doc, &mut problems);
+                } else if name.starts_with("METRICS_") {
+                    check_metrics(&name, &doc, &mut problems);
                 } else {
                     check_doc(&name, &doc, &mut problems);
                 }
@@ -598,6 +808,7 @@ fn run(dir: &Path) -> Result<usize, String> {
 fn main() -> ExitCode {
     let mut dir: Option<PathBuf> = None;
     let mut against: Option<PathBuf> = None;
+    let mut tolerance = REGRESSION_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -608,8 +819,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--tolerance" => match args.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(pct)) if pct >= 0.0 && pct.is_finite() => tolerance = pct / 100.0,
+                _ => {
+                    eprintln!("bench_check: --tolerance needs a non-negative percentage");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: bench_check [dir] [--against <baseline BENCH json>]");
+                println!(
+                    "usage: bench_check [dir] [--against <baseline BENCH json>] \
+                     [--tolerance <pct>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => dir = Some(PathBuf::from(other)),
@@ -621,13 +842,13 @@ fn main() -> ExitCode {
 
     let mut gate_problems = Vec::new();
     if let Some(baseline) = &against {
-        run_gate(&dir, baseline, &mut gate_problems);
+        run_gate(&dir, baseline, tolerance, &mut gate_problems);
     }
 
     match run(&dir) {
         Ok(0) => {
             eprintln!(
-                "bench_check: no BENCH_*.json, TRACE_*.json or HEATMAP_*.json artefacts found in {}",
+                "bench_check: no BENCH_/TRACE_/HEATMAP_/METRICS_ *.json artefacts found in {}",
                 dir.display()
             );
             ExitCode::FAILURE
@@ -660,7 +881,7 @@ mod tests {
     fn identical_groups_pass_the_gate() {
         let base = groups(&[("16p/block-16", 1000.0), ("64p/sli-4", 2000.0)]);
         let mut problems = Vec::new();
-        compare_groups(&base, &base, &mut problems);
+        compare_groups(&base, &base, REGRESSION_TOLERANCE, &mut problems);
         assert!(problems.is_empty(), "{problems:?}");
     }
 
@@ -669,7 +890,7 @@ mod tests {
         let base = groups(&[("16p/block-16", 1000.0)]);
         let cur = groups(&[("16p/block-16", 1200.0)]); // +20% > 15%
         let mut problems = Vec::new();
-        compare_groups(&cur, &base, &mut problems);
+        compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("16p/block-16"), "{problems:?}");
     }
@@ -679,7 +900,7 @@ mod tests {
         let base = groups(&[("16p/block-16", 1000.0), ("64p/sli-4", 2000.0)]);
         let cur = groups(&[("16p/block-16", 1100.0), ("64p/sli-4", 1500.0)]);
         let mut problems = Vec::new();
-        let lines = compare_groups(&cur, &base, &mut problems);
+        let lines = compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
         assert!(problems.is_empty(), "{problems:?}");
         assert_eq!(lines.len(), 2);
     }
@@ -727,7 +948,7 @@ mod tests {
         let base = groups(&[("16p/block-16", 1000.0)]);
         let cur = groups(&[("64p/sli-4", 500.0)]);
         let mut problems = Vec::new();
-        compare_groups(&cur, &base, &mut problems);
+        compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
         assert_eq!(problems.len(), 2, "{problems:?}");
         assert!(problems[0].contains("missing from current"), "{problems:?}");
         assert!(problems[1].contains("missing from"), "{problems:?}");
@@ -739,7 +960,7 @@ mod tests {
         let base = groups(&[("16p/block-16", 0.0)]);
         let cur = groups(&[("16p/block-16", 500.0)]);
         let mut problems = Vec::new();
-        let lines = compare_groups(&cur, &base, &mut problems);
+        let lines = compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("zero-cycle baseline"), "{problems:?}");
         // The report line must not carry a NaN/inf percentage.
@@ -751,8 +972,115 @@ mod tests {
         let base = groups(&[("16p/block-16", 0.0)]);
         let cur = groups(&[("16p/block-16", 0.0)]);
         let mut problems = Vec::new();
-        compare_groups(&cur, &base, &mut problems);
+        compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
         assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn tolerance_is_respected_by_the_gate() {
+        // +20% fails the default 15% gate but passes a 25% one.
+        let base = groups(&[("16p/block-16", 1000.0)]);
+        let cur = groups(&[("16p/block-16", 1200.0)]);
+        let mut problems = Vec::new();
+        compare_groups(&cur, &base, 0.25, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+        let mut problems = Vec::new();
+        compare_groups(&cur, &base, 0.15, &mut problems);
+        assert_eq!(problems.len(), 1);
+        // The breach message names the lane with baseline vs current values.
+        assert!(problems[0].contains("16p/block-16"), "{problems:?}");
+        assert!(problems[0].contains("baseline 1000"), "{problems:?}");
+        assert!(problems[0].contains("current 1200"), "{problems:?}");
+    }
+
+    fn metrics_doc(worker_idle: u64, child_end: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"profile": "unit", "peak_rss_bytes": 1024,
+                "spans": [
+                    {{"name": "run-sweep", "thread": 0, "depth": 0,
+                      "parent": null, "start_ns": 0, "dur_ns": 100}},
+                    {{"name": "plan-build", "thread": 0, "depth": 1,
+                      "parent": 0, "start_ns": 10, "dur_ns": {}}}
+                ],
+                "workers": [{{"lane": "run-configs", "worker": 0,
+                             "wall_ns": 100, "busy_ns": 60,
+                             "idle_ns": {worker_idle}, "items": 4}}],
+                "phases": [
+                    {{"name": "run-sweep", "count": 1, "total_ns": 100, "self_ns": 80}},
+                    {{"name": "plan-build", "count": 1, "total_ns": 20, "self_ns": 20}}
+                ],
+                "metrics": {{"counters": {{}}, "gauges": {{}}, "histograms": {{}}}}}}"#,
+            child_end - 10,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn metrics_check_accepts_a_consistent_profile() {
+        let mut problems = Vec::new();
+        check_metrics("METRICS_unit.json", &metrics_doc(40, 30), &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn metrics_check_catches_a_broken_worker_identity() {
+        let mut problems = Vec::new();
+        check_metrics("METRICS_unit.json", &metrics_doc(41, 30), &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("utilization identity"), "{problems:?}");
+    }
+
+    #[test]
+    fn metrics_check_catches_a_span_escaping_its_parent() {
+        let mut problems = Vec::new();
+        check_metrics("METRICS_unit.json", &metrics_doc(40, 200), &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("escapes parent"), "{problems:?}");
+    }
+
+    #[test]
+    fn metrics_check_catches_overlapping_siblings() {
+        let doc = Json::parse(
+            r#"{"profile": "unit", "peak_rss_bytes": 0,
+                "spans": [
+                    {"name": "a", "thread": 0, "depth": 0,
+                     "parent": null, "start_ns": 0, "dur_ns": 100},
+                    {"name": "b", "thread": 0, "depth": 0,
+                     "parent": null, "start_ns": 50, "dur_ns": 100}
+                ],
+                "workers": [{"lane": "run-configs", "worker": 0,
+                             "wall_ns": 1, "busy_ns": 1, "idle_ns": 0,
+                             "items": 1}],
+                "phases": [{"name": "a", "count": 1, "total_ns": 100, "self_ns": 100},
+                           {"name": "b", "count": 1, "total_ns": 100, "self_ns": 100}],
+                "metrics": {"counters": {}, "gauges": {}, "histograms": {}}}"#,
+        )
+        .unwrap();
+        let mut problems = Vec::new();
+        check_metrics("METRICS_unit.json", &doc, &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("overlap"), "{problems:?}");
+    }
+
+    #[test]
+    fn metrics_check_requires_every_sweep_phase() {
+        // A doc claiming to be the sweep profile but covering only two
+        // phases must list every missing pipeline stage.
+        let Json::Obj(mut fields) = metrics_doc(40, 30) else {
+            unreachable!()
+        };
+        for (k, v) in &mut fields {
+            if k == "profile" {
+                *v = Json::str("sweep");
+            }
+        }
+        let mut problems = Vec::new();
+        check_metrics("METRICS_sweep.json", &Json::Obj(fields), &mut problems);
+        let missing: Vec<_> = problems
+            .iter()
+            .filter(|p| p.contains("missing required pipeline phase"))
+            .collect();
+        assert_eq!(missing.len(), REQUIRED_SWEEP_PHASES.len() - 2, "{problems:?}");
     }
 
     #[test]

@@ -37,15 +37,26 @@
 //!   nanoseconds each additional cache config costs on top of the shared
 //!   trace capture.
 //!
+//! When the default pipeline runs (no escape hatch), the untimed
+//! breakdown sweep additionally runs **host-profiled**: the reference grid
+//! and the dense replay lane execute under a [`HostProfiler`], and the
+//! merged [`sortmid::HostProfile`] — hierarchical phase spans, per-worker
+//! `busy + idle == wall` utilization, per-path run-time histograms, peak
+//! RSS — lands in `METRICS_sweep.json` next to the bench artefact
+//! (`bench_check` validates its span-nesting and worker-identity
+//! invariants). The timed lanes stay on the [`NullHostSink`] path, so the
+//! regression gate keeps pinning the *unprofiled* pipeline.
+//!
 //! Pass `--no-replay` to force every lane through the direct simulator
 //! (the stack-distance escape hatch) and `--scalar` to force direct
 //! simulations onto the per-texel scalar loop instead of the batched
 //! fragment core; the reports are byte-identical either way, only the
-//! wall-clock changes.
+//! wall-clock changes (these modes skip the profile artefact — it
+//! documents the default pipeline).
 
 use sortmid::{
-    run_sweep_with_options, CacheKind, Distribution, Machine, MachineConfig, RunReport, SweepGrid,
-    SweepOptions,
+    run_sweep_profiled, run_sweep_with_options, CacheKind, Distribution, HostProfiler, Machine,
+    MachineConfig, RunReport, SweepGrid, SweepOptions,
 };
 use sortmid_bench::stream;
 use sortmid_cache::CacheGeometry;
@@ -227,8 +238,31 @@ fn main() {
 
     // One more (untimed) sweep to attach per-config cycle breakdowns —
     // reference grid only: the regression gate's groups must not absorb
-    // the dense cache lane.
-    let reports = run_sweep_with_options(&s, &configs, options);
+    // the dense cache lane. On the default pipeline this run (plus a dense
+    // pass, so the capture AND replay stages both appear) is host-profiled
+    // into METRICS_sweep.json.
+    let reports = if replay && batch {
+        let prof = HostProfiler::new();
+        let reports = run_sweep_profiled(&s, &configs, options, &prof);
+        black_box(run_sweep_profiled(&s, &dense, options, &prof));
+        let profile = prof.finish();
+        profile
+            .verify()
+            .expect("host profile structural invariants must hold");
+        let dir = std::env::var_os("SORTMID_BENCH_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("create bench dir {}: {e}", dir.display()));
+        let path = dir.join("METRICS_sweep.json");
+        std::fs::write(&path, profile.to_json("sweep").render())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+        eprint!("{}", profile.summary());
+        reports
+    } else {
+        run_sweep_with_options(&s, &configs, options)
+    };
     suite.finish_with([
         (
             "cycle_breakdowns".to_string(),

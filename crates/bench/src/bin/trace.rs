@@ -9,7 +9,9 @@
 //! 2. writes `TRACE_<preset>.json` — a Chrome-trace-event document that
 //!    loads directly in <https://ui.perfetto.dev> (one process per node,
 //!    engine + texture-bus threads, FIFO-depth counter tracks, one cycle
-//!    rendered as one microsecond);
+//!    rendered as one microsecond) — plus a synthetic `host` process
+//!    carrying the run's wall-time phase spans (rasterize, traced run,
+//!    verify rerun), so host cost and simulated cycles sit side by side;
 //! 3. prints the per-node cycle breakdown table and compact FIFO-occupancy
 //!    / bus-utilization summaries to the terminal.
 //!
@@ -19,7 +21,7 @@
 //! suites.
 
 use sortmid::{CacheKind, Distribution, Machine, MachineConfig, TraceRecorder};
-use sortmid_observe::{breakdown_table, chrome_trace, TimeSeries};
+use sortmid_observe::{breakdown_table, chrome_trace_with_host, HostProfiler, HostSink, TimeSeries};
 use sortmid_scene::{Benchmark, SceneBuilder};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -57,22 +59,41 @@ fn usage() -> String {
 
 fn run_preset(name: &str, scale: f64) -> Result<(), String> {
     let config = preset_config(name).ok_or_else(|| format!("unknown preset '{name}'"))?;
-    let stream = SceneBuilder::benchmark(Benchmark::Quake)
-        .scale(scale)
-        .build()
-        .rasterize();
+    // Host phases of this bin itself ride along in the trace document: a
+    // root span per preset with the scene build, the traced run and the
+    // verification rerun underneath.
+    let prof = HostProfiler::new();
+    let root = prof.span("trace-preset");
+    let stream = {
+        let _s = prof.span("rasterize");
+        SceneBuilder::benchmark(Benchmark::Quake)
+            .scale(scale)
+            .build()
+            .rasterize()
+    };
     let machine = Machine::new(config);
 
     let mut rec = TraceRecorder::new();
-    let report = machine.run_traced(&stream, &mut rec);
-    assert_eq!(
-        report,
-        machine.run(&stream),
-        "tracing must not perturb the simulation"
-    );
+    let report = {
+        let _s = prof.span("run-traced");
+        machine.run_traced(&stream, &mut rec)
+    };
+    {
+        let _s = prof.span("verify-rerun");
+        assert_eq!(
+            report,
+            machine.run(&stream),
+            "tracing must not perturb the simulation"
+        );
+    }
+    drop(root);
+    let profile = prof.finish();
+    profile
+        .verify()
+        .expect("host profile structural invariants must hold");
 
-    // The Perfetto document.
-    let doc = chrome_trace(&rec, &machine.node_labels());
+    // The Perfetto document: simulated tracks plus the host phase tracks.
+    let doc = chrome_trace_with_host(&rec, &machine.node_labels(), &profile);
     let dir = std::env::var_os("SORTMID_BENCH_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));

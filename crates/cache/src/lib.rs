@@ -60,8 +60,8 @@ pub use hierarchy::TwoLevelCache;
 pub use perfect::PerfectCache;
 pub use set_assoc::SetAssocCache;
 pub use stackdist::{
-    evaluate_trace, evaluate_trace_auto, evaluate_trace_direct, GeometryRequest, MattsonProfile,
-    TraceEvaluation, STACKDIST_MIN_REQUESTS,
+    evaluate_trace, evaluate_trace_auto, evaluate_trace_auto_profiled, evaluate_trace_direct,
+    GeometryRequest, MattsonProfile, TraceEvaluation, STACKDIST_MIN_REQUESTS,
 };
 pub use stats::{CacheStats, MissBreakdown, MissIdentityError};
 pub use trace::{LineAccessTrace, TracingCache};

@@ -254,9 +254,38 @@ pub fn evaluate_trace_auto(
     trace: &LineAccessTrace,
     requests: &[GeometryRequest],
 ) -> TraceEvaluation {
+    evaluate_trace_auto_profiled(trace, requests, &sortmid_observe::NullHostSink)
+}
+
+/// [`evaluate_trace_auto`] with host profiling: the chosen backend runs
+/// under a `mattson-walk` or `direct-replay` span, and the selection is
+/// counted (`cache.backend.mattson` / `cache.backend.direct`) along with
+/// the deciding grid size (`cache.eval_requests` histogram). With
+/// [`NullHostSink`](sortmid_observe::NullHostSink) this monomorphizes to
+/// exactly [`evaluate_trace_auto`].
+///
+/// # Panics
+///
+/// Panics if two requests carry the same geometry.
+pub fn evaluate_trace_auto_profiled<S: sortmid_observe::HostSink>(
+    trace: &LineAccessTrace,
+    requests: &[GeometryRequest],
+    sink: &S,
+) -> TraceEvaluation {
+    if S::ENABLED {
+        sink.observe("cache.eval_requests", requests.len() as u64);
+    }
     if requests.len() >= STACKDIST_MIN_REQUESTS {
+        if S::ENABLED {
+            sink.count("cache.backend.mattson", 1);
+        }
+        let _span = sink.span("mattson-walk");
         evaluate_trace(trace, requests)
     } else {
+        if S::ENABLED {
+            sink.count("cache.backend.direct", 1);
+        }
+        let _span = sink.span("direct-replay");
         evaluate_trace_direct(trace, requests)
     }
 }

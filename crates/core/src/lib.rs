@@ -63,12 +63,14 @@ pub use plan::{OwnerLut, RoutingPlan};
 pub use report::{NodeReport, RunReport};
 pub use sortmid_cache::{MissBreakdown, MissIdentityError};
 pub use sortmid_observe::{
-    CycleBreakdown, MissClass, MissClassCounts, NullSink, ScreenGrid, SpatialCollector, TileStats,
-    TraceEvent, TraceRecorder, TraceSink,
+    CycleBreakdown, HostProfile, HostProfiler, HostSink, MetricsRegistry, MissClass,
+    MissClassCounts, NullHostSink, NullSink, ScreenGrid, SpatialCollector, TileStats, TraceEvent,
+    TraceRecorder, TraceSink,
 };
 pub use replay::capture_line_trace;
 pub use sweep::{
-    run_sweep, run_sweep_with_options, run_sweep_with_threads, SweepGrid, SweepOptions,
+    run_sweep, run_sweep_profiled, run_sweep_with_options, run_sweep_with_threads, SweepGrid,
+    SweepOptions,
 };
 
 /// Maximum processor count the machine supports (the paper evaluates up to

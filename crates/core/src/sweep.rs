@@ -32,8 +32,10 @@ use crate::replay::{
     DirectCapture,
 };
 use crate::report::RunReport;
-use sortmid_cache::{evaluate_trace_auto, GeometryRequest, TraceEvaluation};
+use sortmid_cache::{evaluate_trace_auto_profiled, GeometryRequest, TraceEvaluation};
+use sortmid_observe::{HostSink, NullHostSink};
 use sortmid_raster::{FragBatch, FragmentStream};
+use std::time::Instant;
 
 /// Builds the cartesian product of machine-parameter axes — the shape of
 /// every figure sweep in the paper.
@@ -269,15 +271,46 @@ pub fn run_sweep_with_options(
     configs: &[MachineConfig],
     options: SweepOptions,
 ) -> Vec<RunReport> {
+    run_sweep_profiled(stream, configs, options, &NullHostSink)
+}
+
+/// [`run_sweep_with_options`] with host profiling: every pipeline stage
+/// (batch pivot, plan build, path selection, lane pivots, captures,
+/// stack-distance evaluation, per-config timing synthesis) runs under a
+/// named [`HostSink`] span, per-config run times land in
+/// `host.run_ns.{direct,captured,replay}` histograms, and every worker
+/// thread reports `busy`/`wall` utilization for the `run-configs` stage.
+///
+/// With [`NullHostSink`] (how [`run_sweep`] and friends call it) the
+/// instrumentation monomorphizes to nothing — the sweep bench's
+/// regression gate pins the unprofiled pipeline against
+/// `BENCH_baseline.json`.
+///
+/// # Panics
+///
+/// Panics if `options.threads` is zero.
+pub fn run_sweep_profiled<S: HostSink>(
+    stream: &FragmentStream,
+    configs: &[MachineConfig],
+    options: SweepOptions,
+    sink: &S,
+) -> Vec<RunReport> {
     assert!(options.threads > 0, "need at least one host thread");
     if configs.is_empty() {
         return Vec::new();
+    }
+    let _root = sink.span("run-sweep");
+    if S::ENABLED {
+        sink.count("sweep.configs", configs.len() as u64);
     }
 
     // The stream's footprint batch (the 8 line-id expansion plus dense
     // coordinate lanes, one pivot per sweep) feeds the plan builds, the
     // lane pivots and the capture passes below.
-    let batch = options.batch.then(|| FragBatch::from_stream(stream));
+    let batch = options.batch.then(|| {
+        let _s = sink.span("batch-pivot");
+        FragBatch::from_stream(stream)
+    });
     let batch = batch.as_ref();
 
     // Group the grid by (distribution, processors): one routing plan per
@@ -285,30 +318,37 @@ pub fn run_sweep_with_options(
     // linear key scan beats hashing Distribution (which holds an Arc axis).
     let mut plans: Vec<RoutingPlan> = Vec::new();
     let mut plan_of: Vec<usize> = Vec::with_capacity(configs.len());
-    for config in configs {
-        let idx = plans
-            .iter()
-            .position(|p| p.matches(&config.distribution, config.processors))
-            .unwrap_or_else(|| {
-                plans.push(match batch {
-                    Some(b) => RoutingPlan::build_from_batch(
-                        stream,
-                        b,
-                        &config.distribution,
-                        config.processors,
-                    ),
-                    None => RoutingPlan::build(stream, &config.distribution, config.processors),
+    {
+        let _s = sink.span("plan-build");
+        for config in configs {
+            let idx = plans
+                .iter()
+                .position(|p| p.matches(&config.distribution, config.processors))
+                .unwrap_or_else(|| {
+                    plans.push(match batch {
+                        Some(b) => RoutingPlan::build_from_batch(
+                            stream,
+                            b,
+                            &config.distribution,
+                            config.processors,
+                        ),
+                        None => RoutingPlan::build(stream, &config.distribution, config.processors),
+                    });
+                    plans.len() - 1
                 });
-                plans.len() - 1
-            });
-        plan_of.push(idx);
+            plan_of.push(idx);
+        }
     }
     let plans = &plans[..];
+    if S::ENABLED {
+        sink.count("sweep.plans", plans.len() as u64);
+    }
 
     // Decide each config's path. Replay-eligible configs of one plan share
     // a geometry request grid (deduplicated by geometry, classification
     // merged by OR so a Classifying and a plain SetAssoc config of the
     // same geometry share one evaluation slot).
+    let path_span = sink.span("path-select");
     let mut requests: Vec<Vec<GeometryRequest>> = vec![Vec::new(); plans.len()];
     let mut path_of: Vec<ConfigPath> = vec![ConfigPath::Direct; configs.len()];
     if options.replay {
@@ -392,6 +432,20 @@ pub fn run_sweep_with_options(
             }
         }
     }
+    drop(path_span);
+    if S::ENABLED {
+        sink.count("sweep.captures", slots as u64);
+        for path in &path_of {
+            sink.count(
+                match path {
+                    ConfigPath::Direct => "sweep.path.direct",
+                    ConfigPath::Captured { .. } => "sweep.path.captured",
+                    ConfigPath::Replay { .. } => "sweep.path.replay",
+                },
+                1,
+            );
+        }
+    }
 
     // Pivot the plans that still need struct-of-arrays lanes, in parallel:
     // one pivot serves every remaining direct config in its group and
@@ -406,6 +460,7 @@ pub fn run_sweep_with_options(
     }
     let mut lanes: Vec<Option<PlanLanes>> = vec![None; plans.len()];
     if let Some(batch) = batch {
+        let _s = sink.span("lane-pivot");
         std::thread::scope(|scope| {
             for ((slot, plan), _) in lanes
                 .iter_mut()
@@ -414,6 +469,7 @@ pub fn run_sweep_with_options(
                 .filter(|(_, &needed)| needed)
             {
                 scope.spawn(move || {
+                    let _p = sink.span("pivot-plan");
                     *slot = Some(PlanLanes::from_batch(batch, stream, plan));
                 });
             }
@@ -422,88 +478,143 @@ pub fn run_sweep_with_options(
     let lanes = &lanes[..];
 
     let mut captures: Vec<Option<DirectCapture>> = vec![None; slots];
-    std::thread::scope(|scope| {
-        let mut free = captures.iter_mut();
-        for (k, &(pi, kind)) in capture_keys.iter().enumerate() {
-            if capture_slot[k] == usize::MAX {
-                continue;
+    if slots > 0 {
+        let _s = sink.span("capture");
+        std::thread::scope(|scope| {
+            let mut free = captures.iter_mut();
+            for (k, &(pi, kind)) in capture_keys.iter().enumerate() {
+                if capture_slot[k] == usize::MAX {
+                    continue;
+                }
+                let slot = free.next().expect("one slot was reserved per used key");
+                let batch = batch.expect("captures only exist on batched sweeps");
+                let plan = &plans[pi];
+                scope.spawn(move || {
+                    let _c = sink.span("capture-model");
+                    *slot = Some(capture_direct(kind, batch, stream, plan));
+                });
             }
-            let slot = free.next().expect("one slot was reserved per used key");
-            let batch = batch.expect("captures only exist on batched sweeps");
-            let plan = &plans[pi];
-            scope.spawn(move || {
-                *slot = Some(capture_direct(kind, batch, stream, plan));
-            });
-        }
-    });
+        });
+    }
     let captures = &captures[..];
 
     // Evaluate each plan's geometry grid from one captured trace, plans in
     // parallel (each evaluation is independent).
     let mut evals: Vec<Option<TraceEvaluation>> = vec![None; plans.len()];
-    std::thread::scope(|scope| {
-        for (slot, ((plan, reqs), lane)) in evals
-            .iter_mut()
-            .zip(plans.iter().zip(&requests).zip(lanes))
-        {
-            if !reqs.is_empty() {
-                scope.spawn(move || {
-                    let trace = match lane {
-                        Some(l) => l.to_trace(),
-                        None => capture_line_trace(stream, plan),
-                    };
-                    *slot = Some(evaluate_trace_auto(&trace, reqs));
-                });
+    if requests.iter().any(|r| !r.is_empty()) {
+        let _s = sink.span("trace-eval");
+        std::thread::scope(|scope| {
+            for (slot, ((plan, reqs), lane)) in evals
+                .iter_mut()
+                .zip(plans.iter().zip(&requests).zip(lanes))
+            {
+                if !reqs.is_empty() {
+                    scope.spawn(move || {
+                        let _e = sink.span("eval-plan");
+                        let trace = {
+                            let _t = sink.span("trace-capture");
+                            match lane {
+                                Some(l) => l.to_trace(),
+                                None => capture_line_trace(stream, plan),
+                            }
+                        };
+                        *slot = Some(evaluate_trace_auto_profiled(&trace, reqs, sink));
+                    });
+                }
             }
-        }
-    });
+        });
+    }
     let evals = &evals[..];
 
-    let run_one = |config: &MachineConfig, pi: usize, path: ConfigPath| match path {
-        ConfigPath::Direct => match &lanes[pi] {
-            Some(l) => Machine::new(config.clone()).run_planned_with_lanes(stream, &plans[pi], l),
-            None => Machine::new(config.clone()).run_planned_scalar(stream, &plans[pi]),
-        },
-        ConfigPath::Captured { slot } => {
-            let capture = captures[slot].as_ref().expect("captured path has a capture");
-            run_direct_captured(config, stream, &plans[pi], capture)
+    // Timing synthesis / direct simulation, one report per config. The
+    // profiled run times each config into a per-path histogram — the
+    // replay-speedup evidence in METRICS_sweep.json.
+    let run_one = |config: &MachineConfig, pi: usize, path: ConfigPath| {
+        let t0 = S::ENABLED.then(Instant::now);
+        let report = match path {
+            ConfigPath::Direct => match &lanes[pi] {
+                Some(l) => {
+                    Machine::new(config.clone()).run_planned_with_lanes(stream, &plans[pi], l)
+                }
+                None => Machine::new(config.clone()).run_planned_scalar(stream, &plans[pi]),
+            },
+            ConfigPath::Captured { slot } => {
+                let capture = captures[slot].as_ref().expect("captured path has a capture");
+                run_direct_captured(config, stream, &plans[pi], capture)
+            }
+            ConfigPath::Replay { geom, classify } => {
+                let eval = evals[pi].as_ref().expect("replay path has an evaluation");
+                run_replayed(config, stream, &plans[pi], eval, geom, classify)
+            }
+        };
+        if let Some(t0) = t0 {
+            let metric = match path {
+                ConfigPath::Direct => "host.run_ns.direct",
+                ConfigPath::Captured { .. } => "host.run_ns.captured",
+                ConfigPath::Replay { .. } => "host.run_ns.replay",
+            };
+            sink.observe(metric, t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         }
-        ConfigPath::Replay { geom, classify } => {
-            let eval = evals[pi].as_ref().expect("replay path has an evaluation");
-            run_replayed(config, stream, &plans[pi], eval, geom, classify)
-        }
+        report
     };
 
     let threads = options.threads.min(configs.len());
     if threads <= 1 || configs.len() <= 1 {
-        return configs
-            .iter()
-            .enumerate()
-            .map(|(ci, c)| run_one(c, plan_of[ci], path_of[ci]))
-            .collect();
+        // Sequential: the calling thread is worker 0 of the run-configs
+        // stage, so the utilization identity is reported the same way.
+        let _rc = sink.span("run-configs");
+        let _w = sink.span("worker-run");
+        let t_start = S::ENABLED.then(Instant::now);
+        let mut busy = 0u64;
+        let mut out = Vec::with_capacity(configs.len());
+        for (ci, c) in configs.iter().enumerate() {
+            let t0 = S::ENABLED.then(Instant::now);
+            out.push(run_one(c, plan_of[ci], path_of[ci]));
+            if let Some(t0) = t0 {
+                busy += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            }
+        }
+        if let Some(t_start) = t_start {
+            let wall = t_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            sink.worker("run-configs", 0, wall, busy, configs.len() as u64);
+        }
+        return out;
     }
 
     // Static chunked schedule: each thread owns a disjoint slice of the
     // output, so the writes need no locks — the borrow checker can see
     // they never alias.
+    let _rc = sink.span("run-configs");
     let mut out: Vec<Option<RunReport>> = vec![None; configs.len()];
     let chunk = configs.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        for (((out_chunk, cfg_chunk), idx_chunk), path_chunk) in out
+        for (widx, (((out_chunk, cfg_chunk), idx_chunk), path_chunk)) in out
             .chunks_mut(chunk)
             .zip(configs.chunks(chunk))
             .zip(plan_of.chunks(chunk))
             .zip(path_of.chunks(chunk))
+            .enumerate()
         {
             let run_one = &run_one;
             scope.spawn(move || {
+                let _w = sink.span("worker-run");
+                let t_start = S::ENABLED.then(Instant::now);
+                let mut busy = 0u64;
                 for (((slot, config), &pi), &path) in out_chunk
                     .iter_mut()
                     .zip(cfg_chunk)
                     .zip(idx_chunk)
                     .zip(path_chunk)
                 {
+                    let t0 = S::ENABLED.then(Instant::now);
                     *slot = Some(run_one(config, pi, path));
+                    if let Some(t0) = t0 {
+                        busy += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    }
+                }
+                if let Some(t_start) = t_start {
+                    let wall = t_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    sink.worker("run-configs", widx as u32, wall, busy, cfg_chunk.len() as u64);
                 }
             });
         }

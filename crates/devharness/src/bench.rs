@@ -1,8 +1,8 @@
 //! Criterion-style bench runner with machine-readable output.
 //!
 //! A [`Suite`] groups named benchmarks; each benchmark runs a warmup, then N
-//! timed iterations, and reports median/p10/p90 wall time plus optional
-//! throughput. [`Suite::finish`] writes everything to `BENCH_<name>.json`
+//! timed iterations, and reports median/min/MAD plus the p10/p50/p90/p99
+//! percentile ladder of wall time, with optional throughput. [`Suite::finish`] writes everything to `BENCH_<name>.json`
 //! (in `SORTMID_BENCH_DIR`, default the current directory) so the perf
 //! trajectory can be compared across PRs, and prints a human-readable table.
 //!
@@ -54,8 +54,14 @@ pub struct BenchResult {
     pub median_ns: u64,
     /// 10th percentile (nearest-rank).
     pub p10_ns: u64,
+    /// 50th percentile (nearest-rank) — equals `median_ns`, kept as an
+    /// explicit field so tooling can read the p50/p90/p99 triple uniformly.
+    pub p50_ns: u64,
     /// 90th percentile (nearest-rank).
     pub p90_ns: u64,
+    /// 99th percentile (nearest-rank) — the tail-latency figure; with
+    /// fewer than 100 samples this is the slowest sample.
+    pub p99_ns: u64,
     /// Fastest sample — the least-perturbed iteration on a noisy host.
     pub min_ns: u64,
     /// Median absolute deviation from the median: a robust spread measure
@@ -84,7 +90,9 @@ impl BenchResult {
             ("id".to_string(), Json::str(self.id.clone())),
             ("median_ns".to_string(), Json::U64(self.median_ns)),
             ("p10_ns".to_string(), Json::U64(self.p10_ns)),
+            ("p50_ns".to_string(), Json::U64(self.p50_ns)),
             ("p90_ns".to_string(), Json::U64(self.p90_ns)),
+            ("p99_ns".to_string(), Json::U64(self.p99_ns)),
             ("min_ns".to_string(), Json::U64(self.min_ns)),
             ("mad_ns".to_string(), Json::U64(self.mad_ns)),
             (
@@ -187,20 +195,23 @@ impl Suite {
             id: id.to_string(),
             median_ns,
             p10_ns: percentile(&sorted, 10.0),
+            p50_ns: median_ns,
             p90_ns: percentile(&sorted, 90.0),
+            p99_ns: percentile(&sorted, 99.0),
             min_ns: sorted[0],
             mad_ns: percentile(&deviations, 50.0),
             samples_ns,
             elements,
         };
         eprintln!(
-            "bench {}/{id}: median {} (min {}, mad {}, p10 {}, p90 {}){}",
+            "bench {}/{id}: median {} (min {}, mad {}, p10 {}, p90 {}, p99 {}){}",
             self.name,
             fmt_ns(result.median_ns),
             fmt_ns(result.min_ns),
             fmt_ns(result.mad_ns),
             fmt_ns(result.p10_ns),
             fmt_ns(result.p90_ns),
+            fmt_ns(result.p99_ns),
             result
                 .throughput_per_sec()
                 .map(|t| format!(", {:.3e} elem/s", t))
@@ -308,7 +319,10 @@ mod tests {
         assert_eq!(r.samples_ns.len(), 5);
         assert!(r.min_ns <= r.p10_ns);
         assert!(r.p10_ns <= r.median_ns);
+        assert_eq!(r.p50_ns, r.median_ns);
         assert!(r.median_ns <= r.p90_ns);
+        assert!(r.p90_ns <= r.p99_ns);
+        assert_eq!(r.p99_ns, *r.samples_ns.iter().max().unwrap(), "p99 of 5 samples is the max");
         assert!(r.mad_ns <= r.p90_ns.saturating_sub(r.p10_ns).max(r.median_ns));
     }
 
@@ -332,7 +346,9 @@ mod tests {
             samples_ns: vec![2_000_000; 3],
             median_ns: 2_000_000,
             p10_ns: 2_000_000,
+            p50_ns: 2_000_000,
             p90_ns: 2_000_000,
+            p99_ns: 2_000_000,
             min_ns: 2_000_000,
             mad_ns: 0,
             elements: Some(1_000),
@@ -347,6 +363,7 @@ mod tests {
         assert_eq!(percentile(&s, 10.0), 10);
         assert_eq!(percentile(&s, 50.0), 30);
         assert_eq!(percentile(&s, 90.0), 50);
+        assert_eq!(percentile(&s, 99.0), 50);
         assert_eq!(percentile(&[7], 50.0), 7);
     }
 
@@ -361,7 +378,9 @@ mod tests {
             "\"benchmarks\":[",
             "\"median_ns\":",
             "\"p10_ns\":",
+            "\"p50_ns\":",
             "\"p90_ns\":",
+            "\"p99_ns\":",
             "\"min_ns\":",
             "\"mad_ns\":",
             "\"elements\":100",

@@ -1,0 +1,763 @@
+//! Host-side profiling: hierarchical phase spans, per-worker utilization
+//! and a merged [`HostProfile`] artefact.
+//!
+//! PRs 3–4 made the *simulated* machine observable; this module does the
+//! same for the *host* pipeline that runs the sweeps (plan build, batch
+//! pivot, lane construction, trace capture, stack-distance evaluation,
+//! per-config timing synthesis). It mirrors the established patterns:
+//!
+//! * the **NullSink pattern** — instrumented code is generic over
+//!   [`HostSink`]; [`NullHostSink`] has `ENABLED == false`, every call
+//!   site guards on the constant, and the unprofiled pipeline
+//!   monomorphizes to exactly the pre-instrumentation code (the sweep
+//!   bench's regression gate keeps this honest);
+//! * the **accounting identity** — each worker thread reports
+//!   `busy + idle == wall` *exactly* (idle is derived, the invariant is
+//!   enforced by construction and re-checked by `bench_check`), mirroring
+//!   PR 3's five-way cycle identity;
+//! * the **artefact contract** — [`HostProfile::to_json`] is the schema
+//!   behind `METRICS_sweep.json`, and
+//!   [`chrome_trace_with_host`](crate::perfetto::chrome_trace_with_host)
+//!   renders the same spans as wall-time tracks next to the simulated
+//!   cycle tracks in one Perfetto document.
+//!
+//! Spans are coarse (pipeline phases, not per-fragment events): a profiled
+//! sweep records tens of spans, so the mutex-guarded span table is nowhere
+//! near any hot path.
+//!
+//! # Examples
+//!
+//! ```
+//! use sortmid_observe::{HostProfiler, HostSink};
+//!
+//! let prof = HostProfiler::new();
+//! {
+//!     let _outer = prof.span("plan-build");
+//!     let _inner = prof.span("owner-lut");
+//! } // guards close in reverse order
+//! prof.worker("run-configs", 0, 1_000, 600, 4);
+//! let profile = prof.finish();
+//! profile.verify().unwrap();
+//! assert_eq!(profile.spans.len(), 2);
+//! assert_eq!(profile.workers[0].idle_ns(), 400);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+use sortmid_devharness::json::Json;
+
+/// A consumer of host-profiling events. Instrumented pipelines are generic
+/// over this; [`NullHostSink`] folds every call away.
+pub trait HostSink: Sync {
+    /// Whether this sink observes anything. Call sites guard timing and
+    /// event construction on this constant, so it folds at
+    /// monomorphization time.
+    const ENABLED: bool = true;
+
+    /// Opens a span named `name` on the calling thread; returns a token
+    /// for [`span_end`](Self::span_end).
+    fn span_begin(&self, name: &'static str) -> usize;
+
+    /// Closes the span `token` (must be the innermost open span of the
+    /// calling thread).
+    fn span_end(&self, token: usize);
+
+    /// Adds `delta` to the counter metric `name`.
+    fn count(&self, name: &'static str, delta: u64);
+
+    /// Records `value` into the histogram metric `name`.
+    fn observe(&self, name: &'static str, value: u64);
+
+    /// Reports one worker thread's utilization for pipeline stage `lane`:
+    /// `busy_ns` of item work inside a `wall_ns` window over `items`
+    /// items. Implementations must preserve `busy <= wall` so the
+    /// `busy + idle == wall` identity holds exactly.
+    fn worker(&self, lane: &'static str, worker: u32, wall_ns: u64, busy_ns: u64, items: u64);
+
+    /// RAII span guard: opens now, closes on drop. With a disabled sink
+    /// this constructs nothing and compiles to nothing.
+    fn span(&self, name: &'static str) -> HostSpan<'_, Self>
+    where
+        Self: Sized,
+    {
+        HostSpan::enter(self, name)
+    }
+}
+
+/// The no-op host sink: unprofiled pipelines monomorphize through this.
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::{HostSink, NullHostSink};
+///
+/// assert!(!NullHostSink::ENABLED);
+/// let _span = NullHostSink.span("anything"); // compiles to nothing
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHostSink;
+
+impl HostSink for NullHostSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn span_begin(&self, _name: &'static str) -> usize {
+        0
+    }
+
+    #[inline(always)]
+    fn span_end(&self, _token: usize) {}
+
+    #[inline(always)]
+    fn count(&self, _name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    fn observe(&self, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn worker(&self, _lane: &'static str, _worker: u32, _wall_ns: u64, _busy_ns: u64, _items: u64) {
+    }
+}
+
+/// RAII guard of one open phase span (see [`HostSink::span`]).
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct HostSpan<'a, S: HostSink> {
+    sink: &'a S,
+    token: usize,
+}
+
+impl<'a, S: HostSink> HostSpan<'a, S> {
+    /// Opens a span on `sink` (no-op when `S::ENABLED` is false).
+    pub fn enter(sink: &'a S, name: &'static str) -> Self {
+        let token = if S::ENABLED { sink.span_begin(name) } else { 0 };
+        HostSpan { sink, token }
+    }
+}
+
+impl<S: HostSink> Drop for HostSpan<'_, S> {
+    fn drop(&mut self) {
+        if S::ENABLED {
+            self.sink.span_end(self.token);
+        }
+    }
+}
+
+/// One closed phase span: where, when, and how deep in its thread's stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (static: spans name pipeline stages, not data).
+    pub name: &'static str,
+    /// Dense host-thread lane (0 = first thread the profiler saw).
+    pub thread: u32,
+    /// Nesting depth on that thread (0 = thread root).
+    pub depth: u32,
+    /// Index of the enclosing span in the profile, when nested.
+    pub parent: Option<u32>,
+    /// Start, nanoseconds since the profiler was created.
+    pub start_ns: u64,
+    /// End, nanoseconds since the profiler was created.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// One worker thread's utilization in a parallel pipeline stage, with the
+/// exact identity `busy + idle == wall` (idle is derived, never measured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The pipeline stage the worker served (e.g. `"run-configs"`).
+    pub lane: &'static str,
+    /// Worker index within the stage.
+    pub worker: u32,
+    /// Wall time of the worker's whole window, nanoseconds.
+    pub wall_ns: u64,
+    /// Time inside item work, nanoseconds (`<= wall_ns`).
+    pub busy_ns: u64,
+    /// Items the worker processed.
+    pub items: u64,
+}
+
+impl WorkerStats {
+    /// Wall time outside item work: `wall - busy`, so
+    /// `busy + idle == wall` holds exactly by construction.
+    pub fn idle_ns(&self) -> u64 {
+        self.wall_ns - self.busy_ns
+    }
+
+    /// Busy fraction of the wall window (1.0 for an empty window).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            1.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Per-thread open-span bookkeeping.
+#[derive(Debug, Default)]
+struct ProfState {
+    spans: Vec<SpanRecord>,
+    threads: Vec<ThreadId>,
+    stacks: Vec<Vec<usize>>,
+    workers: Vec<WorkerStats>,
+}
+
+impl ProfState {
+    fn lane(&mut self, id: ThreadId) -> usize {
+        match self.threads.iter().position(|&t| t == id) {
+            Some(lane) => lane,
+            None => {
+                self.threads.push(id);
+                self.stacks.push(Vec::new());
+                self.threads.len() - 1
+            }
+        }
+    }
+}
+
+/// The recording [`HostSink`]: hierarchical spans with per-thread stacks,
+/// worker utilization, and a [`MetricsRegistry`] for counters/histograms.
+///
+/// Threads need no registration — the first span or metric from a thread
+/// assigns it a dense lane id. [`finish`](Self::finish) seals the profile.
+#[derive(Debug)]
+pub struct HostProfiler {
+    origin: Instant,
+    state: Mutex<ProfState>,
+    metrics: MetricsRegistry,
+}
+
+impl Default for HostProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostProfiler {
+    /// An empty profiler; the clock starts now.
+    pub fn new() -> Self {
+        HostProfiler {
+            origin: Instant::now(),
+            state: Mutex::new(ProfState::default()),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The profiler's metrics registry (counters, gauges, histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Seals the profile: snapshots metrics, captures the peak resident
+    /// set, and returns the merged [`HostProfile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any span is still open — a leaked guard is an
+    /// instrumentation bug, and an open span would break the nesting
+    /// invariants `bench_check` enforces.
+    pub fn finish(self) -> HostProfile {
+        let state = self.state.into_inner().expect("host profiler poisoned");
+        for (lane, stack) in state.stacks.iter().enumerate() {
+            assert!(
+                stack.is_empty(),
+                "host profiler finished with {} open span(s) on thread lane {lane} \
+                 (innermost: '{}')",
+                stack.len(),
+                state.spans[*stack.last().unwrap()].name,
+            );
+        }
+        HostProfile {
+            spans: state.spans,
+            workers: state.workers,
+            metrics: self.metrics.to_json(),
+            peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+        }
+    }
+}
+
+impl HostSink for HostProfiler {
+    fn span_begin(&self, name: &'static str) -> usize {
+        let mut state = self.state.lock().expect("host profiler poisoned");
+        // Timestamp under the lock so a sibling can never observe this
+        // span starting before the previous one ended.
+        let now = self.now_ns();
+        let lane = state.lane(std::thread::current().id());
+        let parent = state.stacks[lane].last().map(|&i| i as u32);
+        let depth = state.stacks[lane].len() as u32;
+        let token = state.spans.len();
+        state.spans.push(SpanRecord {
+            name,
+            thread: lane as u32,
+            depth,
+            parent,
+            start_ns: now,
+            end_ns: u64::MAX,
+        });
+        state.stacks[lane].push(token);
+        token
+    }
+
+    fn span_end(&self, token: usize) {
+        let mut state = self.state.lock().expect("host profiler poisoned");
+        let now = self.now_ns();
+        let lane = state.spans[token].thread as usize;
+        let top = state.stacks[lane].pop();
+        assert_eq!(
+            top,
+            Some(token),
+            "span '{}' closed out of nesting order",
+            state.spans[token].name,
+        );
+        state.spans[token].end_ns = now.max(state.spans[token].start_ns);
+    }
+
+    fn count(&self, name: &'static str, delta: u64) {
+        self.metrics.add(name, delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.metrics.observe(name, value);
+    }
+
+    fn worker(&self, lane: &'static str, worker: u32, wall_ns: u64, busy_ns: u64, items: u64) {
+        let mut state = self.state.lock().expect("host profiler poisoned");
+        state.workers.push(WorkerStats {
+            lane,
+            worker,
+            // Clamp so the derived idle can never underflow: busy is a sum
+            // of disjoint sub-intervals of the wall window, but we defend
+            // against caller timing mistakes rather than corrupt the
+            // identity.
+            wall_ns: wall_ns.max(busy_ns),
+            busy_ns,
+            items,
+        });
+    }
+}
+
+/// Aggregate of one phase name across a profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Spans carrying the name.
+    pub count: u64,
+    /// Total inclusive duration.
+    pub total_ns: u64,
+    /// Total duration minus direct children (self time).
+    pub self_ns: u64,
+}
+
+/// A sealed host profile: spans, worker utilization, metrics snapshot and
+/// peak resident memory — what `METRICS_sweep.json` serializes.
+#[derive(Debug, Clone)]
+pub struct HostProfile {
+    /// Every closed span, in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Worker utilization records, in report order.
+    pub workers: Vec<WorkerStats>,
+    /// Metrics snapshot ([`MetricsRegistry::to_json`] shape).
+    pub metrics: Json,
+    /// Peak resident set size in bytes (0 when the platform offers none).
+    pub peak_rss_bytes: u64,
+}
+
+impl HostProfile {
+    /// Inclusive/self durations aggregated by phase name, name-sorted.
+    pub fn phase_totals(&self) -> BTreeMap<&'static str, PhaseTotal> {
+        let mut totals: BTreeMap<&'static str, PhaseTotal> = BTreeMap::new();
+        let mut child_ns: Vec<u64> = vec![0; self.spans.len()];
+        for span in &self.spans {
+            if let Some(parent) = span.parent {
+                child_ns[parent as usize] += span.dur_ns();
+            }
+        }
+        for (i, span) in self.spans.iter().enumerate() {
+            let t = totals.entry(span.name).or_default();
+            t.count += 1;
+            t.total_ns += span.dur_ns();
+            t.self_ns += span.dur_ns().saturating_sub(child_ns[i]);
+        }
+        totals
+    }
+
+    /// The distinct phase names, name-sorted.
+    pub fn phase_names(&self) -> Vec<&'static str> {
+        self.phase_totals().into_keys().collect()
+    }
+
+    /// Checks every structural invariant the artefact schema promises:
+    ///
+    /// * every span closed, with `end >= start`;
+    /// * children open and close inside their parent, on its thread;
+    /// * siblings (same thread, same parent) never overlap;
+    /// * every worker satisfies `busy <= wall` (so `busy + idle == wall`).
+    pub fn verify(&self) -> Result<(), String> {
+        for (i, span) in self.spans.iter().enumerate() {
+            if span.end_ns == u64::MAX {
+                return Err(format!("span #{i} '{}' was never closed", span.name));
+            }
+            if span.end_ns < span.start_ns {
+                return Err(format!("span #{i} '{}' ends before it starts", span.name));
+            }
+            if let Some(p) = span.parent {
+                let Some(parent) = self.spans.get(p as usize) else {
+                    return Err(format!("span #{i} '{}' has a dangling parent", span.name));
+                };
+                if parent.thread != span.thread {
+                    return Err(format!(
+                        "span #{i} '{}' crosses threads (parent '{}')",
+                        span.name, parent.name
+                    ));
+                }
+                if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
+                    return Err(format!(
+                        "span #{i} '{}' [{}, {}] escapes parent '{}' [{}, {}]",
+                        span.name,
+                        span.start_ns,
+                        span.end_ns,
+                        parent.name,
+                        parent.start_ns,
+                        parent.end_ns
+                    ));
+                }
+            }
+        }
+        // Sibling overlap: group by (thread, parent), check sorted spans.
+        type Siblings = Vec<(u64, u64, &'static str)>;
+        let mut groups: BTreeMap<(u32, Option<u32>), Siblings> = BTreeMap::new();
+        for span in &self.spans {
+            groups
+                .entry((span.thread, span.parent))
+                .or_default()
+                .push((span.start_ns, span.end_ns, span.name));
+        }
+        for ((thread, _), mut siblings) in groups {
+            siblings.sort_unstable();
+            for pair in siblings.windows(2) {
+                if pair[1].0 < pair[0].1 {
+                    return Err(format!(
+                        "spans '{}' and '{}' overlap on thread {thread}",
+                        pair[0].2, pair[1].2
+                    ));
+                }
+            }
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.busy_ns > w.wall_ns {
+                return Err(format!(
+                    "worker record #{i} ({}/{}) busy {} exceeds wall {}",
+                    w.lane, w.worker, w.busy_ns, w.wall_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the profile under a document `name` (the schema behind
+    /// `METRICS_<name>.json`):
+    ///
+    /// ```json
+    /// { "profile": "sweep", "peak_rss_bytes": N,
+    ///   "spans": [{"name", "thread", "depth", "parent", "start_ns", "dur_ns"}],
+    ///   "workers": [{"lane", "worker", "wall_ns", "busy_ns", "idle_ns", "items"}],
+    ///   "phases": [{"name", "count", "total_ns", "self_ns"}],
+    ///   "metrics": {"counters": {}, "gauges": {}, "histograms": {}} }
+    /// ```
+    pub fn to_json(&self, name: &str) -> Json {
+        Json::obj([
+            ("profile", Json::str(name)),
+            ("peak_rss_bytes", Json::U64(self.peak_rss_bytes)),
+            (
+                "spans",
+                Json::arr(self.spans.iter().map(|s| {
+                    Json::obj([
+                        ("name", Json::str(s.name)),
+                        ("thread", Json::U64(s.thread as u64)),
+                        ("depth", Json::U64(s.depth as u64)),
+                        (
+                            "parent",
+                            s.parent.map_or(Json::Null, |p| Json::U64(p as u64)),
+                        ),
+                        ("start_ns", Json::U64(s.start_ns)),
+                        ("dur_ns", Json::U64(s.dur_ns())),
+                    ])
+                })),
+            ),
+            (
+                "workers",
+                Json::arr(self.workers.iter().map(|w| {
+                    Json::obj([
+                        ("lane", Json::str(w.lane)),
+                        ("worker", Json::U64(w.worker as u64)),
+                        ("wall_ns", Json::U64(w.wall_ns)),
+                        ("busy_ns", Json::U64(w.busy_ns)),
+                        ("idle_ns", Json::U64(w.idle_ns())),
+                        ("items", Json::U64(w.items)),
+                    ])
+                })),
+            ),
+            (
+                "phases",
+                Json::arr(self.phase_totals().into_iter().map(|(name, t)| {
+                    Json::obj([
+                        ("name", Json::str(name)),
+                        ("count", Json::U64(t.count)),
+                        ("total_ns", Json::U64(t.total_ns)),
+                        ("self_ns", Json::U64(t.self_ns)),
+                    ])
+                })),
+            ),
+            ("metrics", self.metrics.clone()),
+        ])
+    }
+
+    /// A compact terminal summary: top phases by self time, worker
+    /// utilization, peak RSS.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let mut phases: Vec<_> = self.phase_totals().into_iter().collect();
+        phases.sort_by_key(|(_, t)| std::cmp::Reverse(t.self_ns));
+        out.push_str("host phases (by self time):\n");
+        for (name, t) in phases.iter().take(12) {
+            out.push_str(&format!(
+                "  {name:16} x{:<4} total {:>10.3} ms, self {:>10.3} ms\n",
+                t.count,
+                t.total_ns as f64 / 1e6,
+                t.self_ns as f64 / 1e6,
+            ));
+        }
+        if !self.workers.is_empty() {
+            let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+            let wall: u64 = self.workers.iter().map(|w| w.wall_ns).sum();
+            out.push_str(&format!(
+                "workers: {} records, {:.0}% mean utilization ({:.3} ms busy / {:.3} ms wall)\n",
+                self.workers.len(),
+                if wall == 0 { 100.0 } else { busy as f64 * 100.0 / wall as f64 },
+                busy as f64 / 1e6,
+                wall as f64 / 1e6,
+            ));
+        }
+        if self.peak_rss_bytes > 0 {
+            out.push_str(&format!(
+                "peak rss: {:.1} MiB\n",
+                self.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+            ));
+        }
+        out
+    }
+}
+
+/// The process's peak resident set size in bytes, from Linux's
+/// `/proc/self/status` `VmHWM` line; `None` where that interface does not
+/// exist (non-Linux hosts) — zero-dependency by design, mirroring the
+/// offline constraint everywhere else in the workspace.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullHostSink::ENABLED) };
+        const { assert!(HostProfiler::ENABLED) };
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let prof = HostProfiler::new();
+        {
+            let _a = prof.span("outer");
+            {
+                let _b = prof.span("inner");
+            }
+            let _c = prof.span("inner");
+        }
+        let profile = prof.finish();
+        profile.verify().unwrap();
+        assert_eq!(profile.spans.len(), 3);
+        let outer = &profile.spans[0];
+        assert_eq!((outer.name, outer.depth, outer.parent), ("outer", 0, None));
+        for inner in &profile.spans[1..] {
+            assert_eq!((inner.name, inner.depth, inner.parent), ("inner", 1, Some(0)));
+            assert!(inner.start_ns >= outer.start_ns);
+            assert!(inner.end_ns <= outer.end_ns);
+        }
+        // The two "inner" siblings must not overlap.
+        assert!(profile.spans[2].start_ns >= profile.spans[1].end_ns);
+        let totals = profile.phase_totals();
+        assert_eq!(totals["inner"].count, 2);
+        assert_eq!(totals["outer"].count, 1);
+        assert!(totals["outer"].self_ns <= totals["outer"].total_ns);
+    }
+
+    #[test]
+    fn spans_on_spawned_threads_get_their_own_lanes() {
+        let prof = HostProfiler::new();
+        {
+            let _root = prof.span("main");
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let _w = prof.span("worker");
+                    });
+                }
+            });
+        }
+        let profile = prof.finish();
+        profile.verify().unwrap();
+        let workers: Vec<_> = profile.spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 2);
+        for w in &workers {
+            assert_eq!(w.depth, 0, "spawned threads root their own stacks");
+            assert_eq!(w.parent, None);
+            assert_ne!(w.thread, 0, "main thread owns lane 0");
+        }
+        assert_ne!(workers[0].thread, workers[1].thread);
+    }
+
+    #[test]
+    fn worker_identity_holds_by_construction() {
+        let prof = HostProfiler::new();
+        prof.worker("run-configs", 0, 100, 60, 3);
+        prof.worker("run-configs", 1, 50, 70, 2); // busy > wall: clamped
+        let profile = prof.finish();
+        profile.verify().unwrap();
+        let w0 = &profile.workers[0];
+        assert_eq!(w0.busy_ns + w0.idle_ns(), w0.wall_ns);
+        assert_eq!(w0.idle_ns(), 40);
+        let w1 = &profile.workers[1];
+        assert_eq!(w1.wall_ns, 70, "wall clamped up to busy");
+        assert_eq!(w1.idle_ns(), 0);
+        assert!((w0.utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "open span")]
+    fn finishing_with_an_open_span_panics() {
+        let prof = HostProfiler::new();
+        let guard = prof.span("leaked");
+        std::mem::forget(guard);
+        let _ = prof.finish();
+    }
+
+    #[test]
+    fn profile_json_round_trips_and_carries_the_schema() {
+        let prof = HostProfiler::new();
+        {
+            let _a = prof.span("plan-build");
+        }
+        prof.count("sweep.configs", 60);
+        prof.observe("host.run_ns.direct", 1234);
+        prof.worker("run-configs", 0, 10, 5, 1);
+        let profile = prof.finish();
+        let doc = profile.to_json("unit");
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.render(), text);
+        assert_eq!(back.get("profile").and_then(Json::as_str), Some("unit"));
+        assert!(back.get("peak_rss_bytes").and_then(Json::as_u64).is_some());
+        let spans = back.get("spans").and_then(Json::as_arr).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("parent"), Some(&Json::Null));
+        let workers = back.get("workers").and_then(Json::as_arr).unwrap();
+        let w = &workers[0];
+        let (wall, busy, idle) = (
+            w.get("wall_ns").and_then(Json::as_u64).unwrap(),
+            w.get("busy_ns").and_then(Json::as_u64).unwrap(),
+            w.get("idle_ns").and_then(Json::as_u64).unwrap(),
+        );
+        assert_eq!(busy + idle, wall);
+        assert!(back.get("phases").and_then(Json::as_arr).is_some());
+        assert!(back.get("metrics").and_then(|m| m.get("counters")).is_some());
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("/proc/self/status has VmHWM on Linux");
+            assert!(rss > 0);
+        }
+    }
+
+    #[test]
+    fn verify_rejects_overlapping_siblings() {
+        let profile = HostProfile {
+            spans: vec![
+                SpanRecord {
+                    name: "a",
+                    thread: 0,
+                    depth: 0,
+                    parent: None,
+                    start_ns: 0,
+                    end_ns: 100,
+                },
+                SpanRecord {
+                    name: "b",
+                    thread: 0,
+                    depth: 0,
+                    parent: None,
+                    start_ns: 50,
+                    end_ns: 150,
+                },
+            ],
+            workers: Vec::new(),
+            metrics: Json::obj::<&str>([]),
+            peak_rss_bytes: 0,
+        };
+        let err = profile.verify().unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_a_child_escaping_its_parent() {
+        let profile = HostProfile {
+            spans: vec![
+                SpanRecord {
+                    name: "parent",
+                    thread: 0,
+                    depth: 0,
+                    parent: None,
+                    start_ns: 10,
+                    end_ns: 20,
+                },
+                SpanRecord {
+                    name: "child",
+                    thread: 0,
+                    depth: 1,
+                    parent: Some(0),
+                    start_ns: 15,
+                    end_ns: 25,
+                },
+            ],
+            workers: Vec::new(),
+            metrics: Json::obj::<&str>([]),
+            peak_rss_bytes: 0,
+        };
+        let err = profile.verify().unwrap_err();
+        assert!(err.contains("escapes parent"), "{err}");
+    }
+}

@@ -30,6 +30,16 @@
 //!   fragment load, setup cycles and three-C-classified cache misses,
 //!   exported as false-color PPM heatmaps, `HEATMAP_<preset>.json`
 //!   artefacts, and terminal summaries.
+//! * [`host::HostSink`] + [`metrics::MetricsRegistry`] — the *host*
+//!   profiling layer: hierarchical RAII phase spans over the sweep
+//!   pipeline (plan build, batch pivot, capture, stack-distance replay,
+//!   timing synthesis), atomic counters/gauges/log2 histograms, and
+//!   per-worker utilization with the exact identity
+//!   `busy + idle == wall`. [`host::NullHostSink`] monomorphizes it all
+//!   away, exactly like [`sink::NullSink`] does for cycle tracing; a
+//!   sealed [`host::HostProfile`] exports as `METRICS_<name>.json` and
+//!   as wall-time tracks in the Perfetto document
+//!   ([`perfetto::chrome_trace_with_host`]).
 //!
 //! # Examples
 //!
@@ -50,6 +60,8 @@ pub mod attribution;
 pub mod breakdown;
 pub mod event;
 pub mod heatmap;
+pub mod host;
+pub mod metrics;
 pub mod perfetto;
 pub mod series;
 pub mod sink;
@@ -58,7 +70,12 @@ pub use attribution::{MissClass, MissClassCounts, SpatialCollector, TileStats};
 pub use breakdown::{breakdown_table, CycleBreakdown, CycleIdentityError};
 pub use event::TraceEvent;
 pub use heatmap::{owner_color, GridSummary, ScreenGrid};
-pub use perfetto::chrome_trace;
+pub use host::{
+    peak_rss_bytes, HostProfile, HostProfiler, HostSink, HostSpan, NullHostSink, PhaseTotal,
+    SpanRecord, WorkerStats,
+};
+pub use metrics::{log2_bucket, Counter, Gauge, Log2Histogram, MetricsRegistry, LOG2_BUCKETS};
+pub use perfetto::{chrome_trace, chrome_trace_with_host, HOST_PID};
 pub use series::TimeSeries;
 pub use sink::{NullSink, TraceRecorder, TraceSink};
 

@@ -14,10 +14,23 @@
 //! * one simulated **cycle is rendered as one microsecond** (`ts`/`dur`
 //!   are µs in the trace format; cycle counts read directly off the
 //!   Perfetto timeline).
+//!
+//! [`chrome_trace_with_host`] additionally renders a [`HostProfile`]'s
+//! wall-time phase spans as one extra process ([`HOST_PID`], well above
+//! any node id) with one thread track per host-thread lane. Host spans
+//! keep their **nanosecond** integers verbatim in `ts`/`dur` (so 1 ns
+//! renders as 1 µs and wall nanoseconds read directly off the timeline);
+//! host and simulated tracks are different time domains that merely
+//! coexist in one document.
 
+use crate::host::HostProfile;
 use crate::sink::TraceRecorder;
 use crate::TraceEvent;
 use sortmid_devharness::json::Json;
+
+/// The `pid` of the synthetic "host" process in a combined trace — far
+/// above any simulated node id (the paper's grids top out at 64 nodes).
+pub const HOST_PID: u32 = 1000;
 
 fn meta_event(name: &str, pid: u32, tid: Option<u32>, value: &str) -> Json {
     let mut fields = vec![
@@ -161,6 +174,71 @@ pub fn chrome_trace(rec: &TraceRecorder, node_labels: &[String]) -> Json {
     ])
 }
 
+/// Exports a recorded run *plus* a sealed [`HostProfile`] as one
+/// Chrome-trace document: the simulated node tracks of [`chrome_trace`]
+/// and, under process [`HOST_PID`], one thread track per host-thread lane
+/// carrying the profile's phase spans (`ts`/`dur` are the span's wall
+/// nanoseconds, verbatim — see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::{chrome_trace_with_host, HostProfiler, HostSink,
+///                       TraceRecorder, HOST_PID};
+/// use sortmid_devharness::json::Json;
+///
+/// let prof = HostProfiler::new();
+/// { let _s = prof.span("plan-build"); }
+/// let doc = chrome_trace_with_host(&TraceRecorder::new(), &[], &prof.finish());
+/// let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+/// assert!(events.iter().any(|e| {
+///     e.get("pid").and_then(Json::as_u64) == Some(HOST_PID as u64)
+///         && e.get("cat").and_then(Json::as_str) == Some("host")
+/// }));
+/// ```
+pub fn chrome_trace_with_host(
+    rec: &TraceRecorder,
+    node_labels: &[String],
+    host: &HostProfile,
+) -> Json {
+    let mut doc = chrome_trace(rec, node_labels);
+    let Json::Obj(fields) = &mut doc else {
+        unreachable!("chrome_trace always emits an object");
+    };
+    let Some((_, Json::Arr(events))) = fields.iter_mut().find(|(k, _)| k == "traceEvents") else {
+        unreachable!("chrome_trace always emits a traceEvents array");
+    };
+
+    events.push(meta_event("process_name", HOST_PID, None, "host"));
+    let lanes = host
+        .spans
+        .iter()
+        .map(|s| s.thread)
+        .max()
+        .map_or(0, |max| max + 1);
+    for lane in 0..lanes {
+        let label = if lane == 0 {
+            "host-main".to_string()
+        } else {
+            format!("host-worker {lane}")
+        };
+        events.push(meta_event("thread_name", HOST_PID, Some(lane), &label));
+    }
+
+    for span in &host.spans {
+        events.push(complete_event(
+            span.name.to_string(),
+            "host",
+            HOST_PID,
+            span.thread,
+            span.start_ns,
+            span.dur_ns(),
+            vec![("depth".to_string(), Json::U64(span.depth as u64))],
+        ));
+    }
+    doc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +277,50 @@ mod tests {
         assert_eq!(phase("X"), 2, "one triangle span + one bus fill");
         assert_eq!(phase("C"), 2, "fifo push + pop samples");
         assert_eq!(phase("i"), 1, "one discard instant");
+    }
+
+    #[test]
+    fn host_tracks_coexist_with_simulated_tracks() {
+        use crate::host::{HostProfiler, HostSink};
+
+        let prof = HostProfiler::new();
+        {
+            let _outer = prof.span("run-sweep");
+            let _inner = prof.span("plan-build");
+        }
+        let profile = prof.finish();
+        let doc = chrome_trace_with_host(&sample_recorder(), &[], &profile);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.render(), text);
+
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let host_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("host"))
+            .collect();
+        assert_eq!(host_spans.len(), 2);
+        for e in &host_spans {
+            assert_eq!(e.get("pid").and_then(Json::as_u64), Some(HOST_PID as u64));
+        }
+        // Simulated tracks are untouched: same events as plain chrome_trace.
+        let plain = chrome_trace(&sample_recorder(), &[]);
+        let plain_n = plain.get("traceEvents").unwrap().as_arr().unwrap().len();
+        // host additions: 1 process meta + 1 thread meta + 2 spans
+        assert_eq!(events.len(), plain_n + 4);
+        // Nanosecond integers survive verbatim.
+        let inner = host_spans
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("plan-build"))
+            .unwrap();
+        let ts = inner.get("ts").and_then(Json::as_u64).unwrap();
+        let dur = inner.get("dur").and_then(Json::as_u64).unwrap();
+        let rec = profile
+            .spans
+            .iter()
+            .find(|s| s.name == "plan-build")
+            .unwrap();
+        assert_eq!((ts, dur), (rec.start_ns, rec.dur_ns()));
     }
 
     #[test]

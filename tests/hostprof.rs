@@ -1,0 +1,192 @@
+//! Host-profiling integration: the profiled sweep pipeline must be
+//! observationally identical to the unprofiled one, and the sealed
+//! [`HostProfile`] must satisfy every invariant `bench_check` gates
+//! (span nesting, sibling non-overlap, exact per-worker
+//! `busy + idle == wall`) while covering the named pipeline phases.
+
+use sortmid::{
+    run_sweep_profiled, run_sweep_with_options, CacheKind, Distribution, HostProfile,
+    HostProfiler, SweepGrid, SweepOptions,
+};
+use sortmid_cache::CacheGeometry;
+use sortmid_devharness::json::Json;
+use sortmid_raster::FragmentStream;
+use sortmid_scene::{Benchmark, SceneBuilder};
+
+fn stream() -> FragmentStream {
+    SceneBuilder::benchmark(Benchmark::Quake)
+        .scale(0.1)
+        .build()
+        .rasterize()
+}
+
+/// A grid that walks every config path: six set-associative geometries on
+/// one plan (stack-distance replay), plus perfect/paper-L1 pairs sharing
+/// captures, across two plan groups.
+fn mixed_grid() -> Vec<sortmid::MachineConfig> {
+    let mut caches = vec![CacheKind::Perfect, CacheKind::PaperL1];
+    for log_size in 12..18 {
+        let g = CacheGeometry::new(1 << log_size, 4, 64).unwrap();
+        caches.push(CacheKind::SetAssoc(g));
+    }
+    SweepGrid::new()
+        .processors([4])
+        .distributions([Distribution::block(16), Distribution::sli(2)])
+        .caches(caches)
+        .buffers([8, 10_000])
+        .build()
+}
+
+fn profiled_run() -> HostProfile {
+    let s = stream();
+    let configs = mixed_grid();
+    let options = SweepOptions {
+        threads: 3,
+        replay: true,
+        batch: true,
+    };
+    let prof = HostProfiler::new();
+    let profiled = run_sweep_profiled(&s, &configs, options, &prof);
+    let plain = run_sweep_with_options(&s, &configs, options);
+    assert_eq!(
+        profiled, plain,
+        "host profiling must not perturb the simulation"
+    );
+    prof.finish()
+}
+
+#[test]
+fn profiled_sweep_is_identical_and_profile_verifies() {
+    let profile = profiled_run();
+    profile.verify().expect("structural invariants must hold");
+
+    let phases = profile.phase_names();
+    assert!(
+        phases.len() >= 6,
+        "span tree must cover >= 6 pipeline phases, got {phases:?}"
+    );
+    for phase in [
+        "run-sweep",
+        "batch-pivot",
+        "plan-build",
+        "path-select",
+        "lane-pivot",
+        "trace-eval",
+        "run-configs",
+        "worker-run",
+    ] {
+        assert!(phases.contains(&phase), "missing phase {phase}: {phases:?}");
+    }
+
+    // Worker utilization: three workers, each holding the exact identity.
+    let workers: Vec<_> = profile
+        .workers
+        .iter()
+        .filter(|w| w.lane == "run-configs")
+        .collect();
+    assert_eq!(workers.len(), 3);
+    let mut items = 0;
+    for w in &workers {
+        assert_eq!(w.busy_ns + w.idle_ns(), w.wall_ns);
+        assert!(w.utilization() <= 1.0);
+        items += w.items;
+    }
+    assert_eq!(items as usize, mixed_grid().len(), "every config ran on some worker");
+
+    // The metrics registry saw the path split: 12 replay-eligible configs
+    // (6 geometries x 2 buffers per plan group... per plan), the rest via
+    // capture or direct.
+    let counters = profile.metrics.get("counters").expect("counters object");
+    let count = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(count("sweep.configs"), mixed_grid().len() as u64);
+    assert_eq!(count("sweep.plans"), 2);
+    assert_eq!(
+        count("sweep.path.direct") + count("sweep.path.captured") + count("sweep.path.replay"),
+        mixed_grid().len() as u64,
+        "every config took exactly one path"
+    );
+    assert!(count("sweep.path.replay") >= 12, "dense geometries replay");
+}
+
+#[test]
+fn profile_json_round_trips_with_the_artefact_schema() {
+    let profile = profiled_run();
+    let doc = profile.to_json("sweep");
+    let text = doc.render();
+    let back = Json::parse(&text).expect("profile renders valid JSON");
+    assert_eq!(back.render(), text, "render/parse round trip is stable");
+
+    assert_eq!(back.get("profile").and_then(Json::as_str), Some("sweep"));
+    assert!(back.get("peak_rss_bytes").and_then(Json::as_u64).is_some());
+
+    // Spans: parents resolve, children stay inside them, on their thread.
+    let spans = back.get("spans").and_then(Json::as_arr).expect("spans");
+    assert!(!spans.is_empty());
+    for span in spans {
+        let start = span.get("start_ns").and_then(Json::as_u64).unwrap();
+        let dur = span.get("dur_ns").and_then(Json::as_u64).unwrap();
+        let thread = span.get("thread").and_then(Json::as_u64).unwrap();
+        match span.get("parent") {
+            Some(Json::Null) => {}
+            Some(Json::U64(p)) => {
+                let parent = &spans[*p as usize];
+                let p_start = parent.get("start_ns").and_then(Json::as_u64).unwrap();
+                let p_dur = parent.get("dur_ns").and_then(Json::as_u64).unwrap();
+                assert_eq!(
+                    parent.get("thread").and_then(Json::as_u64),
+                    Some(thread),
+                    "child and parent share a thread"
+                );
+                assert!(start >= p_start && start + dur <= p_start + p_dur);
+            }
+            other => panic!("span parent must be null or an index, got {other:?}"),
+        }
+    }
+
+    // Workers: the serialized identity is exact.
+    let workers = back.get("workers").and_then(Json::as_arr).expect("workers");
+    assert!(!workers.is_empty());
+    for w in workers {
+        let wall = w.get("wall_ns").and_then(Json::as_u64).unwrap();
+        let busy = w.get("busy_ns").and_then(Json::as_u64).unwrap();
+        let idle = w.get("idle_ns").and_then(Json::as_u64).unwrap();
+        assert_eq!(busy + idle, wall);
+    }
+
+    // Phase totals: self time never exceeds inclusive time.
+    let phases = back.get("phases").and_then(Json::as_arr).expect("phases");
+    assert!(phases.len() >= 6);
+    for p in phases {
+        let total = p.get("total_ns").and_then(Json::as_u64).unwrap();
+        let self_ns = p.get("self_ns").and_then(Json::as_u64).unwrap();
+        assert!(self_ns <= total);
+    }
+}
+
+#[test]
+fn sequential_sweep_still_reports_a_worker() {
+    // threads=1 takes the sequential path; the calling thread must still
+    // report utilization so the worker-identity gate has a record.
+    let s = stream();
+    let configs = SweepGrid::new()
+        .processors([4])
+        .distributions([Distribution::block(16)])
+        .caches([CacheKind::Perfect, CacheKind::PaperL1])
+        .build();
+    let options = SweepOptions {
+        threads: 1,
+        replay: true,
+        batch: true,
+    };
+    let prof = HostProfiler::new();
+    let profiled = run_sweep_profiled(&s, &configs, options, &prof);
+    assert_eq!(profiled, run_sweep_with_options(&s, &configs, options));
+    let profile = prof.finish();
+    profile.verify().unwrap();
+    assert_eq!(profile.workers.len(), 1);
+    let w = &profile.workers[0];
+    assert_eq!((w.lane, w.worker), ("run-configs", 0));
+    assert_eq!(w.items as usize, configs.len());
+    assert_eq!(w.busy_ns + w.idle_ns(), w.wall_ns);
+    assert!(profile.phase_names().contains(&"worker-run"));
+}
