@@ -42,6 +42,23 @@
 //! wall-clock `median_ns`, which varies with the host and is therefore
 //! only reported, never gated.
 //!
+//! Every sweep/trace/heatmap/metrics artefact must carry a `provenance`
+//! block (schema version, scene seed, config-grid hash, build profile,
+//! host fingerprint) at the current schema version, and the gate refuses
+//! to compare a current run against a baseline whose provenance is
+//! incomparable — a different scene or config grid would attribute
+//! phantom deltas to the code under test.
+//!
+//! With `--explain` a gate run additionally prints a ranked attribution
+//! of what moved: per-config cycle deltas split by the five-way
+//! breakdown identity (via `sortmid_observe::SweepDiff`), plus host
+//! phase wall-time movement when a baseline `METRICS_sweep.json` sits
+//! next to the baseline artefact. With `--json <out>` the whole gate
+//! verdict (per-group medians, ratios, pass/fail, the explanation) is
+//! written as a machine-readable `DIFF_*.json` document — the shape the
+//! future CI endpoint serves. `DIFF_*.json` files found during the scan
+//! are themselves schema-validated.
+//!
 //! Exits non-zero (listing every problem) if any artefact is malformed or
 //! regressed, so a bench binary that silently emits garbage — or a change
 //! that silently slows a machine configuration — fails tier-1.
@@ -51,6 +68,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use sortmid_devharness::json::Json;
+use sortmid_observe::{MetricsDiff, Provenance, SweepDiff, SCHEMA_VERSION};
 
 /// Fractional simulated-cycle growth a config group may show over the
 /// baseline before the gate fails (the `--tolerance` default).
@@ -130,9 +148,26 @@ fn check_doc(name: &str, doc: &Json, problems: &mut Vec<String>) {
     }
 }
 
-/// Validates the sweep artefact's `cycle_breakdowns` and `reference`
-/// fields, including the exact per-node accounting identity.
+/// Requires a valid `provenance` block at the current schema version.
+fn check_provenance(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    match Provenance::from_doc(doc) {
+        Ok(p) => {
+            if p.schema != SCHEMA_VERSION {
+                problems.push(format!(
+                    "{name}: provenance schema {} (this checker expects {SCHEMA_VERSION}); \
+                     regenerate the artefact",
+                    p.schema
+                ));
+            }
+        }
+        Err(e) => problems.push(format!("{name}: {e}")),
+    }
+}
+
+/// Validates the sweep artefact's `provenance`, `cycle_breakdowns` and
+/// `reference` fields, including the exact per-node accounting identity.
 fn check_sweep_extras(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    check_provenance(name, doc, problems);
     match doc.get("reference") {
         None => problems.push(format!("{name}: missing 'reference' comparison")),
         Some(r) => {
@@ -226,6 +261,7 @@ fn check_sweep_extras(name: &str, doc: &Json, problems: &mut Vec<String>) {
 
 /// Validates one `TRACE_*.json` Chrome-trace-event document.
 fn check_trace(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    check_provenance(name, doc, problems);
     let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
         problems.push(format!("{name}: missing or mistyped 'traceEvents'"));
         return;
@@ -287,6 +323,7 @@ const HEATMAP_TILE_METRICS: [&str; 7] = [
 /// Validates one `HEATMAP_*.json` spatial-attribution document: grid
 /// geometry, fragment conservation, and the per-node three-C identity.
 fn check_heatmap(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    check_provenance(name, doc, problems);
     for key in ["preset", "config"] {
         if doc.get(key).and_then(Json::as_str).is_none() {
             problems.push(format!("{name}: missing or mistyped key '{key}'"));
@@ -410,6 +447,7 @@ fn check_heatmap(name: &str, doc: &Json, problems: &mut Vec<String>) {
 /// sibling-overlap invariants, the exact per-worker `busy + idle == wall`
 /// identity, and (for the sweep profile) full pipeline-phase coverage.
 fn check_metrics(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    check_provenance(name, doc, problems);
     let profile = doc.get("profile").and_then(Json::as_str);
     if profile.is_none() {
         problems.push(format!("{name}: missing or mistyped key 'profile'"));
@@ -587,6 +625,78 @@ fn check_metrics(name: &str, doc: &Json, problems: &mut Vec<String>) {
     }
 }
 
+/// Validates one `DIFF_*.json` document (from `sortmid-diff` or the
+/// `--json` gate verdict) against its `kind`'s schema.
+fn check_diff(name: &str, doc: &Json, problems: &mut Vec<String>) {
+    // Both provenance blocks of a pairwise diff must be full blocks.
+    let check_prov_block = |key: &str, problems: &mut Vec<String>| {
+        let Some(block) = doc.get(key) else {
+            problems.push(format!("{name}: missing '{key}'"));
+            return;
+        };
+        let wrapped = Json::obj([("provenance", block.clone())]);
+        if let Err(e) = Provenance::from_doc(&wrapped) {
+            problems.push(format!("{name}/{key}: {e}"));
+        }
+    };
+    let need_bool = |key: &str, problems: &mut Vec<String>| {
+        if !matches!(doc.get(key), Some(Json::Bool(_))) {
+            problems.push(format!("{name}: missing or mistyped '{key}'"));
+        }
+    };
+    match doc.get("kind").and_then(Json::as_str) {
+        None => problems.push(format!(
+            "{name}: missing or mistyped 'kind' \
+             (expected gate/sweep-diff/heatmap-diff/metrics-diff)"
+        )),
+        Some("gate") => {
+            need_bool("pass", problems);
+            if doc.get("tolerance").and_then(Json::as_f64).is_none() {
+                problems.push(format!("{name}: missing or mistyped 'tolerance'"));
+            }
+            if !matches!(doc.get("explanation"), Some(Json::Arr(_))) {
+                problems.push(format!("{name}: missing or mistyped 'explanation'"));
+            }
+            let Some(groups) = doc.get("groups").and_then(Json::as_arr) else {
+                problems.push(format!("{name}: missing or mistyped 'groups'"));
+                return;
+            };
+            if groups.is_empty() {
+                problems.push(format!("{name}: 'groups' is empty"));
+            }
+            for (i, g) in groups.iter().enumerate() {
+                if g.get("group").and_then(Json::as_str).is_none()
+                    || !matches!(g.get("pass"), Some(Json::Bool(_)))
+                {
+                    problems.push(format!("{name}/group#{i}: missing 'group'/'pass'"));
+                }
+                // Medians and ratio are numbers or null (coverage drift).
+                for key in ["baseline_median", "current_median", "ratio"] {
+                    let ok = matches!(g.get(key), Some(Json::Null))
+                        || g.get(key).and_then(Json::as_f64).is_some();
+                    if !ok {
+                        problems.push(format!("{name}/group#{i}: missing or mistyped '{key}'"));
+                    }
+                }
+            }
+        }
+        Some(kind @ ("sweep-diff" | "heatmap-diff" | "metrics-diff")) => {
+            need_bool("zero", problems);
+            check_prov_block("base_provenance", problems);
+            check_prov_block("current_provenance", problems);
+            let body = match kind {
+                "sweep-diff" => "configs",
+                "heatmap-diff" => "planes",
+                _ => "phases",
+            };
+            if !matches!(doc.get(body), Some(Json::Arr(_))) {
+                problems.push(format!("{name}: missing or mistyped '{body}'"));
+            }
+        }
+        Some(other) => problems.push(format!("{name}: unexpected diff kind '{other}'")),
+    }
+}
+
 /// Per-group median simulated cycles of a sweep document, keyed by the
 /// first two config segments (`<procs>p/<distribution>`).
 fn sweep_group_medians(doc: &Json) -> BTreeMap<String, f64> {
@@ -636,15 +746,23 @@ fn compare_groups(
     baseline: &BTreeMap<String, f64>,
     tolerance: f64,
     problems: &mut Vec<String>,
-) -> Vec<String> {
+) -> (Vec<String>, Vec<GroupVerdict>) {
     let mut lines = Vec::new();
+    let mut verdicts = Vec::new();
     for (group, &base) in baseline {
         let Some(&now) = current.get(group) else {
             problems.push(format!(
                 "regression gate: group '{group}' present in baseline but missing from current sweep"
             ));
+            verdicts.push(GroupVerdict {
+                group: group.clone(),
+                baseline_median: Some(base),
+                current_median: None,
+                pass: false,
+            });
             continue;
         };
+        let verdict_pass;
         if base <= 0.0 {
             if now > 0.0 {
                 lines.push(format!(
@@ -654,40 +772,116 @@ fn compare_groups(
                     "regression gate: group '{group}' has a zero-cycle baseline median but \
                      {now:.0} current cycles — the baseline cannot anchor a ratio; regenerate it"
                 ));
+                verdict_pass = false;
             } else {
                 lines.push(format!("  {group:24} {base:>14.0} -> {now:>14.0} cycles (+0.0%)"));
+                verdict_pass = true;
             }
-            continue;
-        }
-        let ratio = now / base;
-        lines.push(format!(
-            "  {group:24} {base:>14.0} -> {now:>14.0} cycles ({:+.1}%)",
-            (ratio - 1.0) * 100.0
-        ));
-        if ratio > 1.0 + tolerance {
-            problems.push(format!(
-                "regression gate: group '{group}' median cycles regressed {:.1}% \
-                 (baseline {base:.0}, current {now:.0}, tolerance {:.1}%)",
-                (ratio - 1.0) * 100.0,
-                tolerance * 100.0
+        } else {
+            let ratio = now / base;
+            lines.push(format!(
+                "  {group:24} {base:>14.0} -> {now:>14.0} cycles ({:+.1}%)",
+                (ratio - 1.0) * 100.0
             ));
+            verdict_pass = ratio <= 1.0 + tolerance;
+            if !verdict_pass {
+                problems.push(format!(
+                    "regression gate: group '{group}' median cycles regressed {:.1}% \
+                     (baseline {base:.0}, current {now:.0}, tolerance {:.1}%)",
+                    (ratio - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
         }
+        verdicts.push(GroupVerdict {
+            group: group.clone(),
+            baseline_median: Some(base),
+            current_median: Some(now),
+            pass: verdict_pass,
+        });
     }
-    for group in current.keys() {
+    for (group, &now) in current {
         if !baseline.contains_key(group) {
             lines.push(format!("  {group:24} (no baseline entry)"));
             problems.push(format!(
                 "regression gate: group '{group}' present in current sweep but missing from \
                  the baseline — regenerate the baseline to cover it"
             ));
+            verdicts.push(GroupVerdict {
+                group: group.clone(),
+                baseline_median: None,
+                current_median: Some(now),
+                pass: false,
+            });
         }
     }
-    lines
+    (lines, verdicts)
+}
+
+/// One group's machine-readable gate verdict (`None` medians mark the
+/// side missing the group — coverage drift, always a failure).
+struct GroupVerdict {
+    group: String,
+    baseline_median: Option<f64>,
+    current_median: Option<f64>,
+    pass: bool,
+}
+
+impl GroupVerdict {
+    /// `current / baseline`, when both sides have a positive median.
+    fn ratio(&self) -> Option<f64> {
+        match (self.baseline_median, self.current_median) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            _ => None,
+        }
+    }
+}
+
+/// The gate verdict as a `DIFF_*.json` document (`kind: "gate"`): the
+/// machine-readable shape a CI endpoint serves.
+fn gate_verdict_json(
+    baseline_name: &str,
+    verdicts: &[GroupVerdict],
+    tolerance: f64,
+    pass: bool,
+    explanation: &[String],
+) -> Json {
+    let opt_f64 = |v: Option<f64>| v.map_or(Json::Null, Json::F64);
+    Json::obj([
+        ("kind", Json::str("gate")),
+        ("pass", Json::Bool(pass)),
+        ("baseline", Json::str(baseline_name)),
+        ("tolerance", Json::F64(tolerance)),
+        (
+            "groups",
+            Json::arr(verdicts.iter().map(|v| {
+                Json::obj([
+                    ("group", Json::str(&v.group)),
+                    ("baseline_median", opt_f64(v.baseline_median)),
+                    ("current_median", opt_f64(v.current_median)),
+                    ("ratio", opt_f64(v.ratio())),
+                    ("pass", Json::Bool(v.pass)),
+                ])
+            })),
+        ),
+        ("explanation", Json::arr(explanation.iter().map(Json::str))),
+    ])
 }
 
 /// Runs the `--against` gate: loads both sweep documents, validates the
-/// baseline's own identities, and compares per-group cycle medians.
-fn run_gate(dir: &Path, baseline_path: &Path, tolerance: f64, problems: &mut Vec<String>) {
+/// baseline's own identities, refuses incomparable provenance, and
+/// compares per-group cycle medians. With `explain`, prints a ranked
+/// attribution of what moved; with `json_out`, writes the whole verdict
+/// as a `kind: "gate"` DIFF document.
+fn run_gate(
+    dir: &Path,
+    baseline_path: &Path,
+    tolerance: f64,
+    explain: bool,
+    json_out: Option<&Path>,
+    problems: &mut Vec<String>,
+) {
+    let problems_before = problems.len();
     let baseline_path = if baseline_path.exists() {
         baseline_path.to_path_buf()
     } else {
@@ -730,6 +924,30 @@ fn run_gate(dir: &Path, baseline_path: &Path, tolerance: f64, problems: &mut Vec
         }
     };
 
+    // The gate refuses incomparable runs outright: a median comparison
+    // across different scenes or config grids would be meaningless.
+    let comparable = match (Provenance::from_doc(&baseline), Provenance::from_doc(&current)) {
+        (Ok(b), Ok(c)) => match b.comparable(&c) {
+            Ok(()) => true,
+            Err(e) => {
+                problems.push(format!("regression gate: {e}"));
+                false
+            }
+        },
+        (base_prov, cur_prov) => {
+            if let Err(e) = base_prov {
+                problems.push(format!("regression gate: baseline: {e}"));
+            }
+            if let Err(e) = cur_prov {
+                problems.push(format!("regression gate: current sweep: {e}"));
+            }
+            false
+        }
+    };
+    if !comparable {
+        return;
+    }
+
     let base_groups = sweep_group_medians(&baseline);
     let cur_groups = sweep_group_medians(&current);
     if base_groups.is_empty() {
@@ -739,7 +957,7 @@ fn run_gate(dir: &Path, baseline_path: &Path, tolerance: f64, problems: &mut Vec
         ));
         return;
     }
-    let lines = compare_groups(&cur_groups, &base_groups, tolerance, problems);
+    let (lines, verdicts) = compare_groups(&cur_groups, &base_groups, tolerance, problems);
     println!(
         "regression gate vs {} ({} groups, tolerance {:.1}%):",
         baseline_path.display(),
@@ -748,6 +966,57 @@ fn run_gate(dir: &Path, baseline_path: &Path, tolerance: f64, problems: &mut Vec
     );
     for line in lines {
         println!("{line}");
+    }
+
+    let mut explanation = Vec::new();
+    if explain || json_out.is_some() {
+        match SweepDiff::between(&baseline, &current) {
+            Ok(diff) => explanation.extend(diff.explanation(10)),
+            Err(e) => problems.push(format!("regression gate: cannot attribute deltas: {e}")),
+        }
+        // Host wall-time movement rides along when both sides have a
+        // METRICS_sweep.json (informational: wall times are not gated).
+        let base_metrics = baseline_path.with_file_name("METRICS_sweep.json");
+        let cur_metrics = dir.join("METRICS_sweep.json");
+        if base_metrics != cur_metrics && base_metrics.exists() && cur_metrics.exists() {
+            let load = |p: &Path| {
+                std::fs::read_to_string(p)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+            };
+            match (load(&base_metrics), load(&cur_metrics)) {
+                (Ok(b), Ok(c)) => match MetricsDiff::between(&b, &c) {
+                    Ok(diff) => explanation.extend(diff.explanation(5)),
+                    Err(e) => explanation.push(format!("(host phases not compared: {e})")),
+                },
+                _ => explanation
+                    .push("(host phases not compared: unreadable METRICS_sweep.json)".to_string()),
+            }
+        }
+    }
+    if explain {
+        println!("attribution (ranked by |cycle delta|):");
+        for line in &explanation {
+            println!("  {line}");
+        }
+    }
+    if let Some(out) = json_out {
+        let pass = problems.len() == problems_before;
+        let doc = gate_verdict_json(
+            &baseline_path.display().to_string(),
+            &verdicts,
+            tolerance,
+            pass,
+            &explanation,
+        );
+        if let Err(e) = std::fs::write(out, doc.render()) {
+            problems.push(format!(
+                "regression gate: cannot write verdict {}: {e}",
+                out.display()
+            ));
+        } else {
+            println!("wrote gate verdict {}", out.display());
+        }
     }
 }
 
@@ -765,7 +1034,8 @@ fn run(dir: &Path) -> Result<usize, String> {
                     (n.starts_with("BENCH_")
                         || n.starts_with("TRACE_")
                         || n.starts_with("HEATMAP_")
-                        || n.starts_with("METRICS_"))
+                        || n.starts_with("METRICS_")
+                        || n.starts_with("DIFF_"))
                         && n.ends_with(".json")
                 })
         })
@@ -789,6 +1059,8 @@ fn run(dir: &Path) -> Result<usize, String> {
                     check_heatmap(&name, &doc, &mut problems);
                 } else if name.starts_with("METRICS_") {
                     check_metrics(&name, &doc, &mut problems);
+                } else if name.starts_with("DIFF_") {
+                    check_diff(&name, &doc, &mut problems);
                 } else {
                     check_doc(&name, &doc, &mut problems);
                 }
@@ -809,6 +1081,8 @@ fn main() -> ExitCode {
     let mut dir: Option<PathBuf> = None;
     let mut against: Option<PathBuf> = None;
     let mut tolerance = REGRESSION_TOLERANCE;
+    let mut explain = false;
+    let mut json_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -826,15 +1100,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--explain" => explain = true,
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("bench_check: --json needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: bench_check [dir] [--against <baseline BENCH json>] \
-                     [--tolerance <pct>]"
+                     [--tolerance <pct>] [--explain] [--json <verdict out>]"
                 );
                 return ExitCode::SUCCESS;
             }
             other => dir = Some(PathBuf::from(other)),
         }
+    }
+    if (explain || json_out.is_some()) && against.is_none() {
+        eprintln!("bench_check: --explain/--json need --against <baseline>");
+        return ExitCode::FAILURE;
     }
     // Default to the workspace root (not the cwd) so the check validates
     // the committed artefacts from anywhere in the tree.
@@ -842,13 +1128,20 @@ fn main() -> ExitCode {
 
     let mut gate_problems = Vec::new();
     if let Some(baseline) = &against {
-        run_gate(&dir, baseline, tolerance, &mut gate_problems);
+        run_gate(
+            &dir,
+            baseline,
+            tolerance,
+            explain,
+            json_out.as_deref(),
+            &mut gate_problems,
+        );
     }
 
     match run(&dir) {
         Ok(0) => {
             eprintln!(
-                "bench_check: no BENCH_/TRACE_/HEATMAP_/METRICS_ *.json artefacts found in {}",
+                "bench_check: no BENCH_/TRACE_/HEATMAP_/METRICS_/DIFF_ *.json artefacts found in {}",
                 dir.display()
             );
             ExitCode::FAILURE
@@ -877,6 +1170,12 @@ mod tests {
         entries.iter().map(|&(k, v)| (k.to_string(), v)).collect()
     }
 
+    /// Stamps a fixture document with a valid provenance block.
+    fn with_prov(mut doc: Json) -> Json {
+        doc.set("provenance", Provenance::collect(7, 0xab).to_json());
+        doc
+    }
+
     #[test]
     fn identical_groups_pass_the_gate() {
         let base = groups(&[("16p/block-16", 1000.0), ("64p/sli-4", 2000.0)]);
@@ -900,9 +1199,10 @@ mod tests {
         let base = groups(&[("16p/block-16", 1000.0), ("64p/sli-4", 2000.0)]);
         let cur = groups(&[("16p/block-16", 1100.0), ("64p/sli-4", 1500.0)]);
         let mut problems = Vec::new();
-        let lines = compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
+        let (lines, verdicts) = compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
         assert!(problems.is_empty(), "{problems:?}");
         assert_eq!(lines.len(), 2);
+        assert!(verdicts.iter().all(|v| v.pass), "all groups pass");
     }
 
     #[test]
@@ -960,7 +1260,7 @@ mod tests {
         let base = groups(&[("16p/block-16", 0.0)]);
         let cur = groups(&[("16p/block-16", 500.0)]);
         let mut problems = Vec::new();
-        let lines = compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
+        let (lines, _) = compare_groups(&cur, &base, REGRESSION_TOLERANCE, &mut problems);
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("zero-cycle baseline"), "{problems:?}");
         // The report line must not carry a NaN/inf percentage.
@@ -1012,6 +1312,7 @@ mod tests {
                 "metrics": {{"counters": {{}}, "gauges": {{}}, "histograms": {{}}}}}}"#,
             child_end - 10,
         ))
+        .map(with_prov)
         .unwrap()
     }
 
@@ -1055,6 +1356,7 @@ mod tests {
                            {"name": "b", "count": 1, "total_ns": 100, "self_ns": 100}],
                 "metrics": {"counters": {}, "gauges": {}, "histograms": {}}}"#,
         )
+        .map(with_prov)
         .unwrap();
         let mut problems = Vec::new();
         check_metrics("METRICS_unit.json", &doc, &mut problems);
@@ -1114,6 +1416,7 @@ mod tests {
                            "misses": 2, "compulsory": 1, "capacity": 1,
                            "conflict": 0}]}"#,
         )
+        .map(with_prov)
         .unwrap();
         let mut problems = Vec::new();
         check_heatmap("HEATMAP_demo.json", &doc, &mut problems);
@@ -1136,11 +1439,104 @@ mod tests {
                            "misses": 2, "compulsory": 1, "capacity": 1,
                            "conflict": 1}]}"#,
         )
+        .map(with_prov)
         .unwrap();
         let mut problems = Vec::new();
         check_heatmap("HEATMAP_demo.json", &doc, &mut problems);
         assert_eq!(problems.len(), 2, "{problems:?}");
         assert!(problems.iter().any(|p| p.contains("tile fragments sum")));
         assert!(problems.iter().any(|p| p.contains("three-C identity")));
+    }
+
+    #[test]
+    fn artefacts_without_provenance_are_rejected() {
+        // Every stamped artefact family: sweep extras, trace, heatmap,
+        // metrics. A document missing the block names the fix.
+        let mut problems = Vec::new();
+        check_provenance("X.json", &Json::obj::<&str>([]), &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("missing provenance"), "{problems:?}");
+
+        // A stale schema version is as fatal as a missing block.
+        let mut old = Provenance::collect(7, 0xab);
+        old.schema = SCHEMA_VERSION + 1;
+        let doc = Json::obj([("provenance", old.to_json())]);
+        let mut problems = Vec::new();
+        check_provenance("X.json", &doc, &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("regenerate"), "{problems:?}");
+
+        let mut problems = Vec::new();
+        check_sweep_extras("sweep", &Json::obj::<&str>([]), &mut problems);
+        assert!(
+            problems.iter().any(|p| p.contains("missing provenance")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn gate_verdict_json_round_trips_through_check_diff() {
+        let verdicts = vec![
+            GroupVerdict {
+                group: "16p/block-16".to_string(),
+                baseline_median: Some(1000.0),
+                current_median: Some(1200.0),
+                pass: false,
+            },
+            GroupVerdict {
+                group: "64p/sli-4".to_string(),
+                baseline_median: Some(500.0),
+                current_median: None,
+                pass: false,
+            },
+        ];
+        let doc = gate_verdict_json(
+            "BENCH_baseline.json",
+            &verdicts,
+            0.15,
+            false,
+            &["16p/block-16: regressed +20.0%".to_string()],
+        );
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("gate"));
+        assert_eq!(doc.get("pass"), Some(&Json::Bool(false)));
+        let g = &doc.get("groups").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(g.get("ratio").and_then(Json::as_f64), Some(1.2));
+        // Coverage drift renders null medians, not fake zeros.
+        let g1 = &doc.get("groups").and_then(Json::as_arr).unwrap()[1];
+        assert_eq!(g1.get("current_median"), Some(&Json::Null));
+        // The emitted verdict satisfies the DIFF_ schema check, and the
+        // parse/render round trip preserves it.
+        let reparsed = Json::parse(&doc.render()).unwrap();
+        let mut problems = Vec::new();
+        check_diff("DIFF_gate.json", &reparsed, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn check_diff_rejects_malformed_documents() {
+        let mut problems = Vec::new();
+        check_diff("DIFF_x.json", &Json::obj::<&str>([]), &mut problems);
+        assert!(problems[0].contains("kind"), "{problems:?}");
+
+        let mut problems = Vec::new();
+        check_diff(
+            "DIFF_x.json",
+            &Json::obj([("kind", Json::str("mystery"))]),
+            &mut problems,
+        );
+        assert!(problems[0].contains("unexpected diff kind"), "{problems:?}");
+
+        // A pairwise diff needs both provenance blocks and its body array.
+        let mut problems = Vec::new();
+        check_diff(
+            "DIFF_x.json",
+            &Json::obj([("kind", Json::str("sweep-diff")), ("zero", Json::Bool(true))]),
+            &mut problems,
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("base_provenance"))
+                && problems.iter().any(|p| p.contains("configs")),
+            "{problems:?}"
+        );
     }
 }

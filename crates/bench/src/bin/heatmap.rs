@@ -25,8 +25,9 @@
 use sortmid::{
     CacheKind, Distribution, Machine, MachineConfig, RunReport, SpatialCollector, TileStats,
 };
+use sortmid_bench::run_provenance;
 use sortmid_cache::CacheGeometry;
-use sortmid_observe::{owner_color, ScreenGrid};
+use sortmid_observe::{owner_color, sqrt_channel, ScreenGrid};
 use sortmid_scene::{Benchmark, SceneBuilder};
 use sortmid_util::ppm::Image;
 use std::path::{Path, PathBuf};
@@ -78,6 +79,7 @@ fn write_maps(
     name: &str,
     col: &SpatialCollector,
     report: &RunReport,
+    config: &MachineConfig,
 ) -> Result<Vec<PathBuf>, String> {
     let grid = col.grid();
     let class_max = grid
@@ -114,7 +116,7 @@ fn write_maps(
         (
             "missclass",
             grid.render_rgb(PX_PER_TILE, |t| {
-                let ch = |v: u64| ((v as f64 / class_max).sqrt() * 255.0).round() as u8;
+                let ch = |v: u64| sqrt_channel(v, class_max);
                 [ch(t.misses.conflict), ch(t.misses.capacity), ch(t.misses.compulsory)]
             }),
         ),
@@ -127,7 +129,12 @@ fn write_maps(
         written.push(path);
     }
     let json = dir.join(format!("HEATMAP_{name}.json"));
-    std::fs::write(&json, col.to_json(name, report.summary()).render().as_bytes())
+    let mut doc = col.to_json(name, report.summary());
+    doc.set(
+        "provenance",
+        run_provenance(Benchmark::Quake, std::slice::from_ref(config)).to_json(),
+    );
+    std::fs::write(&json, doc.render().as_bytes())
         .map_err(|e| format!("write {}: {e}", json.display()))?;
     written.push(json);
     Ok(written)
@@ -170,7 +177,7 @@ fn run_preset(name: &str, scale: f64, tile: u32) -> Result<(), String> {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let written = write_maps(&dir, name, &col, &report)?;
+    let written = write_maps(&dir, name, &col, &report, &config)?;
 
     let grid = col.grid();
     let area = (tile * tile) as f64;

@@ -24,8 +24,11 @@
 //! The shared-plan/per-config ratio is the plan-reuse speedup; the
 //! dense/base difference prices extra cache configs.
 //!
-//! The artefact also carries three observability extras:
+//! The artefact also carries four observability extras:
 //!
+//! * `provenance` — schema version, scene seed, config-grid hash, build
+//!   profile and host fingerprint; `sortmid-diff` and the `bench_check`
+//!   gate refuse to compare artefacts whose schema/seed/grid disagree;
 //! * `cycle_breakdowns` — for every reference-grid config, each node's
 //!   cycles attributed to `[setup, busy, bus_stall, starved, idle]`
 //!   (summing exactly to that node's finish cycle — `bench_check` enforces
@@ -58,7 +61,7 @@ use sortmid::{
     run_sweep_profiled, run_sweep_with_options, CacheKind, Distribution, HostProfiler, Machine,
     MachineConfig, RunReport, SweepGrid, SweepOptions,
 };
-use sortmid_bench::stream;
+use sortmid_bench::{run_provenance, stream};
 use sortmid_cache::CacheGeometry;
 use sortmid_devharness::{Json, Suite};
 use sortmid_raster::FragmentStream;
@@ -255,7 +258,12 @@ fn main() {
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|e| panic!("create bench dir {}: {e}", dir.display()));
         let path = dir.join("METRICS_sweep.json");
-        std::fs::write(&path, profile.to_json("sweep").render())
+        let mut doc = profile.to_json("sweep");
+        doc.set(
+            "provenance",
+            run_provenance(Benchmark::Quake, &configs).to_json(),
+        );
+        std::fs::write(&path, doc.render())
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
         eprint!("{}", profile.summary());
@@ -264,6 +272,12 @@ fn main() {
         run_sweep_with_options(&s, &configs, options)
     };
     suite.finish_with([
+        (
+            // Stamped on every lane, escape hatches included: the grid and
+            // scene are identical, so self-diffs and the gate stay valid.
+            "provenance".to_string(),
+            run_provenance(Benchmark::Quake, &configs).to_json(),
+        ),
         (
             "cycle_breakdowns".to_string(),
             Json::arr(reports.iter().map(config_breakdown)),

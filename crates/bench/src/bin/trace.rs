@@ -21,6 +21,7 @@
 //! suites.
 
 use sortmid::{CacheKind, Distribution, Machine, MachineConfig, TraceRecorder};
+use sortmid_bench::run_provenance;
 use sortmid_observe::{breakdown_table, chrome_trace_with_host, HostProfiler, HostSink, TimeSeries};
 use sortmid_scene::{Benchmark, SceneBuilder};
 use std::path::PathBuf;
@@ -71,7 +72,7 @@ fn run_preset(name: &str, scale: f64) -> Result<(), String> {
             .build()
             .rasterize()
     };
-    let machine = Machine::new(config);
+    let machine = Machine::new(config.clone());
 
     let mut rec = TraceRecorder::new();
     let report = {
@@ -92,8 +93,13 @@ fn run_preset(name: &str, scale: f64) -> Result<(), String> {
         .verify()
         .expect("host profile structural invariants must hold");
 
-    // The Perfetto document: simulated tracks plus the host phase tracks.
-    let doc = chrome_trace_with_host(&rec, &machine.node_labels(), &profile);
+    // The Perfetto document: simulated tracks plus the host phase tracks,
+    // stamped with the run's provenance (grid = this one preset config).
+    let mut doc = chrome_trace_with_host(&rec, &machine.node_labels(), &profile);
+    doc.set(
+        "provenance",
+        run_provenance(Benchmark::Quake, std::slice::from_ref(&config)).to_json(),
+    );
     let dir = std::env::var_os("SORTMID_BENCH_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));

@@ -8,6 +8,7 @@
 //! shapes the paper reports.
 
 use sortmid::{CacheKind, Distribution, Machine, MachineConfig, RunReport};
+use sortmid_observe::Provenance;
 use sortmid_raster::FragmentStream;
 use sortmid_scene::{Benchmark, Scene, SceneBuilder};
 
@@ -22,6 +23,18 @@ pub fn scene(benchmark: Benchmark) -> Scene {
 /// Builds and rasterizes a benchmark scene at [`BENCH_SCALE`].
 pub fn stream(benchmark: Benchmark) -> FragmentStream {
     scene(benchmark).rasterize()
+}
+
+/// The provenance block every bench artefact embeds: the benchmark
+/// scene's RNG seed plus the hash of the machine-config grid the
+/// artefact measures (see `sortmid::grid_hash`). The differ and
+/// `bench_check` refuse to compare artefacts whose blocks disagree on
+/// schema, seed or grid.
+pub fn run_provenance(benchmark: Benchmark, configs: &[MachineConfig]) -> Provenance {
+    Provenance::collect(
+        SceneBuilder::benchmark(benchmark).config().seed,
+        sortmid::grid_hash(configs),
+    )
 }
 
 /// Runs one machine configuration over a stream.

@@ -69,8 +69,8 @@ pub use sortmid_observe::{
 };
 pub use replay::capture_line_trace;
 pub use sweep::{
-    run_sweep, run_sweep_profiled, run_sweep_with_options, run_sweep_with_threads, SweepGrid,
-    SweepOptions,
+    grid_hash, run_sweep, run_sweep_profiled, run_sweep_with_options, run_sweep_with_threads,
+    SweepGrid, SweepOptions,
 };
 
 /// Maximum processor count the machine supports (the paper evaluates up to

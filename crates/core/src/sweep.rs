@@ -187,6 +187,22 @@ pub fn run_sweep(stream: &FragmentStream, configs: &[MachineConfig]) -> Vec<RunR
     run_sweep_with_options(stream, configs, SweepOptions::default())
 }
 
+/// A stable fingerprint of a config grid: FNV-1a 64 over every config's
+/// [`summary`](MachineConfig::summary) string, newline-separated. The
+/// bench bins stamp it into each artefact's provenance block so the
+/// differ can refuse to compare runs of different grids; the summary
+/// string already encodes everything that changes simulated cycles
+/// (processors, distribution, cache geometry, buffer depth, bus ratio),
+/// so two grids hash equal exactly when they measure the same thing.
+/// Order matters: the grid is part of the artefact's config ordering.
+pub fn grid_hash(configs: &[MachineConfig]) -> u64 {
+    sortmid_observe::provenance::fnv1a_64(
+        configs
+            .iter()
+            .flat_map(|c| c.summary().into_bytes().into_iter().chain([b'\n'])),
+    )
+}
+
 /// [`run_sweep`] with an explicit host-thread count.
 ///
 /// Exists so tests can pin the schedule: the simulated machines are
@@ -805,5 +821,17 @@ mod tests {
             .rasterize();
         let configs = vec![MachineConfig::uniprocessor()];
         assert_eq!(run_sweep(&stream, &configs).len(), 1);
+    }
+
+    #[test]
+    fn grid_hash_pins_content_and_order() {
+        let grid = SweepGrid::new().processors([4, 16]).build();
+        assert_eq!(grid_hash(&grid), grid_hash(&grid), "deterministic");
+        let smaller = SweepGrid::new().processors([4]).build();
+        assert_ne!(grid_hash(&grid), grid_hash(&smaller), "content-sensitive");
+        let mut reversed = grid.clone();
+        reversed.reverse();
+        assert_ne!(grid_hash(&grid), grid_hash(&reversed), "order-sensitive");
+        assert_ne!(grid_hash(&[]), 0, "empty grid hashes to the FNV offset");
     }
 }

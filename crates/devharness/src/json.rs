@@ -29,6 +29,10 @@ pub enum Json {
     Bool(bool),
     /// An unsigned integer, rendered exactly (no float rounding).
     U64(u64),
+    /// A signed (negative) integer, rendered exactly — the artefact
+    /// differ emits cycle/miss deltas, which must round-trip without the
+    /// float precision loss past 2^53.
+    I64(i64),
     /// A float, rendered via Rust's shortest-roundtrip formatting.
     F64(f64),
     /// A string.
@@ -58,7 +62,8 @@ impl Json {
     /// Parses a JSON document (the dialect [`render`](Self::render) emits:
     /// standard JSON minus `\uXXXX` surrogate pairs outside the BMP).
     /// Numbers parse as [`Json::U64`] when they are unsigned integral,
-    /// else as [`Json::F64`].
+    /// as [`Json::I64`] when they are negative integral, else as
+    /// [`Json::F64`].
     ///
     /// # Errors
     ///
@@ -114,10 +119,29 @@ impl Json {
         }
     }
 
+    /// The integer payload as a signed integer (unsigned values widen when
+    /// they fit).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::I64(n) => Some(*n),
+            Json::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric payload as a float (integers widen).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
             Json::F64(x) => Some(*x),
             _ => None,
         }
@@ -128,6 +152,24 @@ impl Json {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// Inserts or replaces a key in an object, preserving an existing
+    /// key's position (artefact emitters use this to attach the
+    /// `provenance` block to an already-built document).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-object.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) {
+        let Json::Obj(pairs) = self else {
+            panic!("Json::set needs an object");
+        };
+        let key = key.into();
+        match pairs.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => *slot = value,
+            None => pairs.push((key, value)),
         }
     }
 
@@ -143,6 +185,9 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
                 let _ = write!(out, "{n}");
             }
             Json::F64(x) => {
@@ -428,6 +473,9 @@ impl<'a> Parser<'a> {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(Json::U64(n));
             }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
         }
         match text.parse::<f64>() {
             // `1e999` parses "successfully" to infinity; a finiteness
@@ -530,6 +578,44 @@ mod tests {
     fn as_f64_widens_integers() {
         assert_eq!(Json::U64(3).as_f64(), Some(3.0));
         assert_eq!(Json::F64(0.5).as_u64(), None);
+        assert_eq!(Json::I64(-3).as_f64(), Some(-3.0));
+    }
+
+    #[test]
+    fn negative_integers_round_trip_exactly() {
+        // -2^60 - 1 is not representable in f64; it must survive a render
+        // round trip bit-exactly (delta artefacts rely on this).
+        let n = -(1i64 << 60) - 1;
+        assert_eq!(Json::I64(n).render(), n.to_string());
+        assert_eq!(Json::parse(&n.to_string()).unwrap(), Json::I64(n));
+        assert_eq!(Json::parse("-5").unwrap(), Json::I64(-5));
+        assert_eq!(Json::parse("-5").unwrap().as_i64(), Some(-5));
+        assert_eq!(Json::parse(&i64::MIN.to_string()).unwrap(), Json::I64(i64::MIN));
+        // Unsigned values widen through as_i64 only when they fit.
+        assert_eq!(Json::U64(7).as_i64(), Some(7));
+        assert_eq!(Json::U64(u64::MAX).as_i64(), None);
+        // Below i64::MIN falls back to a float.
+        assert!(matches!(Json::parse("-99999999999999999999").unwrap(), Json::F64(_)));
+    }
+
+    #[test]
+    fn as_bool_reads_booleans_only() {
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::U64(1).as_bool(), None);
+    }
+
+    #[test]
+    fn set_inserts_and_replaces_in_place() {
+        let mut doc = Json::obj([("a", Json::U64(1)), ("b", Json::U64(2))]);
+        doc.set("c", Json::U64(3));
+        doc.set("a", Json::U64(9));
+        assert_eq!(doc.render(), r#"{"a":9,"b":2,"c":3}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an object")]
+    fn set_on_non_object_panics() {
+        Json::Null.set("k", Json::U64(1));
     }
 
     #[test]

@@ -90,6 +90,116 @@ impl CycleBreakdown {
         }
         self.as_array().map(|c| c as f64 * 100.0 / finish as f64)
     }
+
+    /// The signed per-category change from `baseline` to `self` — the
+    /// five-way attribution of a cycle delta. The deltas obey the same
+    /// accounting identity as the breakdowns themselves:
+    /// `delta.total() == self.total() - baseline.total()` exactly, and
+    /// `baseline.delta(baseline)` is all-zero.
+    pub fn delta(&self, baseline: &CycleBreakdown) -> BreakdownDelta {
+        let d = |cur: u64, base: u64| {
+            i64::try_from(cur as i128 - base as i128)
+                .expect("cycle counts fit well inside i64")
+        };
+        BreakdownDelta {
+            setup: d(self.setup, baseline.setup),
+            busy: d(self.busy, baseline.busy),
+            bus_stall: d(self.bus_stall, baseline.bus_stall),
+            starved: d(self.starved, baseline.starved),
+            idle: d(self.idle, baseline.idle),
+        }
+    }
+}
+
+/// The signed change between two [`CycleBreakdown`]s, category by
+/// category (see [`CycleBreakdown::delta`]).
+///
+/// # Examples
+///
+/// ```
+/// use sortmid_observe::CycleBreakdown;
+///
+/// let base = CycleBreakdown { setup: 25, busy: 50, bus_stall: 10, starved: 10, idle: 5 };
+/// let cur = CycleBreakdown { setup: 25, busy: 50, bus_stall: 40, starved: 5, idle: 5 };
+/// let d = cur.delta(&base);
+/// assert_eq!(d.total(), 25);
+/// assert_eq!(d.dominant(), Some(("bus_stall", 30)));
+/// assert!(base.delta(&base).is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakdownDelta {
+    /// Change in setup-floor padding cycles.
+    pub setup: i64,
+    /// Change in busy (fragment-scanning) cycles.
+    pub busy: i64,
+    /// Change in bus-stall cycles.
+    pub bus_stall: i64,
+    /// Change in FIFO-starved cycles.
+    pub starved: i64,
+    /// Change in fill-tail idle cycles.
+    pub idle: i64,
+}
+
+impl BreakdownDelta {
+    /// Sum over all categories — the net cycle change.
+    pub fn total(&self) -> i64 {
+        self.setup + self.busy + self.bus_stall + self.starved + self.idle
+    }
+
+    /// The categories as `[setup, busy, bus_stall, starved, idle]`, in
+    /// [`CATEGORY_NAMES`] order.
+    pub fn as_array(&self) -> [i64; 5] {
+        [self.setup, self.busy, self.bus_stall, self.starved, self.idle]
+    }
+
+    /// True when every category is unchanged.
+    pub fn is_zero(&self) -> bool {
+        self.as_array() == [0; 5]
+    }
+
+    /// The category with the largest absolute change, with its delta
+    /// (`None` when all-zero; ties resolve to the earliest category).
+    pub fn dominant(&self) -> Option<(&'static str, i64)> {
+        let arr = self.as_array();
+        // max_by_key keeps the last maximum; reversing makes ties resolve
+        // to the earliest category instead.
+        let (idx, &delta) = arr
+            .iter()
+            .enumerate()
+            .rev()
+            .max_by_key(|(_, d)| d.unsigned_abs())?;
+        (delta != 0).then_some((CATEGORY_NAMES[idx], delta))
+    }
+}
+
+impl Add for BreakdownDelta {
+    type Output = BreakdownDelta;
+
+    fn add(self, rhs: BreakdownDelta) -> BreakdownDelta {
+        BreakdownDelta {
+            setup: self.setup + rhs.setup,
+            busy: self.busy + rhs.busy,
+            bus_stall: self.bus_stall + rhs.bus_stall,
+            starved: self.starved + rhs.starved,
+            idle: self.idle + rhs.idle,
+        }
+    }
+}
+
+impl AddAssign for BreakdownDelta {
+    fn add_assign(&mut self, rhs: BreakdownDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for BreakdownDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "setup {:+} / busy {:+} / bus-stall {:+} / starved {:+} / idle {:+}",
+            self.setup, self.busy, self.bus_stall, self.starved, self.idle
+        )
+    }
 }
 
 impl Add for CycleBreakdown {
@@ -201,6 +311,54 @@ mod tests {
         let pct = b.percentages(100);
         assert_eq!(pct, [25.0, 25.0, 25.0, 25.0, 0.0]);
         assert_eq!(b.percentages(0), [0.0; 5]);
+    }
+
+    #[test]
+    fn delta_of_a_breakdown_with_itself_is_zero() {
+        let b = CycleBreakdown { setup: 7, busy: 11, bus_stall: 13, starved: 17, idle: 19 };
+        let d = b.delta(&b);
+        assert!(d.is_zero());
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.dominant(), None);
+    }
+
+    #[test]
+    fn delta_total_matches_breakdown_total_difference() {
+        let base = CycleBreakdown { setup: 10, busy: 100, bus_stall: 5, starved: 0, idle: 1 };
+        let cur = CycleBreakdown { setup: 12, busy: 90, bus_stall: 45, starved: 3, idle: 0 };
+        let d = cur.delta(&base);
+        assert_eq!(d.total(), cur.total() as i64 - base.total() as i64);
+        assert_eq!(d.as_array(), [2, -10, 40, 3, -1]);
+        assert_eq!(d.dominant(), Some(("bus_stall", 40)));
+        // Antisymmetry: reversing the diff negates every category.
+        let r = base.delta(&cur);
+        assert_eq!(r.as_array().map(|v| -v), d.as_array());
+    }
+
+    #[test]
+    fn delta_addition_composes_fieldwise() {
+        let a = CycleBreakdown { setup: 1, busy: 2, bus_stall: 3, starved: 4, idle: 5 };
+        let b = CycleBreakdown { setup: 5, busy: 4, bus_stall: 3, starved: 2, idle: 1 };
+        let c = CycleBreakdown { setup: 9, busy: 9, bus_stall: 9, starved: 9, idle: 9 };
+        // (c - b) + (b - a) == c - a, node-aggregation's associativity.
+        let mut d = c.delta(&b);
+        d += b.delta(&a);
+        assert_eq!(d, c.delta(&a));
+        assert!(d.to_string().contains("+8"));
+    }
+
+    #[test]
+    fn delta_handles_extreme_magnitudes_without_overflow() {
+        let zero = CycleBreakdown::default();
+        let huge = CycleBreakdown { setup: 0, busy: 1 << 62, bus_stall: 0, starved: 0, idle: 0 };
+        assert_eq!(huge.delta(&zero).busy, 1 << 62);
+        assert_eq!(zero.delta(&huge).busy, -(1i64 << 62));
+    }
+
+    #[test]
+    fn dominant_tie_resolves_to_the_earliest_category() {
+        let d = BreakdownDelta { setup: -5, busy: 0, bus_stall: 5, starved: 0, idle: 0 };
+        assert_eq!(d.dominant(), Some(("setup", -5)));
     }
 
     #[test]

@@ -1,0 +1,1473 @@
+//! Differential observability: attributed deltas between two runs'
+//! artefacts.
+//!
+//! The paper's argument is comparative (which distribution wins, what a
+//! small buffer costs), and so is the day-to-day question a regression
+//! gate answers: *what changed between this run and the baseline, and
+//! why?* This module compares **artefacts, not runs** — structured
+//! comparison of the JSON documents the bins already emit is
+//! deterministic and free, where re-measurement is neither. Three
+//! differs cover every level the instrumentation records:
+//!
+//! * [`SweepDiff`] — two `BENCH_sweep.json` documents: per-config
+//!   simulated-cycle deltas, each split by the five-way
+//!   [`CycleBreakdown`] identity (setup / busy / bus-stall / starved /
+//!   idle, summed over nodes);
+//! * [`HeatmapDiff`] — two `HEATMAP_<preset>.json` documents: tile-level
+//!   delta grids for every numeric metric plane (rendered as
+//!   diverging-palette PPMs via [`crate::palette::diverging_color`]),
+//!   owner-flip counts, and per-node three-C miss-class deltas;
+//! * [`MetricsDiff`] — two `METRICS_<name>.json` host profiles:
+//!   per-phase wall-time deltas from the span tree, counter deltas, and
+//!   [`Log2Histogram`](crate::metrics::Log2Histogram) distribution
+//!   shifts (count/sum/percentile movement plus sparse per-bucket
+//!   deltas).
+//!
+//! Every differ starts by reading both documents' [`Provenance`] blocks
+//! and refuses incomparable pairs (different schema, scene seed or
+//! config grid) with a clear error. Diffing a document against itself is
+//! **exactly zero at every level** — a devharness property pins this —
+//! so any nonzero delta is a real difference between the runs, never
+//! comparison noise.
+
+use crate::breakdown::{BreakdownDelta, CycleBreakdown};
+use crate::palette::diverging_color;
+use crate::provenance::Provenance;
+use sortmid_devharness::json::Json;
+use sortmid_util::ppm::Image;
+use std::collections::BTreeMap;
+
+/// Exact signed difference of two `u64` counters.
+fn delta64(cur: u64, base: u64) -> i64 {
+    i64::try_from(cur as i128 - base as i128).expect("artefact counters fit well inside i64")
+}
+
+/// `cur` vs `base` as a signed percentage string, or `(was 0)` when the
+/// base cannot anchor a ratio.
+fn fmt_pct(cur: u64, base: u64) -> String {
+    if base == 0 {
+        if cur == 0 {
+            "+0.0%".to_string()
+        } else {
+            "(was 0)".to_string()
+        }
+    } else {
+        format!("{:+.1}%", (cur as f64 / base as f64 - 1.0) * 100.0)
+    }
+}
+
+/// Compacts sorted indices into a `2-5,7` style range list.
+fn compact_ranges(indices: &[usize]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < indices.len() {
+        let start = indices[i];
+        let mut end = start;
+        while i + 1 < indices.len() && indices[i + 1] == end + 1 {
+            i += 1;
+            end = indices[i];
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if start == end {
+            out.push_str(&start.to_string());
+        } else {
+            out.push_str(&format!("{start}-{end}"));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Reads and cross-checks both documents' provenance blocks.
+///
+/// # Errors
+///
+/// Returns the missing-block / field error of the offending side, or the
+/// comparability error naming the mismatched field.
+fn comparable_provenance(base: &Json, cur: &Json) -> Result<(Provenance, Provenance), String> {
+    let b = Provenance::from_doc(base).map_err(|e| format!("baseline: {e}"))?;
+    let c = Provenance::from_doc(cur).map_err(|e| format!("current: {e}"))?;
+    b.comparable(&c)?;
+    Ok((b, c))
+}
+
+// ---------------------------------------------------------------------------
+// Sweep diff
+// ---------------------------------------------------------------------------
+
+/// One config's change between two sweep artefacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigDelta {
+    /// The config summary (`<procs>p/<distribution>/<cache>/<buffer>...`).
+    pub config: String,
+    /// Baseline machine time (max node finish).
+    pub base_cycles: u64,
+    /// Current machine time.
+    pub cur_cycles: u64,
+    /// Five-way attribution of the change, summed over all nodes. Its
+    /// [`BreakdownDelta::total`] equals the change in *node-cycle sum*
+    /// (machine time is the max finish, so the two differ whenever load
+    /// shifts between nodes — both views are reported).
+    pub breakdown: BreakdownDelta,
+}
+
+impl ConfigDelta {
+    /// Signed machine-time change in cycles.
+    pub fn delta(&self) -> i64 {
+        delta64(self.cur_cycles, self.base_cycles)
+    }
+
+    /// True when neither the machine time nor any per-node category
+    /// moved.
+    pub fn is_zero(&self) -> bool {
+        self.delta() == 0 && self.breakdown.is_zero()
+    }
+
+    /// The `<procs>p/<distribution>` group this config belongs to (what
+    /// the regression gate medians over).
+    pub fn group(&self) -> String {
+        config_group(&self.config).unwrap_or_else(|| self.config.clone())
+    }
+}
+
+/// The regression gate's group key of a config summary: its first two
+/// `/`-separated segments (`None` when the summary has fewer).
+pub fn config_group(config: &str) -> Option<String> {
+    let segments: Vec<&str> = config.splitn(3, '/').collect();
+    (segments.len() >= 2).then(|| format!("{}/{}", segments[0], segments[1]))
+}
+
+/// Attributed difference between two `BENCH_sweep.json` documents.
+#[derive(Debug, Clone)]
+pub struct SweepDiff {
+    /// Provenance of the baseline document.
+    pub base: Provenance,
+    /// Provenance of the current document.
+    pub current: Provenance,
+    /// Per-config deltas, in the current document's order.
+    pub configs: Vec<ConfigDelta>,
+    /// Configs only the baseline has (coverage drift).
+    pub only_base: Vec<String>,
+    /// Configs only the current document has.
+    pub only_current: Vec<String>,
+}
+
+/// Parses a sweep document's `cycle_breakdowns` into
+/// `config -> (total, per-node breakdowns)`, preserving order.
+fn parse_breakdowns(
+    label: &str,
+    doc: &Json,
+) -> Result<Vec<(String, u64, Vec<CycleBreakdown>)>, String> {
+    let configs = doc
+        .get("cycle_breakdowns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{label}: missing or mistyped 'cycle_breakdowns'"))?;
+    let mut out = Vec::with_capacity(configs.len());
+    for (i, entry) in configs.iter().enumerate() {
+        let config = entry
+            .get("config")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: breakdown #{i} has no 'config'"))?;
+        let total = entry
+            .get("total_cycles")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{label}/{config}: missing 'total_cycles'"))?;
+        let rows = entry
+            .get("nodes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{label}/{config}: missing 'nodes'"))?;
+        let mut nodes = Vec::with_capacity(rows.len());
+        for (n, row) in rows.iter().enumerate() {
+            let cells: Option<Vec<u64>> = row
+                .as_arr()
+                .map(|r| r.iter().filter_map(Json::as_u64).collect());
+            match cells.as_deref() {
+                Some(&[setup, busy, bus_stall, starved, idle, _finish]) => {
+                    nodes.push(CycleBreakdown { setup, busy, bus_stall, starved, idle });
+                }
+                _ => {
+                    return Err(format!(
+                        "{label}/{config}/node{n}: expected 6 integers \
+                         [setup, busy, bus_stall, starved, idle, finish]"
+                    ))
+                }
+            }
+        }
+        out.push((config.to_string(), total, nodes));
+    }
+    Ok(out)
+}
+
+impl SweepDiff {
+    /// Diffs two sweep documents (baseline first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for missing/incomparable provenance, a malformed
+    /// `cycle_breakdowns` section, or a node-count mismatch on a shared
+    /// config (the grids hash equal, so that means a corrupt document).
+    pub fn between(base_doc: &Json, cur_doc: &Json) -> Result<SweepDiff, String> {
+        let (base_prov, cur_prov) = comparable_provenance(base_doc, cur_doc)?;
+        let base = parse_breakdowns("baseline", base_doc)?;
+        let cur = parse_breakdowns("current", cur_doc)?;
+        let base_by_name: BTreeMap<&str, (&u64, &Vec<CycleBreakdown>)> = base
+            .iter()
+            .map(|(c, t, n)| (c.as_str(), (t, n)))
+            .collect();
+        let cur_names: BTreeMap<&str, ()> = cur.iter().map(|(c, _, _)| (c.as_str(), ())).collect();
+
+        let mut configs = Vec::new();
+        for (config, cur_total, cur_nodes) in &cur {
+            let Some((base_total, base_nodes)) = base_by_name.get(config.as_str()) else {
+                continue;
+            };
+            if base_nodes.len() != cur_nodes.len() {
+                return Err(format!(
+                    "config '{config}': node count {} vs {} — corrupt artefact \
+                     (the grids hash equal)",
+                    base_nodes.len(),
+                    cur_nodes.len()
+                ));
+            }
+            let mut breakdown = BreakdownDelta::default();
+            for (c, b) in cur_nodes.iter().zip(base_nodes.iter()) {
+                breakdown += c.delta(b);
+            }
+            configs.push(ConfigDelta {
+                config: config.clone(),
+                base_cycles: **base_total,
+                cur_cycles: *cur_total,
+                breakdown,
+            });
+        }
+        Ok(SweepDiff {
+            base: base_prov,
+            current: cur_prov,
+            configs,
+            only_base: base
+                .iter()
+                .filter(|(c, _, _)| !cur_names.contains_key(c.as_str()))
+                .map(|(c, _, _)| c.clone())
+                .collect(),
+            only_current: cur
+                .iter()
+                .filter(|(c, _, _)| !base_by_name.contains_key(c.as_str()))
+                .map(|(c, _, _)| c.clone())
+                .collect(),
+        })
+    }
+
+    /// True when every config is unchanged at every level and neither
+    /// side has extra configs.
+    pub fn is_zero(&self) -> bool {
+        self.only_base.is_empty()
+            && self.only_current.is_empty()
+            && self.configs.iter().all(ConfigDelta::is_zero)
+    }
+
+    /// Changed configs ranked by absolute machine-time delta, largest
+    /// first (ties break on the config name for determinism).
+    pub fn ranked(&self) -> Vec<&ConfigDelta> {
+        let mut changed: Vec<&ConfigDelta> =
+            self.configs.iter().filter(|c| !c.is_zero()).collect();
+        changed.sort_by(|a, b| {
+            b.delta()
+                .unsigned_abs()
+                .cmp(&a.delta().unsigned_abs())
+                .then_with(|| a.config.cmp(&b.config))
+        });
+        changed
+    }
+
+    /// Ranked, human-readable explanation lines for the top `top`
+    /// changed configs: the cycle change plus the dominant breakdown
+    /// categories driving it.
+    pub fn explanation(&self, top: usize) -> Vec<String> {
+        let mut lines = Vec::new();
+        if let Some(drift) = self.base.environment_drift(&self.current) {
+            lines.push(format!("note: environment drift ({drift})"));
+        }
+        for c in self.ranked().into_iter().take(top) {
+            lines.push(explain_config(c));
+        }
+        for config in &self.only_base {
+            lines.push(format!("{config}: only in baseline (coverage drift)"));
+        }
+        for config in &self.only_current {
+            lines.push(format!("{config}: only in current run (coverage drift)"));
+        }
+        if lines.is_empty() {
+            lines.push("no differences: every config identical at every level".to_string());
+        }
+        lines
+    }
+
+    /// The diff as a `DIFF_*.json`-shaped document (`kind: "sweep-diff"`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str("sweep-diff")),
+            ("zero", Json::Bool(self.is_zero())),
+            ("base_provenance", self.base.to_json()),
+            ("current_provenance", self.current.to_json()),
+            (
+                "configs",
+                Json::arr(self.configs.iter().map(|c| {
+                    Json::obj([
+                        ("config", Json::str(&c.config)),
+                        ("base_cycles", Json::U64(c.base_cycles)),
+                        ("cur_cycles", Json::U64(c.cur_cycles)),
+                        ("delta", Json::I64(c.delta())),
+                        (
+                            "breakdown",
+                            Json::obj(
+                                crate::breakdown::CATEGORY_NAMES
+                                    .iter()
+                                    .zip(c.breakdown.as_array())
+                                    .map(|(&k, d)| (k, Json::I64(d))),
+                            ),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "only_base",
+                Json::arr(self.only_base.iter().map(Json::str)),
+            ),
+            (
+                "only_current",
+                Json::arr(self.only_current.iter().map(Json::str)),
+            ),
+        ])
+    }
+}
+
+/// One config's explanation line: cycle movement plus its top breakdown
+/// categories.
+fn explain_config(c: &ConfigDelta) -> String {
+    let verb = if c.delta() > 0 { "regressed" } else { "improved" };
+    let mut line = format!(
+        "{}: {verb} {} ({} -> {} cycles, {:+} machine cycles)",
+        c.config,
+        fmt_pct(c.cur_cycles, c.base_cycles),
+        c.base_cycles,
+        c.cur_cycles,
+        c.delta(),
+    );
+    let mut cats: Vec<(&'static str, i64)> = crate::breakdown::CATEGORY_NAMES
+        .iter()
+        .zip(c.breakdown.as_array())
+        .filter(|(_, d)| *d != 0)
+        .map(|(&k, d)| (k, d))
+        .collect();
+    cats.sort_by_key(|(_, d)| std::cmp::Reverse(d.unsigned_abs()));
+    if !cats.is_empty() {
+        let parts: Vec<String> = cats
+            .iter()
+            .take(3)
+            .map(|(k, d)| format!("{k} {d:+}"))
+            .collect();
+        line.push_str(&format!(": {} node cycles", parts.join(", ")));
+    }
+    line
+}
+
+// ---------------------------------------------------------------------------
+// Heatmap diff
+// ---------------------------------------------------------------------------
+
+/// One node's three-C miss-class movement between two heatmap artefacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeMissDelta {
+    /// Node index.
+    pub node: usize,
+    /// Fragment-count change.
+    pub fragments: i64,
+    /// Compulsory-miss change.
+    pub compulsory: i64,
+    /// Capacity-miss change.
+    pub capacity: i64,
+    /// Conflict-miss change.
+    pub conflict: i64,
+    /// Total-miss change (equals the three-C sum by the identity both
+    /// documents already satisfy).
+    pub misses: i64,
+}
+
+impl NodeMissDelta {
+    /// True when nothing moved on this node.
+    pub fn is_zero(&self) -> bool {
+        self.fragments == 0 && self.misses == 0 && self.compulsory == 0
+            && self.capacity == 0 && self.conflict == 0
+    }
+}
+
+/// A tile-level delta grid for one metric plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileDeltaPlane {
+    /// The metric plane (`fragments`, `setup_cycles`, ...).
+    pub metric: String,
+    /// Tile columns.
+    pub cols: usize,
+    /// Tile rows.
+    pub rows: usize,
+    /// Row-major signed per-tile deltas.
+    pub deltas: Vec<i64>,
+}
+
+impl TileDeltaPlane {
+    /// Largest absolute tile delta (the diverging palette's
+    /// normalisation anchor).
+    pub fn max_abs(&self) -> i64 {
+        self.deltas.iter().map(|d| d.abs()).max().unwrap_or(0)
+    }
+
+    /// How many tiles changed at all.
+    pub fn changed_tiles(&self) -> usize {
+        self.deltas.iter().filter(|&&d| d != 0).count()
+    }
+
+    /// `(col, row, delta)` of the largest-magnitude change (`None` when
+    /// the plane is all-zero).
+    pub fn hottest(&self) -> Option<(usize, usize, i64)> {
+        let (i, &d) = self
+            .deltas
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| d.unsigned_abs())?;
+        (d != 0).then_some((i % self.cols, i / self.cols, d))
+    }
+
+    /// Renders the plane through the diverging palette (blue improved,
+    /// white unchanged, red regressed), normalised by [`max_abs`]
+    /// (an all-zero plane renders solid white).
+    ///
+    /// [`max_abs`]: Self::max_abs
+    ///
+    /// # Panics
+    ///
+    /// Panics if `px_per_tile` is zero.
+    pub fn render(&self, px_per_tile: u32) -> Image {
+        assert!(px_per_tile > 0, "px_per_tile must be positive");
+        let scale = self.max_abs().max(1) as f64;
+        let mut img = Image::new(
+            self.cols as u32 * px_per_tile,
+            self.rows as u32 * px_per_tile,
+        );
+        for (i, &d) in self.deltas.iter().enumerate() {
+            let rgb = diverging_color(d as f64 / scale);
+            let (col, row) = (i % self.cols, i / self.cols);
+            for dy in 0..px_per_tile {
+                for dx in 0..px_per_tile {
+                    img.put(
+                        col as u32 * px_per_tile + dx,
+                        row as u32 * px_per_tile + dy,
+                        rgb,
+                    );
+                }
+            }
+        }
+        img
+    }
+}
+
+/// Attributed difference between two `HEATMAP_<preset>.json` documents.
+#[derive(Debug, Clone)]
+pub struct HeatmapDiff {
+    /// The preset both documents render.
+    pub preset: String,
+    /// The machine config both documents ran.
+    pub config: String,
+    /// Provenance of the baseline document.
+    pub base: Provenance,
+    /// Provenance of the current document.
+    pub current: Provenance,
+    /// Tile delta grids, one per numeric metric plane.
+    pub planes: Vec<TileDeltaPlane>,
+    /// Tiles whose owning node flipped (the owner plane is categorical,
+    /// so a signed delta would be meaningless).
+    pub owner_flips: usize,
+    /// Per-node three-C miss-class deltas.
+    pub nodes: Vec<NodeMissDelta>,
+}
+
+/// The numeric tile planes a heatmap diff compares (the `owner` plane is
+/// categorical and handled as flip counts instead).
+pub const NUMERIC_TILE_METRICS: [&str; 6] = [
+    "fragments",
+    "setup_cycles",
+    "lines_fetched",
+    "miss_compulsory",
+    "miss_capacity",
+    "miss_conflict",
+];
+
+/// Reads one `rows x cols` integer plane out of a heatmap document.
+fn parse_plane(label: &str, doc: &Json, metric: &str) -> Result<Vec<u64>, String> {
+    let rows = doc
+        .get("tiles")
+        .and_then(|t| t.get(metric))
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{label}: missing or mistyped 'tiles.{metric}'"))?;
+    let mut out = Vec::new();
+    for row in rows {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| format!("{label}: 'tiles.{metric}' row is not an array"))?;
+        for cell in cells {
+            out.push(
+                cell.as_u64()
+                    .ok_or_else(|| format!("{label}: non-integer cell in 'tiles.{metric}'"))?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+impl HeatmapDiff {
+    /// Diffs two heatmap documents (baseline first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for missing/incomparable provenance, mismatched
+    /// preset/config/grid geometry, or malformed planes and node tables.
+    pub fn between(base_doc: &Json, cur_doc: &Json) -> Result<HeatmapDiff, String> {
+        let (base_prov, cur_prov) = comparable_provenance(base_doc, cur_doc)?;
+        let field = |doc: &Json, side: &str, key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{side}: missing or mistyped '{key}'"))
+        };
+        let preset = field(base_doc, "baseline", "preset")?;
+        let cur_preset = field(cur_doc, "current", "preset")?;
+        if preset != cur_preset {
+            return Err(format!(
+                "incomparable heatmaps: preset '{preset}' vs '{cur_preset}'"
+            ));
+        }
+        let config = field(base_doc, "baseline", "config")?;
+        let cur_config = field(cur_doc, "current", "config")?;
+        if config != cur_config {
+            return Err(format!(
+                "incomparable heatmaps: config '{config}' vs '{cur_config}'"
+            ));
+        }
+        let geom = |doc: &Json, side: &str| -> Result<(u64, u64, u64), String> {
+            let g = |key: &str| {
+                doc.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{side}: missing or mistyped '{key}'"))
+            };
+            Ok((g("tile")?, g("cols")?, g("rows")?))
+        };
+        let (tile, cols, rows) = geom(base_doc, "baseline")?;
+        let cur_geom = geom(cur_doc, "current")?;
+        if (tile, cols, rows) != cur_geom {
+            return Err(format!(
+                "incomparable heatmaps: grid {cols}x{rows} @{tile}px vs {}x{} @{}px",
+                cur_geom.1, cur_geom.2, cur_geom.0
+            ));
+        }
+        let (cols, rows) = (cols as usize, rows as usize);
+
+        let mut planes = Vec::new();
+        for metric in NUMERIC_TILE_METRICS {
+            let base = parse_plane("baseline", base_doc, metric)?;
+            let cur = parse_plane("current", cur_doc, metric)?;
+            if base.len() != cols * rows || cur.len() != cols * rows {
+                return Err(format!(
+                    "'tiles.{metric}' is not {cols}x{rows} on both sides"
+                ));
+            }
+            planes.push(TileDeltaPlane {
+                metric: metric.to_string(),
+                cols,
+                rows,
+                deltas: cur
+                    .iter()
+                    .zip(&base)
+                    .map(|(&c, &b)| delta64(c, b))
+                    .collect(),
+            });
+        }
+        let base_owner = parse_plane("baseline", base_doc, "owner")?;
+        let cur_owner = parse_plane("current", cur_doc, "owner")?;
+        let owner_flips = cur_owner
+            .iter()
+            .zip(&base_owner)
+            .filter(|(c, b)| c != b)
+            .count();
+
+        let parse_nodes = |doc: &Json, side: &str| -> Result<Vec<[u64; 5]>, String> {
+            let rows = doc
+                .get("nodes")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{side}: missing or mistyped 'nodes'"))?;
+            rows.iter()
+                .enumerate()
+                .map(|(i, node)| {
+                    let mut out = [0u64; 5];
+                    for (slot, key) in out
+                        .iter_mut()
+                        .zip(["fragments", "compulsory", "capacity", "conflict", "misses"])
+                    {
+                        *slot = node.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                            format!("{side}/node{i}: missing or mistyped '{key}'")
+                        })?;
+                    }
+                    Ok(out)
+                })
+                .collect()
+        };
+        let base_nodes = parse_nodes(base_doc, "baseline")?;
+        let cur_nodes = parse_nodes(cur_doc, "current")?;
+        if base_nodes.len() != cur_nodes.len() {
+            return Err(format!(
+                "incomparable heatmaps: {} nodes vs {}",
+                base_nodes.len(),
+                cur_nodes.len()
+            ));
+        }
+        let nodes = cur_nodes
+            .iter()
+            .zip(&base_nodes)
+            .enumerate()
+            .map(|(node, (c, b))| NodeMissDelta {
+                node,
+                fragments: delta64(c[0], b[0]),
+                compulsory: delta64(c[1], b[1]),
+                capacity: delta64(c[2], b[2]),
+                conflict: delta64(c[3], b[3]),
+                misses: delta64(c[4], b[4]),
+            })
+            .collect();
+
+        Ok(HeatmapDiff {
+            preset,
+            config,
+            base: base_prov,
+            current: cur_prov,
+            planes,
+            owner_flips,
+            nodes,
+        })
+    }
+
+    /// True when every tile plane, the owner map and every node's miss
+    /// classes are unchanged.
+    pub fn is_zero(&self) -> bool {
+        self.owner_flips == 0
+            && self.planes.iter().all(|p| p.max_abs() == 0)
+            && self.nodes.iter().all(NodeMissDelta::is_zero)
+    }
+
+    /// Total change of one miss class over all nodes, with the baseline
+    /// total for a percentage, and the changed node indices.
+    fn miss_class_movement(&self, pick: impl Fn(&NodeMissDelta) -> i64) -> (i64, Vec<usize>) {
+        let mut total = 0;
+        let mut changed = Vec::new();
+        for n in &self.nodes {
+            let d = pick(n);
+            total += d;
+            if d != 0 {
+                changed.push(n.node);
+            }
+        }
+        (total, changed)
+    }
+
+    /// Ranked, human-readable explanation lines: miss-class movement
+    /// with the nodes carrying it, then the hottest tile per changed
+    /// plane.
+    pub fn explanation(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (class, pick) in [
+            ("compulsory", (|n: &NodeMissDelta| n.compulsory) as fn(&NodeMissDelta) -> i64),
+            ("capacity", |n| n.capacity),
+            ("conflict", |n| n.conflict),
+        ] {
+            let (total, nodes) = self.miss_class_movement(pick);
+            if total != 0 {
+                lines.push(format!(
+                    "{class} misses {total:+} on nodes {}",
+                    compact_ranges(&nodes)
+                ));
+            }
+        }
+        for plane in &self.planes {
+            if let Some((col, row, d)) = plane.hottest() {
+                lines.push(format!(
+                    "{}: {} tiles changed, hottest {d:+} at ({col},{row})",
+                    plane.metric,
+                    plane.changed_tiles(),
+                ));
+            }
+        }
+        if self.owner_flips > 0 {
+            lines.push(format!("{} tiles changed owner", self.owner_flips));
+        }
+        if lines.is_empty() {
+            lines.push("no differences: tiles, owners and miss classes identical".to_string());
+        }
+        lines
+    }
+
+    /// The diff as a `DIFF_*.json`-shaped document (`kind: "heatmap-diff"`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str("heatmap-diff")),
+            ("zero", Json::Bool(self.is_zero())),
+            ("preset", Json::str(&self.preset)),
+            ("config", Json::str(&self.config)),
+            ("base_provenance", self.base.to_json()),
+            ("current_provenance", self.current.to_json()),
+            ("owner_flips", Json::U64(self.owner_flips as u64)),
+            (
+                "planes",
+                Json::arr(self.planes.iter().map(|p| {
+                    Json::obj([
+                        ("metric", Json::str(&p.metric)),
+                        ("changed_tiles", Json::U64(p.changed_tiles() as u64)),
+                        ("max_abs", Json::I64(p.max_abs())),
+                        (
+                            "deltas",
+                            Json::arr((0..p.rows).map(|row| {
+                                Json::arr(
+                                    p.deltas[row * p.cols..(row + 1) * p.cols]
+                                        .iter()
+                                        .map(|&d| Json::I64(d)),
+                                )
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "nodes",
+                Json::arr(self.nodes.iter().map(|n| {
+                    Json::obj([
+                        ("node", Json::U64(n.node as u64)),
+                        ("fragments", Json::I64(n.fragments)),
+                        ("compulsory", Json::I64(n.compulsory)),
+                        ("capacity", Json::I64(n.capacity)),
+                        ("conflict", Json::I64(n.conflict)),
+                        ("misses", Json::I64(n.misses)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics (host profile) diff
+// ---------------------------------------------------------------------------
+
+/// One pipeline phase's wall-time movement between two host profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseDelta {
+    /// Phase (span) name.
+    pub name: String,
+    /// Change in occurrence count.
+    pub count: i64,
+    /// Change in inclusive wall time.
+    pub total_ns: i64,
+    /// Change in self (exclusive) wall time.
+    pub self_ns: i64,
+    /// Baseline self time, anchoring percentages.
+    pub base_self_ns: u64,
+}
+
+/// One histogram's distribution shift between two host profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramShift {
+    /// Histogram name.
+    pub name: String,
+    /// Change in sample count.
+    pub count: i64,
+    /// Change in sample sum.
+    pub sum: i64,
+    /// Bucket-resolution percentile movement `[p50, p90, p99]`.
+    pub percentiles: [i64; 3],
+    /// Sparse per-bucket count deltas `(bucket index, delta)`, ascending.
+    pub buckets: Vec<(usize, i64)>,
+}
+
+impl HistogramShift {
+    /// True when the distribution did not move at all.
+    pub fn is_zero(&self) -> bool {
+        self.count == 0 && self.sum == 0 && self.percentiles == [0; 3] && self.buckets.is_empty()
+    }
+}
+
+/// Attributed difference between two `METRICS_<name>.json` host
+/// profiles. Host wall times are *not* deterministic across runs — this
+/// differ explains where time moved, it does not gate.
+#[derive(Debug, Clone)]
+pub struct MetricsDiff {
+    /// Provenance of the baseline document.
+    pub base: Provenance,
+    /// Provenance of the current document.
+    pub current: Provenance,
+    /// Per-phase deltas for phases present on both sides, baseline order.
+    pub phases: Vec<PhaseDelta>,
+    /// Phases only one side has (name, which side).
+    pub one_sided_phases: Vec<(String, &'static str)>,
+    /// Counter deltas (all counters on either side, by name).
+    pub counters: Vec<(String, i64)>,
+    /// Histogram distribution shifts for histograms on both sides.
+    pub histograms: Vec<HistogramShift>,
+    /// Histograms only one side has (name, which side).
+    pub one_sided_histograms: Vec<(String, &'static str)>,
+    /// Peak-RSS change in bytes.
+    pub peak_rss_delta: i64,
+}
+
+/// Reads the `phases` table as `name -> (count, total_ns, self_ns)`.
+fn parse_phases(label: &str, doc: &Json) -> Result<Vec<(String, [u64; 3])>, String> {
+    let rows = doc
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{label}: missing or mistyped 'phases'"))?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let name = row
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{label}/phase#{i}: missing 'name'"))?;
+            let mut vals = [0u64; 3];
+            for (slot, key) in vals.iter_mut().zip(["count", "total_ns", "self_ns"]) {
+                *slot = row
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{label}/{name}: missing or mistyped '{key}'"))?;
+            }
+            Ok((name.to_string(), vals))
+        })
+        .collect()
+}
+
+/// Reads `metrics.counters` as `name -> value`.
+fn parse_counters(label: &str, doc: &Json) -> Result<BTreeMap<String, u64>, String> {
+    let Some(Json::Obj(pairs)) = doc.get("metrics").and_then(|m| m.get("counters")) else {
+        return Err(format!("{label}: missing or mistyped 'metrics.counters'"));
+    };
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            v.as_u64()
+                .map(|v| (k.clone(), v))
+                .ok_or_else(|| format!("{label}: counter '{k}' is not an integer"))
+        })
+        .collect()
+}
+
+/// One histogram snapshot: `(count, sum, [p50, p90, p99], buckets)`.
+type HistogramSnapshot = (u64, u64, [u64; 3], BTreeMap<usize, u64>);
+
+/// Reads `metrics.histograms` keyed by name.
+fn parse_histograms(
+    label: &str,
+    doc: &Json,
+) -> Result<BTreeMap<String, HistogramSnapshot>, String> {
+    let Some(Json::Obj(pairs)) = doc.get("metrics").and_then(|m| m.get("histograms")) else {
+        return Err(format!("{label}: missing or mistyped 'metrics.histograms'"));
+    };
+    let mut out = BTreeMap::new();
+    for (name, h) in pairs {
+        let field = |key: &str| {
+            h.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{label}/{name}: missing or mistyped '{key}'"))
+        };
+        let mut buckets = BTreeMap::new();
+        for pair in h
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{label}/{name}: missing or mistyped 'buckets'"))?
+        {
+            match pair.as_arr() {
+                Some([k, n]) => {
+                    let (Some(k), Some(n)) = (k.as_u64(), n.as_u64()) else {
+                        return Err(format!("{label}/{name}: non-integer bucket entry"));
+                    };
+                    buckets.insert(k as usize, n);
+                }
+                _ => return Err(format!("{label}/{name}: bucket entry is not a pair")),
+            }
+        }
+        out.insert(
+            name.clone(),
+            (
+                field("count")?,
+                field("sum")?,
+                [field("p50")?, field("p90")?, field("p99")?],
+                buckets,
+            ),
+        );
+    }
+    Ok(out)
+}
+
+impl MetricsDiff {
+    /// Diffs two host-profile documents (baseline first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for missing/incomparable provenance or malformed
+    /// phase/metric tables.
+    pub fn between(base_doc: &Json, cur_doc: &Json) -> Result<MetricsDiff, String> {
+        let (base_prov, cur_prov) = comparable_provenance(base_doc, cur_doc)?;
+        let base_phases = parse_phases("baseline", base_doc)?;
+        let cur_phases = parse_phases("current", cur_doc)?;
+        let cur_by_name: BTreeMap<&str, &[u64; 3]> =
+            cur_phases.iter().map(|(n, v)| (n.as_str(), v)).collect();
+        let base_names: BTreeMap<&str, ()> =
+            base_phases.iter().map(|(n, _)| (n.as_str(), ())).collect();
+
+        let mut phases = Vec::new();
+        let mut one_sided_phases = Vec::new();
+        for (name, b) in &base_phases {
+            match cur_by_name.get(name.as_str()) {
+                Some(c) => phases.push(PhaseDelta {
+                    name: name.clone(),
+                    count: delta64(c[0], b[0]),
+                    total_ns: delta64(c[1], b[1]),
+                    self_ns: delta64(c[2], b[2]),
+                    base_self_ns: b[2],
+                }),
+                None => one_sided_phases.push((name.clone(), "baseline")),
+            }
+        }
+        for (name, _) in &cur_phases {
+            if !base_names.contains_key(name.as_str()) {
+                one_sided_phases.push((name.clone(), "current"));
+            }
+        }
+
+        let base_counters = parse_counters("baseline", base_doc)?;
+        let cur_counters = parse_counters("current", cur_doc)?;
+        let mut counter_names: Vec<&String> = base_counters.keys().collect();
+        for name in cur_counters.keys() {
+            if !base_counters.contains_key(name) {
+                counter_names.push(name);
+            }
+        }
+        let counters = counter_names
+            .into_iter()
+            .map(|name| {
+                let b = base_counters.get(name).copied().unwrap_or(0);
+                let c = cur_counters.get(name).copied().unwrap_or(0);
+                (name.clone(), delta64(c, b))
+            })
+            .collect();
+
+        let base_hists = parse_histograms("baseline", base_doc)?;
+        let cur_hists = parse_histograms("current", cur_doc)?;
+        let mut histograms = Vec::new();
+        let mut one_sided_histograms = Vec::new();
+        for (name, (b_count, b_sum, b_pct, b_buckets)) in &base_hists {
+            let Some((c_count, c_sum, c_pct, c_buckets)) = cur_hists.get(name) else {
+                one_sided_histograms.push((name.clone(), "baseline"));
+                continue;
+            };
+            let mut keys: Vec<usize> = b_buckets.keys().chain(c_buckets.keys()).copied().collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let buckets = keys
+                .into_iter()
+                .filter_map(|k| {
+                    let d = delta64(
+                        c_buckets.get(&k).copied().unwrap_or(0),
+                        b_buckets.get(&k).copied().unwrap_or(0),
+                    );
+                    (d != 0).then_some((k, d))
+                })
+                .collect();
+            histograms.push(HistogramShift {
+                name: name.clone(),
+                count: delta64(*c_count, *b_count),
+                sum: delta64(*c_sum, *b_sum),
+                percentiles: [
+                    delta64(c_pct[0], b_pct[0]),
+                    delta64(c_pct[1], b_pct[1]),
+                    delta64(c_pct[2], b_pct[2]),
+                ],
+                buckets,
+            });
+        }
+        for name in cur_hists.keys() {
+            if !base_hists.contains_key(name) {
+                one_sided_histograms.push((name.clone(), "current"));
+            }
+        }
+
+        let rss = |doc: &Json, side: &str| {
+            doc.get("peak_rss_bytes")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{side}: missing or mistyped 'peak_rss_bytes'"))
+        };
+        let peak_rss_delta = delta64(rss(cur_doc, "current")?, rss(base_doc, "baseline")?);
+
+        Ok(MetricsDiff {
+            base: base_prov,
+            current: cur_prov,
+            phases,
+            one_sided_phases,
+            counters,
+            histograms,
+            one_sided_histograms,
+            peak_rss_delta,
+        })
+    }
+
+    /// True when phases, counters, histograms and peak RSS are all
+    /// unchanged (only diffing a profile against itself achieves this —
+    /// wall times jitter between real runs).
+    pub fn is_zero(&self) -> bool {
+        self.one_sided_phases.is_empty()
+            && self.one_sided_histograms.is_empty()
+            && self.peak_rss_delta == 0
+            && self
+                .phases
+                .iter()
+                .all(|p| p.count == 0 && p.total_ns == 0 && p.self_ns == 0)
+            && self.counters.iter().all(|(_, d)| *d == 0)
+            && self.histograms.iter().all(HistogramShift::is_zero)
+    }
+
+    /// Phases ranked by absolute self-time movement, largest first.
+    pub fn ranked_phases(&self) -> Vec<&PhaseDelta> {
+        let mut changed: Vec<&PhaseDelta> = self
+            .phases
+            .iter()
+            .filter(|p| p.self_ns != 0 || p.count != 0)
+            .collect();
+        changed.sort_by(|a, b| {
+            b.self_ns
+                .unsigned_abs()
+                .cmp(&a.self_ns.unsigned_abs())
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        changed
+    }
+
+    /// Ranked, human-readable explanation lines: where host wall time
+    /// moved, counter drift, and histogram shifts.
+    pub fn explanation(&self, top: usize) -> Vec<String> {
+        let mut lines = Vec::new();
+        if let Some(drift) = self.base.environment_drift(&self.current) {
+            lines.push(format!(
+                "note: environment drift ({drift}) — wall times are not portable"
+            ));
+        }
+        for p in self.ranked_phases().into_iter().take(top) {
+            let pct = fmt_pct(
+                (p.base_self_ns as i128 + p.self_ns as i128).max(0) as u64,
+                p.base_self_ns,
+            );
+            lines.push(format!(
+                "phase '{}': self {:+.3} ms ({pct}), inclusive {:+.3} ms",
+                p.name,
+                p.self_ns as f64 / 1e6,
+                p.total_ns as f64 / 1e6,
+            ));
+        }
+        for (name, d) in self.counters.iter().filter(|(_, d)| *d != 0).take(top) {
+            lines.push(format!("counter '{name}': {d:+}"));
+        }
+        for h in self.histograms.iter().filter(|h| !h.is_zero()).take(top) {
+            lines.push(format!(
+                "histogram '{}': count {:+}, p50 {:+} ns, p99 {:+} ns, {} buckets moved",
+                h.name,
+                h.count,
+                h.percentiles[0],
+                h.percentiles[2],
+                h.buckets.len(),
+            ));
+        }
+        if lines.is_empty() {
+            lines.push("no differences: phases, counters and histograms identical".to_string());
+        }
+        lines
+    }
+
+    /// The diff as a `DIFF_*.json`-shaped document (`kind: "metrics-diff"`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str("metrics-diff")),
+            ("zero", Json::Bool(self.is_zero())),
+            ("base_provenance", self.base.to_json()),
+            ("current_provenance", self.current.to_json()),
+            ("peak_rss_delta", Json::I64(self.peak_rss_delta)),
+            (
+                "phases",
+                Json::arr(self.phases.iter().map(|p| {
+                    Json::obj([
+                        ("name", Json::str(&p.name)),
+                        ("count", Json::I64(p.count)),
+                        ("total_ns", Json::I64(p.total_ns)),
+                        ("self_ns", Json::I64(p.self_ns)),
+                    ])
+                })),
+            ),
+            (
+                "counters",
+                Json::obj(self.counters.iter().map(|(k, d)| (k.clone(), Json::I64(*d)))),
+            ),
+            (
+                "histograms",
+                Json::arr(self.histograms.iter().map(|h| {
+                    Json::obj([
+                        ("name", Json::str(&h.name)),
+                        ("count", Json::I64(h.count)),
+                        ("sum", Json::I64(h.sum)),
+                        ("p50", Json::I64(h.percentiles[0])),
+                        ("p90", Json::I64(h.percentiles[1])),
+                        ("p99", Json::I64(h.percentiles[2])),
+                        (
+                            "buckets",
+                            Json::arr(h.buckets.iter().map(|&(k, d)| {
+                                Json::arr([Json::U64(k as u64), Json::I64(d)])
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "one_sided",
+                Json::arr(
+                    self.one_sided_phases
+                        .iter()
+                        .map(|(n, side)| Json::str(format!("phase '{n}' only in {side}")))
+                        .chain(self.one_sided_histograms.iter().map(|(n, side)| {
+                            Json::str(format!("histogram '{n}' only in {side}"))
+                        })),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Which differ a parsed artefact belongs to, from its structure:
+/// `sweep`, `heatmap` or `metrics` (`None` for anything else).
+pub fn detect_kind(doc: &Json) -> Option<&'static str> {
+    if doc.get("cycle_breakdowns").is_some() {
+        Some("sweep")
+    } else if doc.get("tiles").is_some() {
+        Some("heatmap")
+    } else if doc.get("spans").is_some() {
+        Some("metrics")
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prov() -> Json {
+        Provenance::collect(7, 0xabc).to_json()
+    }
+
+    fn sweep_doc(bus_stall: u64) -> Json {
+        let finish = 100 + bus_stall;
+        Json::obj([
+            ("provenance", prov()),
+            (
+                "cycle_breakdowns",
+                Json::arr([
+                    Json::obj([
+                        ("config", Json::str("16p/block-16/16KB/buf100")),
+                        ("total_cycles", Json::U64(finish)),
+                        (
+                            "nodes",
+                            Json::arr([Json::arr(
+                                [25, 60, bus_stall, 10, 5, finish].map(Json::U64),
+                            )]),
+                        ),
+                    ]),
+                    Json::obj([
+                        ("config", Json::str("64p/sli-4/16KB/buf100")),
+                        ("total_cycles", Json::U64(50)),
+                        (
+                            "nodes",
+                            Json::arr([Json::arr([10, 30, 0, 5, 5, 50].map(Json::U64))]),
+                        ),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn sweep_self_diff_is_exactly_zero() {
+        let doc = sweep_doc(0);
+        let d = SweepDiff::between(&doc, &doc).unwrap();
+        assert!(d.is_zero());
+        assert_eq!(d.ranked().len(), 0);
+        assert!(d.explanation(5)[0].contains("no differences"));
+        assert_eq!(d.to_json().get("zero"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn sweep_diff_attributes_an_injected_bus_stall_regression() {
+        let base = sweep_doc(0);
+        let cur = sweep_doc(40);
+        let d = SweepDiff::between(&base, &cur).unwrap();
+        assert!(!d.is_zero());
+        let ranked = d.ranked();
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].config, "16p/block-16/16KB/buf100");
+        assert_eq!(ranked[0].delta(), 40);
+        assert_eq!(ranked[0].breakdown.dominant(), Some(("bus_stall", 40)));
+        assert_eq!(ranked[0].group(), "16p/block-16");
+        let line = &d.explanation(5)[0];
+        assert!(line.contains("regressed") && line.contains("bus_stall +40"), "{line}");
+        // The reverse diff reads as an improvement of the same size.
+        let r = SweepDiff::between(&cur, &base).unwrap();
+        assert_eq!(r.ranked()[0].delta(), -40);
+        assert!(r.explanation(5)[0].contains("improved"));
+    }
+
+    #[test]
+    fn sweep_diff_rejects_incomparable_provenance() {
+        let base = sweep_doc(0);
+        let mut cur = sweep_doc(0);
+        cur.set(
+            "provenance",
+            Provenance::collect(7, 0xdef).to_json(),
+        );
+        let e = SweepDiff::between(&base, &cur).unwrap_err();
+        assert!(e.contains("grid_hash"), "{e}");
+        let mut cur = sweep_doc(0);
+        cur.set("provenance", Provenance::collect(8, 0xabc).to_json());
+        let e = SweepDiff::between(&base, &cur).unwrap_err();
+        assert!(e.contains("seed"), "{e}");
+        let Json::Obj(pairs) = sweep_doc(0) else { unreachable!() };
+        let stripped = Json::Obj(pairs.into_iter().filter(|(k, _)| k != "provenance").collect());
+        let e = SweepDiff::between(&stripped, &base).unwrap_err();
+        assert!(e.contains("missing provenance"), "{e}");
+    }
+
+    #[test]
+    fn sweep_diff_reports_coverage_drift() {
+        let base = sweep_doc(0);
+        let Json::Obj(mut pairs) = sweep_doc(0) else { unreachable!() };
+        for (k, v) in &mut pairs {
+            if k == "cycle_breakdowns" {
+                let Json::Arr(items) = v else { unreachable!() };
+                items.pop();
+            }
+        }
+        let cur = Json::Obj(pairs);
+        let d = SweepDiff::between(&base, &cur).unwrap();
+        assert!(!d.is_zero());
+        assert_eq!(d.only_base, vec!["64p/sli-4/16KB/buf100".to_string()]);
+        assert!(d
+            .explanation(5)
+            .iter()
+            .any(|l| l.contains("only in baseline")), "{:?}", d.explanation(5));
+    }
+
+    fn heatmap_doc(conflict: u64, owner: u64) -> Json {
+        Json::obj([
+            ("provenance", prov()),
+            ("preset", Json::str("demo")),
+            ("config", Json::str("4p/block-16/16KB/buf100")),
+            ("tile", Json::U64(16)),
+            ("cols", Json::U64(2)),
+            ("rows", Json::U64(1)),
+            (
+                "tiles",
+                Json::obj([
+                    ("fragments", Json::arr([Json::arr([Json::U64(5), Json::U64(3)])])),
+                    ("setup_cycles", Json::arr([Json::arr([Json::U64(25), Json::U64(25)])])),
+                    ("lines_fetched", Json::arr([Json::arr([Json::U64(2), Json::U64(1)])])),
+                    ("miss_compulsory", Json::arr([Json::arr([Json::U64(1), Json::U64(1)])])),
+                    ("miss_capacity", Json::arr([Json::arr([Json::U64(0), Json::U64(0)])])),
+                    (
+                        "miss_conflict",
+                        Json::arr([Json::arr([Json::U64(conflict), Json::U64(0)])]),
+                    ),
+                    ("owner", Json::arr([Json::arr([Json::U64(0), Json::U64(owner)])])),
+                ]),
+            ),
+            (
+                "nodes",
+                Json::arr([
+                    Json::obj([
+                        ("node", Json::U64(0)),
+                        ("fragments", Json::U64(5)),
+                        ("compulsory", Json::U64(1)),
+                        ("capacity", Json::U64(0)),
+                        ("conflict", Json::U64(conflict)),
+                        ("misses", Json::U64(1 + conflict)),
+                    ]),
+                    Json::obj([
+                        ("node", Json::U64(1)),
+                        ("fragments", Json::U64(3)),
+                        ("compulsory", Json::U64(1)),
+                        ("capacity", Json::U64(0)),
+                        ("conflict", Json::U64(0)),
+                        ("misses", Json::U64(1)),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn heatmap_self_diff_is_exactly_zero() {
+        let doc = heatmap_doc(0, 1);
+        let d = HeatmapDiff::between(&doc, &doc).unwrap();
+        assert!(d.is_zero());
+        assert_eq!(d.owner_flips, 0);
+        // An all-zero plane renders solid neutral white.
+        let img = d.planes[0].render(1);
+        assert_eq!(img.get(0, 0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn heatmap_diff_attributes_conflict_misses_and_tiles() {
+        let base = heatmap_doc(0, 1);
+        let cur = heatmap_doc(4, 0);
+        let d = HeatmapDiff::between(&base, &cur).unwrap();
+        assert!(!d.is_zero());
+        assert_eq!(d.owner_flips, 1);
+        assert_eq!(d.nodes[0].conflict, 4);
+        assert_eq!(d.nodes[0].misses, 4);
+        assert!(d.nodes[1].is_zero());
+        let conflict_plane = d
+            .planes
+            .iter()
+            .find(|p| p.metric == "miss_conflict")
+            .unwrap();
+        assert_eq!(conflict_plane.changed_tiles(), 1);
+        assert_eq!(conflict_plane.hottest(), Some((0, 0, 4)));
+        // The regressed tile renders red-ish, the untouched one white.
+        let img = conflict_plane.render(2);
+        assert_eq!(img.get(0, 0), diverging_color(1.0));
+        assert_eq!(img.get(2, 0), [255, 255, 255]);
+        let lines = d.explanation();
+        assert!(
+            lines.iter().any(|l| l.contains("conflict misses +4 on nodes 0")),
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.contains("changed owner")), "{lines:?}");
+    }
+
+    #[test]
+    fn heatmap_diff_rejects_mismatched_geometry_and_preset() {
+        let base = heatmap_doc(0, 1);
+        let mut cur = heatmap_doc(0, 1);
+        cur.set("cols", Json::U64(3));
+        let e = HeatmapDiff::between(&base, &cur).unwrap_err();
+        assert!(e.contains("grid"), "{e}");
+        let mut cur = heatmap_doc(0, 1);
+        cur.set("preset", Json::str("other"));
+        let e = HeatmapDiff::between(&base, &cur).unwrap_err();
+        assert!(e.contains("preset"), "{e}");
+    }
+
+    fn metrics_doc(capture_ns: u64, runs: u64) -> Json {
+        Json::obj([
+            ("provenance", prov()),
+            ("profile", Json::str("sweep")),
+            ("peak_rss_bytes", Json::U64(1 << 20)),
+            ("spans", Json::arr([])),
+            (
+                "phases",
+                Json::arr([
+                    Json::obj([
+                        ("name", Json::str("run-sweep")),
+                        ("count", Json::U64(1)),
+                        ("total_ns", Json::U64(1_000_000 + capture_ns)),
+                        ("self_ns", Json::U64(500_000)),
+                    ]),
+                    Json::obj([
+                        ("name", Json::str("capture")),
+                        ("count", Json::U64(2)),
+                        ("total_ns", Json::U64(capture_ns)),
+                        ("self_ns", Json::U64(capture_ns)),
+                    ]),
+                ]),
+            ),
+            (
+                "metrics",
+                Json::obj([
+                    (
+                        "counters",
+                        Json::obj([("sweep.configs", Json::U64(runs))]),
+                    ),
+                    ("gauges", Json::obj::<&str>([])),
+                    (
+                        "histograms",
+                        Json::obj([(
+                            "host.run_ns.direct",
+                            Json::obj([
+                                ("count", Json::U64(runs)),
+                                ("sum", Json::U64(runs * 1000)),
+                                ("min", Json::U64(900)),
+                                ("max", Json::U64(1100)),
+                                ("p50", Json::U64(1023)),
+                                ("p90", Json::U64(1100)),
+                                ("p99", Json::U64(1100)),
+                                (
+                                    "buckets",
+                                    Json::arr([Json::arr([Json::U64(10), Json::U64(runs)])]),
+                                ),
+                            ]),
+                        )]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn metrics_self_diff_is_exactly_zero() {
+        let doc = metrics_doc(200_000, 60);
+        let d = MetricsDiff::between(&doc, &doc).unwrap();
+        assert!(d.is_zero());
+        assert!(d.explanation(5)[0].contains("no differences"));
+    }
+
+    #[test]
+    fn metrics_diff_ranks_the_moved_phase_and_histogram() {
+        let base = metrics_doc(200_000, 60);
+        let cur = metrics_doc(500_000, 75);
+        let d = MetricsDiff::between(&base, &cur).unwrap();
+        assert!(!d.is_zero());
+        let ranked = d.ranked_phases();
+        assert_eq!(ranked[0].name, "capture");
+        assert_eq!(ranked[0].self_ns, 300_000);
+        assert_eq!(
+            d.counters,
+            vec![("sweep.configs".to_string(), 15)]
+        );
+        assert_eq!(d.histograms[0].count, 15);
+        assert_eq!(d.histograms[0].buckets, vec![(10, 15)]);
+        let lines = d.explanation(5);
+        assert!(lines[0].contains("capture"), "{lines:?}");
+    }
+
+    #[test]
+    fn detect_kind_distinguishes_the_artefact_families() {
+        assert_eq!(detect_kind(&sweep_doc(0)), Some("sweep"));
+        assert_eq!(detect_kind(&heatmap_doc(0, 0)), Some("heatmap"));
+        assert_eq!(detect_kind(&metrics_doc(1, 1)), Some("metrics"));
+        assert_eq!(detect_kind(&Json::obj::<&str>([])), None);
+    }
+
+    #[test]
+    fn compact_ranges_compresses_runs() {
+        assert_eq!(compact_ranges(&[2, 3, 4, 5, 7]), "2-5,7");
+        assert_eq!(compact_ranges(&[0]), "0");
+        assert_eq!(compact_ranges(&[]), "");
+    }
+}

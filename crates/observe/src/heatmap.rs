@@ -25,9 +25,12 @@
 //! assert_eq!(s.max_at, (1, 0));
 //! ```
 
+use crate::palette::heat_color;
 use sortmid_devharness::json::Json;
-use sortmid_util::ppm::{heat_color, Image};
+use sortmid_util::ppm::Image;
 use std::fmt;
+
+pub use crate::palette::owner_color;
 
 /// A screen-aligned grid of accumulator cells binned at square `tile`
 /// granularity. Generic over the cell type so one structure backs fragment
@@ -246,30 +249,6 @@ impl fmt::Display for GridSummary {
     }
 }
 
-/// A categorical color for tile-ownership maps: well-separated hues by
-/// golden-angle stepping, so adjacent node ids get visibly different
-/// colors at any processor count.
-pub fn owner_color(owner: u32) -> [u8; 3] {
-    // Hue in [0, 1) stepped by the golden-ratio conjugate.
-    let hue = (owner as f64 * 0.618_033_988_749_895).fract();
-    let h = hue * 6.0;
-    let x = 1.0 - (h % 2.0 - 1.0).abs();
-    let (r, g, b) = match h as u32 {
-        0 => (1.0, x, 0.0),
-        1 => (x, 1.0, 0.0),
-        2 => (0.0, 1.0, x),
-        3 => (0.0, x, 1.0),
-        4 => (x, 0.0, 1.0),
-        _ => (1.0, 0.0, x),
-    };
-    // Keep away from full black/white so the map reads as categorical.
-    [
-        (64.0 + r * 180.0) as u8,
-        (64.0 + g * 180.0) as u8,
-        (64.0 + b * 180.0) as u8,
-    ]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,12 +311,6 @@ mod tests {
         let row0 = rows[0].as_arr().unwrap();
         assert_eq!(row0[1].as_u64(), Some(7));
         assert_eq!(row0[0].as_u64(), Some(0));
-    }
-
-    #[test]
-    fn owner_colors_differ_for_neighbours() {
-        assert_ne!(owner_color(0), owner_color(1));
-        assert_ne!(owner_color(1), owner_color(2));
     }
 
     #[test]

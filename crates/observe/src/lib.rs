@@ -40,6 +40,22 @@
 //!   sealed [`host::HostProfile`] exports as `METRICS_<name>.json` and
 //!   as wall-time tracks in the Perfetto document
 //!   ([`perfetto::chrome_trace_with_host`]).
+//! * [`provenance::Provenance`] — the run-identity block every artefact
+//!   emitter stamps (schema version, scene seed, FNV hash of the config
+//!   grid, build profile, host fingerprint). Schema/seed/grid must match
+//!   for two artefacts to be comparable; build/host differences are
+//!   reported as informational drift.
+//! * [`diff`] — the *differential* layer: [`diff::SweepDiff`],
+//!   [`diff::HeatmapDiff`] and [`diff::MetricsDiff`] compute exact signed
+//!   deltas between two comparable artefacts at every level the
+//!   instrumentation records (per-config cycles split by the five-way
+//!   breakdown, tile-plane delta grids with owner flips and three-C
+//!   miss-class movement, host phase/counter/histogram shifts) and rank
+//!   them into a printable explanation; the `sortmid-diff` bin and
+//!   `bench_check --explain` drive it.
+//! * [`palette`] — the shared color maps: the heat ramp, the
+//!   golden-angle owner palette, and the diverging blue-white-red delta
+//!   palette the diff PPMs use.
 //!
 //! # Examples
 //!
@@ -58,18 +74,24 @@
 
 pub mod attribution;
 pub mod breakdown;
+pub mod diff;
 pub mod event;
 pub mod heatmap;
 pub mod host;
 pub mod metrics;
+pub mod palette;
 pub mod perfetto;
+pub mod provenance;
 pub mod series;
 pub mod sink;
 
 pub use attribution::{MissClass, MissClassCounts, SpatialCollector, TileStats};
-pub use breakdown::{breakdown_table, CycleBreakdown, CycleIdentityError};
+pub use breakdown::{breakdown_table, BreakdownDelta, CycleBreakdown, CycleIdentityError};
+pub use diff::{HeatmapDiff, MetricsDiff, SweepDiff};
 pub use event::TraceEvent;
-pub use heatmap::{owner_color, GridSummary, ScreenGrid};
+pub use heatmap::{GridSummary, ScreenGrid};
+pub use palette::{diverging_color, heat_color, owner_color, sqrt_channel};
+pub use provenance::{Provenance, SCHEMA_VERSION};
 pub use host::{
     peak_rss_bytes, HostProfile, HostProfiler, HostSink, HostSpan, NullHostSink, PhaseTotal,
     SpanRecord, WorkerStats,

@@ -203,7 +203,10 @@ impl Log2Histogram {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
                 // Upper edge of bucket k: 2^k - 1 (bucket 0 holds zero).
-                let edge = if k == 0 { 0 } else { (1u64 << (k - 1)).wrapping_mul(2) - 1 };
+                // Wrapping on purpose: bucket 64 (values above 2^63) has
+                // upper edge 2^64 - 1, which wraps exactly to u64::MAX.
+                let edge =
+                    if k == 0 { 0 } else { (1u64 << (k - 1)).wrapping_mul(2).wrapping_sub(1) };
                 let lo = self.min().unwrap_or(0);
                 let hi = self.max().unwrap_or(edge);
                 return Some(edge.clamp(lo, hi));
@@ -463,5 +466,59 @@ mod tests {
         assert_eq!(counter.get(), 4000);
         assert_eq!(hist.count(), 4000);
         assert_eq!(hist.sum(), 4 * (999 * 1000 / 2));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        for pct in [0.001, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(pct), None, "p{pct} of nothing");
+        }
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile_to_it() {
+        let h = Log2Histogram::new();
+        h.observe(37);
+        assert_eq!((h.count(), h.sum()), (1, 37));
+        assert_eq!((h.min(), h.max()), (Some(37), Some(37)));
+        // The bucket edge (63) clamps into the observed range [37, 37].
+        for pct in [0.001, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(pct), Some(37), "p{pct} of a singleton");
+        }
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_clamp_to_the_observed_range() {
+        let h = Log2Histogram::new();
+        // 1000..=1023 all land in bucket 10 (edge 1023).
+        for v in 1000..=1023 {
+            h.observe(v);
+        }
+        assert_eq!(h.nonzero_buckets(), vec![(10, 24)]);
+        // Every percentile resolves to the bucket edge, clamped by max.
+        assert_eq!(h.percentile(1.0), Some(1023));
+        assert_eq!(h.percentile(50.0), Some(1023));
+        assert_eq!(h.percentile(100.0), Some(1023));
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_last_bucket_without_overflow() {
+        let h = Log2Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX); // MAX + 0, no wrap
+        assert_eq!((h.min(), h.max()), (Some(0), Some(u64::MAX)));
+        // Bucket 0 holds the zero; bucket 64's upper edge is u64::MAX
+        // and the edge arithmetic must not overflow computing it.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (64, 1)]);
+        assert_eq!(h.percentile(50.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
     }
 }

@@ -1,0 +1,114 @@
+//! The one shared color vocabulary for every false-color artefact.
+//!
+//! Three families of maps come out of the observability layer, and each
+//! needs a different palette:
+//!
+//! * **sequential** — magnitudes (depth complexity, setup cycles):
+//!   [`heat_color`], the black → blue → magenta → orange → white ramp
+//!   (re-exported from `sortmid_util::ppm`, which the scene renderer also
+//!   uses);
+//! * **categorical** — identities (which node owns a tile):
+//!   [`owner_color`], golden-angle hue stepping so adjacent node ids stay
+//!   visibly distinct at any processor count;
+//! * **diverging** — signed deltas (this run minus the baseline):
+//!   [`diverging_color`], blue for improvements through white at zero to
+//!   red for regressions, so a delta heatmap reads at a glance.
+//!
+//! Before this module the golden-angle math lived in `heatmap.rs` and the
+//! channel normalisation for miss-class maps was inlined in the heatmap
+//! bin; they are hoisted here so the delta PPMs introduced by the artefact
+//! differ reuse them instead of growing a third copy.
+
+pub use sortmid_util::ppm::heat_color;
+
+/// A categorical color for tile-ownership maps: well-separated hues by
+/// golden-angle stepping, so adjacent node ids get visibly different
+/// colors at any processor count.
+pub fn owner_color(owner: u32) -> [u8; 3] {
+    // Hue in [0, 1) stepped by the golden-ratio conjugate.
+    let hue = (owner as f64 * 0.618_033_988_749_895).fract();
+    let h = hue * 6.0;
+    let x = 1.0 - (h % 2.0 - 1.0).abs();
+    let (r, g, b) = match h as u32 {
+        0 => (1.0, x, 0.0),
+        1 => (x, 1.0, 0.0),
+        2 => (0.0, 1.0, x),
+        3 => (0.0, x, 1.0),
+        4 => (x, 0.0, 1.0),
+        _ => (1.0, 0.0, x),
+    };
+    // Keep away from full black/white so the map reads as categorical.
+    [
+        (64.0 + r * 180.0) as u8,
+        (64.0 + g * 180.0) as u8,
+        (64.0 + b * 180.0) as u8,
+    ]
+}
+
+/// A diverging color for signed deltas in `[-1, 1]`: saturated blue at
+/// -1 (improvement), white at 0 (no change), saturated red at +1
+/// (regression). Non-finite inputs render as the neutral white so a
+/// degenerate normalisation cannot paint a false signal.
+pub fn diverging_color(t: f64) -> [u8; 3] {
+    if !t.is_finite() {
+        return [255, 255, 255];
+    }
+    let t = t.clamp(-1.0, 1.0);
+    // Interpolate the two non-neutral channels toward the extreme; keep
+    // the dominant channel saturated so small deltas stay near-white.
+    let fade = |extreme: f64| (255.0 - (255.0 - extreme) * t.abs()).round() as u8;
+    if t < 0.0 {
+        // toward blue [59, 76, 192]
+        [fade(59.0), fade(76.0), 255]
+    } else {
+        // toward red [180, 4, 38]
+        [255, fade(4.0), fade(38.0)]
+    }
+}
+
+/// Square-root-compressed channel intensity for count maps whose dynamic
+/// range spans orders of magnitude (the three-C miss-class RGB planes):
+/// `value` against the shared per-map maximum, as one 8-bit channel.
+pub fn sqrt_channel(value: u64, max: f64) -> u8 {
+    if max <= 0.0 {
+        return 0;
+    }
+    ((value as f64 / max).clamp(0.0, 1.0).sqrt() * 255.0).round() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_colors_differ_for_neighbours() {
+        assert_ne!(owner_color(0), owner_color(1));
+        assert_ne!(owner_color(1), owner_color(2));
+    }
+
+    #[test]
+    fn diverging_palette_is_anchored() {
+        assert_eq!(diverging_color(0.0), [255, 255, 255]);
+        assert_eq!(diverging_color(-1.0), [59, 76, 255]);
+        assert_eq!(diverging_color(1.0), [255, 4, 38]);
+        // Clamped past the ends, neutral on garbage.
+        assert_eq!(diverging_color(-7.0), diverging_color(-1.0));
+        assert_eq!(diverging_color(f64::NAN), [255, 255, 255]);
+    }
+
+    #[test]
+    fn diverging_palette_orders_by_magnitude() {
+        // Bigger |delta| means a less white (more saturated) color.
+        let near = diverging_color(0.1);
+        let far = diverging_color(0.9);
+        assert!(far[1] < near[1] && far[2] < near[2], "{near:?} vs {far:?}");
+    }
+
+    #[test]
+    fn sqrt_channel_compresses_and_guards_zero_max() {
+        assert_eq!(sqrt_channel(0, 100.0), 0);
+        assert_eq!(sqrt_channel(100, 100.0), 255);
+        assert_eq!(sqrt_channel(25, 100.0), 128); // sqrt(0.25) = 0.5
+        assert_eq!(sqrt_channel(5, 0.0), 0);
+    }
+}

@@ -55,8 +55,19 @@ SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin trace -- --scale 0.05 tiny
 SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin heatmap -- --scale 0.05 --tile 16 tiny
+
+# Differential observability smoke: the self-diff of the fresh sweep
+# artefact must be exactly zero at every level (--expect-zero exits
+# nonzero otherwise) and leaves a DIFF_selfdiff.json behind; the gate run
+# below then explains its verdict against the committed baseline and
+# writes DIFF_gate.json — bench_check rescans the directory afterwards,
+# so both DIFF documents are themselves schema-validated.
+cargo run -q --release --offline -p sortmid-bench --bin sortmid-diff -- \
+    "$bench_dir/BENCH_sweep.json" "$bench_dir/BENCH_sweep.json" \
+    --expect-zero --json "$bench_dir/DIFF_selfdiff.json"
 cargo run -q --release --offline -p sortmid-bench --bin bench_check -- \
-    "$bench_dir" --against "$repo/BENCH_baseline.json" --tolerance 15
+    "$bench_dir" --against "$repo/BENCH_baseline.json" --tolerance 15 \
+    --explain --json "$bench_dir/DIFF_gate.json"
 
 # The --no-replay escape hatch must produce byte-identical simulated
 # cycles: the same baseline gate has to pass on its artefact too. (The
