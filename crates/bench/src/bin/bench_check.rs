@@ -614,6 +614,28 @@ fn check_metrics(name: &str, doc: &Json, problems: &mut Vec<String>) {
             ));
         }
     }
+    // Per-lane worker-utilization imbalance: every lane's spread must be a
+    // fraction of the stage window.
+    let check_imbalance = |ctx: &str, block: Option<&Json>, problems: &mut Vec<String>| -> bool {
+        let mut has_run_configs = false;
+        match block {
+            Some(Json::Obj(lanes)) => {
+                for (lane, value) in lanes {
+                    has_run_configs |= lane == "run-configs";
+                    match value.as_f64() {
+                        Some(v) if (0.0..=1.0).contains(&v) => {}
+                        _ => problems.push(format!(
+                            "{ctx}: utilization_imbalance['{lane}'] must be a number in [0, 1]"
+                        )),
+                    }
+                }
+            }
+            _ => problems.push(format!("{ctx}: missing or mistyped 'utilization_imbalance'")),
+        }
+        has_run_configs
+    };
+    let has_run_configs = check_imbalance(name, doc.get("utilization_imbalance"), problems);
+
     if profile == Some("sweep") {
         for phase in REQUIRED_SWEEP_PHASES {
             if !phase_names.iter().any(|p| p == phase) {
@@ -621,6 +643,64 @@ fn check_metrics(name: &str, doc: &Json, problems: &mut Vec<String>) {
                     "{name}: sweep profile is missing required pipeline phase '{phase}'"
                 ));
             }
+        }
+
+        // Scheduler instrumentation: claim/steal counters, per-worker
+        // queue-depth gauges, and the run-configs imbalance summary the
+        // static baseline is compared against.
+        for key in ["sweep.claims", "sweep.steals", "sweep.tasks"] {
+            let present = doc
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get(key))
+                .and_then(Json::as_u64)
+                .is_some();
+            if !present {
+                problems.push(format!(
+                    "{name}: sweep profile is missing scheduler counter '{key}'"
+                ));
+            }
+        }
+        if let Some(Json::Obj(gauges)) = doc.get("metrics").and_then(|m| m.get("gauges")) {
+            let mut depth_gauges = 0usize;
+            for (key, value) in gauges {
+                if key.starts_with("sweep.queue_depth.") {
+                    depth_gauges += 1;
+                    if value.as_u64().is_none() {
+                        problems.push(format!(
+                            "{name}: queue-depth gauge '{key}' must be a non-negative integer"
+                        ));
+                    }
+                }
+            }
+            if depth_gauges == 0 {
+                problems.push(format!(
+                    "{name}: sweep profile has no 'sweep.queue_depth.*' gauges"
+                ));
+            }
+        } else {
+            problems.push(format!(
+                "{name}: sweep profile has no 'sweep.queue_depth.*' gauges"
+            ));
+        }
+        if !has_run_configs {
+            problems.push(format!(
+                "{name}: sweep utilization_imbalance is missing the 'run-configs' lane"
+            ));
+        }
+        // The static-chunk baseline recorded next to the work-stealing
+        // profile, for the imbalance comparison.
+        let static_block = doc
+            .get("static_baseline")
+            .and_then(|b| b.get("utilization_imbalance"));
+        if !check_imbalance(
+            &format!("{name}/static_baseline"),
+            static_block,
+            problems,
+        ) {
+            problems.push(format!(
+                "{name}: static_baseline utilization_imbalance is missing the 'run-configs' lane"
+            ));
         }
     }
 }
@@ -1309,6 +1389,7 @@ mod tests {
                     {{"name": "run-sweep", "count": 1, "total_ns": 100, "self_ns": 80}},
                     {{"name": "plan-build", "count": 1, "total_ns": 20, "self_ns": 20}}
                 ],
+                "utilization_imbalance": {{"run-configs": 0.25}},
                 "metrics": {{"counters": {{}}, "gauges": {{}}, "histograms": {{}}}}}}"#,
             child_end - 10,
         ))
@@ -1354,6 +1435,7 @@ mod tests {
                              "items": 1}],
                 "phases": [{"name": "a", "count": 1, "total_ns": 100, "self_ns": 100},
                            {"name": "b", "count": 1, "total_ns": 100, "self_ns": 100}],
+                "utilization_imbalance": {"run-configs": 0.0},
                 "metrics": {"counters": {}, "gauges": {}, "histograms": {}}}"#,
         )
         .map(with_prov)
@@ -1383,6 +1465,110 @@ mod tests {
             .filter(|p| p.contains("missing required pipeline phase"))
             .collect();
         assert_eq!(missing.len(), REQUIRED_SWEEP_PHASES.len() - 2, "{problems:?}");
+    }
+
+    #[test]
+    fn metrics_check_requires_scheduler_instrumentation_on_sweep() {
+        // A sweep doc with empty counters/gauges and no static baseline
+        // must flag every piece of missing scheduler instrumentation.
+        let Json::Obj(mut fields) = metrics_doc(40, 30) else {
+            unreachable!()
+        };
+        for (k, v) in &mut fields {
+            if k == "profile" {
+                *v = Json::str("sweep");
+            }
+        }
+        let mut problems = Vec::new();
+        check_metrics("METRICS_sweep.json", &Json::Obj(fields), &mut problems);
+        for needle in [
+            "missing scheduler counter 'sweep.claims'",
+            "missing scheduler counter 'sweep.steals'",
+            "missing scheduler counter 'sweep.tasks'",
+            "no 'sweep.queue_depth.*' gauges",
+            "static_baseline: missing or mistyped 'utilization_imbalance'",
+        ] {
+            assert!(
+                problems.iter().any(|p| p.contains(needle)),
+                "expected a problem containing {needle:?}: {problems:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_check_rejects_an_out_of_range_imbalance() {
+        let doc = metrics_doc(40, 30);
+        let Json::Obj(mut fields) = doc else { unreachable!() };
+        for (k, v) in &mut fields {
+            if k == "utilization_imbalance" {
+                *v = Json::parse(r#"{"run-configs": 1.5}"#).unwrap();
+            }
+        }
+        let mut problems = Vec::new();
+        check_metrics("METRICS_unit.json", &Json::Obj(fields), &mut problems);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("must be a number in [0, 1]"), "{problems:?}");
+    }
+
+    #[test]
+    fn metrics_check_accepts_a_fully_instrumented_sweep_doc() {
+        let Json::Obj(mut fields) = metrics_doc(40, 30) else {
+            unreachable!()
+        };
+        for (k, v) in &mut fields {
+            match k.as_str() {
+                "profile" => *v = Json::str("sweep"),
+                "metrics" => {
+                    *v = Json::parse(
+                        r#"{"counters": {"sweep.claims": 10, "sweep.steals": 2,
+                                         "sweep.tasks": 12},
+                            "gauges": {"sweep.queue_depth.w00": 4,
+                                       "sweep.queue_depth.w01": 3},
+                            "histograms": {}}"#,
+                    )
+                    .unwrap();
+                }
+                _ => {}
+            }
+        }
+        fields.push((
+            "static_baseline".to_string(),
+            Json::parse(r#"{"utilization_imbalance": {"run-configs": 0.62}}"#).unwrap(),
+        ));
+        // Cover every required phase with a span and a phase total so only
+        // the scheduler checks are exercised.
+        let spans: Vec<String> = REQUIRED_SWEEP_PHASES
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (parent, depth) = if i == 0 {
+                    ("null".to_string(), 0)
+                } else {
+                    ("0".to_string(), 1)
+                };
+                let width = 100 / REQUIRED_SWEEP_PHASES.len() as u64;
+                let start = if i == 0 { 0 } else { (i as u64 - 1) * width };
+                let dur = if i == 0 { 100 } else { width };
+                format!(
+                    r#"{{"name": "{p}", "thread": 0, "depth": {depth},
+                        "parent": {parent}, "start_ns": {start}, "dur_ns": {dur}}}"#
+                )
+            })
+            .collect();
+        let phases: Vec<String> = REQUIRED_SWEEP_PHASES
+            .iter()
+            .map(|p| format!(r#"{{"name": "{p}", "count": 1, "total_ns": 10, "self_ns": 10}}"#))
+            .collect();
+        for (k, v) in &mut fields {
+            match k.as_str() {
+                "spans" => *v = Json::parse(&format!("[{}]", spans.join(","))).unwrap(),
+                "phases" => *v = Json::parse(&format!("[{}]", phases.join(","))).unwrap(),
+                _ => {}
+            }
+        }
+        let mut problems = Vec::new();
+        check_metrics("METRICS_sweep.json", &Json::Obj(fields), &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
     }
 
     #[test]

@@ -42,12 +42,19 @@
 //!
 //! When the default pipeline runs (no escape hatch), the untimed
 //! breakdown sweep additionally runs **host-profiled**: the reference grid
-//! and the dense replay lane execute under a [`HostProfiler`], and the
-//! merged [`sortmid::HostProfile`] — hierarchical phase spans, per-worker
-//! `busy + idle == wall` utilization, per-path run-time histograms, peak
-//! RSS — lands in `METRICS_sweep.json` next to the bench artefact
-//! (`bench_check` validates its span-nesting and worker-identity
-//! invariants). The timed lanes stay on the [`NullHostSink`] path, so the
+//! and the dense replay lane execute as one combined sweep under a
+//! [`HostProfiler`], and the merged [`sortmid::HostProfile`] —
+//! hierarchical phase spans, per-worker `busy + idle == wall`
+//! utilization, scheduler claim/steal counters and queue-depth gauges,
+//! per-path run-time histograms, the cost model's predicted-vs-actual
+//! error histogram, peak RSS — lands in `METRICS_sweep.json` next to the
+//! bench artefact (`bench_check` validates its span-nesting,
+//! worker-identity and scheduler-instrumentation invariants). The same
+//! combined workload then repeats on the `--static-schedule` chunked
+//! path into a second profiler, and its `run-configs`
+//! utilization-imbalance is sealed into the artefact as
+//! `static_baseline` — the number the work-stealing scheduler is judged
+//! against. The timed lanes stay on the [`NullHostSink`] path, so the
 //! regression gate keeps pinning the *unprofiled* pipeline.
 //!
 //! Pass `--no-replay` to force every lane through the direct simulator
@@ -156,10 +163,31 @@ fn run_grid_per_config(
     out
 }
 
+/// Extra sample multiplier for the grid lanes: on an oversubscribed host
+/// (more sweep threads than cores) scheduler jitter shows in every
+/// lane's wall time, so they all take 5x the suite's samples to keep
+/// MAD under 5% of median.
+const NOISY_LANE_SAMPLE_SCALE: u32 = 5;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let replay = !args.iter().any(|a| a == "--no-replay");
     let batch = !args.iter().any(|a| a == "--scalar");
+    let static_schedule = args.iter().any(|a| a == "--static-schedule");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .expect("--threads takes a positive integer")
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
     let s = stream(Benchmark::Quake);
     let configs = reference_grid();
     let dense = trace_replay_grid(&dense_geometries());
@@ -169,37 +197,37 @@ fn main() {
         "the dense lane must price 100+ cache configs per plan, got {}",
         dense.len()
     );
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let options = SweepOptions { threads, replay, batch };
+    let options = SweepOptions { threads, replay, batch, static_schedule };
     eprintln!(
         "sweep bench: {} configs (+{} dense-cache), {} fragments, {} host threads, replay {}, \
-         fragment core {}",
+         fragment core {}, {} schedule",
         configs.len(),
         dense.len(),
         s.fragment_count(),
         threads,
         if replay { "on" } else { "off (--no-replay)" },
         if batch { "batched" } else { "scalar (--scalar)" },
+        if static_schedule { "static (--static-schedule)" } else { "work-stealing" },
     );
 
     let mut suite = Suite::new("sweep");
     let grid_work = s.fragment_count() * configs.len() as u64;
-    suite.bench_with_elements("grid/shared-plan", grid_work, || {
+    suite.bench_with_elements_scaled("grid/shared-plan", grid_work, NOISY_LANE_SAMPLE_SCALE, || {
         black_box(run_sweep_with_options(&s, &configs, options))
     });
-    suite.bench_with_elements("grid/per-config", grid_work, || {
+    suite.bench_with_elements_scaled("grid/per-config", grid_work, NOISY_LANE_SAMPLE_SCALE, || {
         black_box(run_grid_per_config(&s, &configs, threads))
     });
-    suite.bench_with_elements(
+    suite.bench_with_elements_scaled(
         "grid/trace-replay",
         s.fragment_count() * dense.len() as u64,
+        NOISY_LANE_SAMPLE_SCALE,
         || black_box(run_sweep_with_options(&s, &dense, options)),
     );
-    suite.bench_with_elements(
+    suite.bench_with_elements_scaled(
         "grid/trace-replay-base",
         s.fragment_count() * base.len() as u64,
+        NOISY_LANE_SAMPLE_SCALE,
         || black_box(run_sweep_with_options(&s, &base, options)),
     );
 
@@ -240,18 +268,37 @@ fn main() {
     }
 
     // One more (untimed) sweep to attach per-config cycle breakdowns —
-    // reference grid only: the regression gate's groups must not absorb
-    // the dense cache lane. On the default pipeline this run (plus a dense
-    // pass, so the capture AND replay stages both appear) is host-profiled
-    // into METRICS_sweep.json.
-    let reports = if replay && batch {
+    // the reference grid and the dense cache lane run as ONE combined
+    // profiled sweep, so the scheduler faces a heterogeneous mix of
+    // captured and replay-path configs (the workload where static chunks
+    // carry structurally unequal work). Only the first `configs.len()`
+    // reports feed the regression gate's cycle breakdowns: the gate's
+    // groups must not absorb the dense lane, and per-config reports are
+    // schedule- and path-independent, so the prefix equals a
+    // reference-grid-only run.
+    let reports = if replay && batch && !static_schedule {
+        let mut combined = configs.clone();
+        combined.extend(dense.iter().cloned());
         let prof = HostProfiler::new();
-        let reports = run_sweep_profiled(&s, &configs, options, &prof);
-        black_box(run_sweep_profiled(&s, &dense, options, &prof));
+        let mut reports = run_sweep_profiled(&s, &combined, options, &prof);
+        reports.truncate(configs.len());
         let profile = prof.finish();
         profile
             .verify()
             .expect("host profile structural invariants must hold");
+
+        // The same profiled workload once more on the static-chunk
+        // schedule, into its own profiler: its run-configs
+        // utilization_imbalance is the baseline the scheduler's number is
+        // compared against, sealed into the same artefact.
+        let static_prof = HostProfiler::new();
+        let static_options = SweepOptions { static_schedule: true, ..options };
+        black_box(run_sweep_profiled(&s, &combined, static_options, &static_prof));
+        let static_profile = static_prof.finish();
+        static_profile
+            .verify()
+            .expect("static-baseline profile structural invariants must hold");
+
         let dir = std::env::var_os("SORTMID_BENCH_DIR")
             .map(std::path::PathBuf::from)
             .unwrap_or_else(|| std::path::PathBuf::from("."));
@@ -263,6 +310,49 @@ fn main() {
             "provenance",
             run_provenance(Benchmark::Quake, &configs).to_json(),
         );
+        doc.set(
+            "static_baseline",
+            Json::obj([
+                (
+                    "utilization_imbalance",
+                    Json::obj(
+                        static_profile
+                            .utilization_imbalance()
+                            .into_iter()
+                            .map(|(lane, v)| (lane, Json::F64(v))),
+                    ),
+                ),
+                (
+                    // The chunked schedule's per-worker run-configs rows,
+                    // so the before/after utilization table in
+                    // EXPERIMENTS.md reproduces from the artefact alone.
+                    "workers",
+                    Json::arr(
+                        static_profile
+                            .workers
+                            .iter()
+                            .filter(|w| w.lane == "run-configs")
+                            .map(|w| {
+                                Json::obj([
+                                    ("worker", Json::U64(w.worker as u64)),
+                                    ("wall_ns", Json::U64(w.wall_ns)),
+                                    ("busy_ns", Json::U64(w.busy_ns)),
+                                    ("items", Json::U64(w.items)),
+                                ])
+                            }),
+                    ),
+                ),
+            ]),
+        );
+        for (lane, ws_v) in profile.utilization_imbalance() {
+            if lane == "run-configs" {
+                let static_v = static_profile.utilization_imbalance()[lane];
+                eprintln!(
+                    "run-configs utilization imbalance: {ws_v:.3} work-stealing vs {static_v:.3} \
+                     static-chunk"
+                );
+            }
+        }
         std::fs::write(&path, doc.render())
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());

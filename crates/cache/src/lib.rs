@@ -61,7 +61,8 @@ pub use perfect::PerfectCache;
 pub use set_assoc::SetAssocCache;
 pub use stackdist::{
     evaluate_trace, evaluate_trace_auto, evaluate_trace_auto_profiled, evaluate_trace_direct,
-    GeometryRequest, MattsonProfile, TraceEvaluation, STACKDIST_MIN_REQUESTS,
+    evaluation_cost_weight, GeometryRequest, MattsonProfile, TraceEvaluation,
+    STACKDIST_MIN_REQUESTS,
 };
 pub use stats::{CacheStats, MissBreakdown, MissIdentityError};
 pub use trace::{LineAccessTrace, TracingCache};

@@ -240,6 +240,25 @@ pub fn evaluate_trace(trace: &LineAccessTrace, requests: &[GeometryRequest]) -> 
 /// grids stay direct and 100-config dense grids take the walk.
 pub const STACKDIST_MIN_REQUESTS: usize = 32;
 
+/// Relative host cost of pricing `requests` geometries from one line
+/// trace, in units of one direct trace pass — the same cost shape
+/// [`evaluate_trace_auto`] switches its backend on, exported so the sweep
+/// scheduler's cost model can dispatch trace evaluations
+/// longest-estimated-first.
+///
+/// Below [`STACKDIST_MIN_REQUESTS`] the direct backend walks the trace
+/// once per geometry; at or above it the Mattson walk pays roughly the
+/// break-even number of passes once, then synthesizes each geometry from
+/// the distance histograms for a small per-geometry increment.
+pub fn evaluation_cost_weight(requests: usize) -> u64 {
+    let requests = requests as u64;
+    if requests >= STACKDIST_MIN_REQUESTS as u64 {
+        STACKDIST_MIN_REQUESTS as u64 + requests / 8
+    } else {
+        requests.max(1)
+    }
+}
+
 /// Replays `trace` with whichever backend is cheaper for the grid size:
 /// the shared stack-distance walk ([`evaluate_trace`]) for
 /// [`STACKDIST_MIN_REQUESTS`] or more geometries, the direct per-geometry
@@ -801,5 +820,25 @@ mod tests {
             evaluate_trace_auto(&trace, &many).profile(0).supports(8, 1),
             "dense grids take the stack-distance walk"
         );
+    }
+
+    #[test]
+    fn evaluation_cost_weight_tracks_the_backend_switch() {
+        assert_eq!(evaluation_cost_weight(0), 1, "a no-op eval still costs a task");
+        // The direct backend scales linearly with the request count...
+        for n in 1..STACKDIST_MIN_REQUESTS {
+            assert_eq!(evaluation_cost_weight(n), n as u64);
+        }
+        // ...and the walk amortizes: doubling a dense grid far less than
+        // doubles the weight, while the weight stays monotone throughout.
+        let dense = evaluation_cost_weight(STACKDIST_MIN_REQUESTS * 4);
+        let denser = evaluation_cost_weight(STACKDIST_MIN_REQUESTS * 8);
+        assert!(denser > dense && denser < dense * 2, "{dense} -> {denser}");
+        let mut prev = 0;
+        for n in 0..512 {
+            let w = evaluation_cost_weight(n);
+            assert!(w >= prev, "weight must be monotone at {n}");
+            prev = w;
+        }
     }
 }

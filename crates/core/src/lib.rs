@@ -51,6 +51,7 @@ pub mod node;
 pub mod plan;
 pub mod replay;
 pub mod report;
+pub mod sched;
 pub mod sortlast;
 pub mod sweep;
 pub mod work;
@@ -68,6 +69,7 @@ pub use sortmid_observe::{
     TraceRecorder, TraceSink,
 };
 pub use replay::capture_line_trace;
+pub use sched::{lpt_order, run_graph, CostModel, TaskGraph};
 pub use sweep::{
     grid_hash, run_sweep, run_sweep_profiled, run_sweep_with_options, run_sweep_with_threads,
     SweepGrid, SweepOptions,

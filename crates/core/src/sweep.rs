@@ -32,9 +32,12 @@ use crate::replay::{
     DirectCapture,
 };
 use crate::report::RunReport;
+use crate::sched::{run_graph, CostModel, TaskGraph};
 use sortmid_cache::{evaluate_trace_auto_profiled, GeometryRequest, TraceEvaluation};
 use sortmid_observe::{HostSink, NullHostSink};
 use sortmid_raster::{FragBatch, FragmentStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Builds the cartesian product of machine-parameter axes — the shape of
@@ -243,6 +246,12 @@ pub struct SweepOptions {
     /// forcing the scalar per-texel reference loop — reports are
     /// byte-identical either way.
     pub batch: bool,
+    /// Schedule the pipeline with the legacy static phase barriers and
+    /// chunked per-config partition instead of the work-stealing pool
+    /// (`false`, the default, is the pool). Escape hatch — reports are
+    /// byte-identical either way; only wall time and the worker
+    /// utilization records differ.
+    pub static_schedule: bool,
 }
 
 impl Default for SweepOptions {
@@ -253,6 +262,7 @@ impl Default for SweepOptions {
                 .unwrap_or(4),
             replay: true,
             batch: true,
+            static_schedule: false,
         }
     }
 }
@@ -290,12 +300,35 @@ pub fn run_sweep_with_options(
     run_sweep_profiled(stream, configs, options, &NullHostSink)
 }
 
+/// One unit of pipeline work on the shared scheduler pool: build a plan
+/// group's routing plan, pivot it into lanes, capture a `(plan, cache
+/// model)` pass, evaluate a plan's trace, or run one config.
+#[derive(Debug, Clone, Copy)]
+enum SweepTask {
+    Plan(usize),
+    Lanes(usize),
+    Capture { key: usize, slot: usize },
+    Eval(usize),
+    Run(usize),
+}
+
 /// [`run_sweep_with_options`] with host profiling: every pipeline stage
 /// (batch pivot, plan build, path selection, lane pivots, captures,
 /// stack-distance evaluation, per-config timing synthesis) runs under a
 /// named [`HostSink`] span, per-config run times land in
 /// `host.run_ns.{direct,captured,replay}` histograms, and every worker
 /// thread reports `busy`/`wall` utilization for the `run-configs` stage.
+///
+/// The pipeline itself runs on the work-stealing pool in
+/// [`crate::sched`]: plan builds, lane pivots, captures, trace
+/// evaluations and per-config runs become one dependency-ordered task
+/// batch, costed by [`CostModel`] and dispatched longest-first, so the
+/// capture of plan A overlaps the evaluation of plan B and no phase
+/// barrier serializes the tail. [`SweepOptions::static_schedule`] is the
+/// escape hatch back to the legacy phase-barrier pipeline with a chunked
+/// `run-configs` partition. Every task writes one preassigned
+/// [`OnceLock`] slot, so the reports are byte-identical across
+/// schedulers, thread counts and steal interleavings.
 ///
 /// With [`NullHostSink`] (how [`run_sweep`] and friends call it) the
 /// instrumentation monomorphizes to nothing — the sweep bench's
@@ -329,46 +362,43 @@ pub fn run_sweep_profiled<S: HostSink>(
     });
     let batch = batch.as_ref();
 
+    // Front-end analysis: group the grid, pick each config's path and
+    // reserve every shared artefact's slot — all from the configs alone,
+    // before any plan is built, so the whole pipeline can be scheduled as
+    // one task batch.
+    let path_span = sink.span("path-select");
+
     // Group the grid by (distribution, processors): one routing plan per
     // group serves every cache/bus/buffer variation. Grids are small, so a
     // linear key scan beats hashing Distribution (which holds an Arc axis).
-    let mut plans: Vec<RoutingPlan> = Vec::new();
+    let mut plan_rep: Vec<usize> = Vec::new();
     let mut plan_of: Vec<usize> = Vec::with_capacity(configs.len());
-    {
-        let _s = sink.span("plan-build");
-        for config in configs {
-            let idx = plans
-                .iter()
-                .position(|p| p.matches(&config.distribution, config.processors))
-                .unwrap_or_else(|| {
-                    plans.push(match batch {
-                        Some(b) => RoutingPlan::build_from_batch(
-                            stream,
-                            b,
-                            &config.distribution,
-                            config.processors,
-                        ),
-                        None => RoutingPlan::build(stream, &config.distribution, config.processors),
-                    });
-                    plans.len() - 1
-                });
-            plan_of.push(idx);
-        }
+    for (ci, config) in configs.iter().enumerate() {
+        let idx = plan_rep
+            .iter()
+            .position(|&rep| {
+                configs[rep].processors == config.processors
+                    && configs[rep].distribution == config.distribution
+            })
+            .unwrap_or_else(|| {
+                plan_rep.push(ci);
+                plan_rep.len() - 1
+            });
+        plan_of.push(idx);
     }
-    let plans = &plans[..];
+    let n_plans = plan_rep.len();
     if S::ENABLED {
-        sink.count("sweep.plans", plans.len() as u64);
+        sink.count("sweep.plans", n_plans as u64);
     }
 
     // Decide each config's path. Replay-eligible configs of one plan share
     // a geometry request grid (deduplicated by geometry, classification
     // merged by OR so a Classifying and a plain SetAssoc config of the
     // same geometry share one evaluation slot).
-    let path_span = sink.span("path-select");
-    let mut requests: Vec<Vec<GeometryRequest>> = vec![Vec::new(); plans.len()];
+    let mut requests: Vec<Vec<GeometryRequest>> = vec![Vec::new(); n_plans];
     let mut path_of: Vec<ConfigPath> = vec![ConfigPath::Direct; configs.len()];
     if options.replay {
-        let mut eligible = vec![0usize; plans.len()];
+        let mut eligible = vec![0usize; n_plans];
         for (ci, config) in configs.iter().enumerate() {
             if let Some((geometry, classify)) = replay_request(config) {
                 let reqs = &mut requests[plan_of[ci]];
@@ -448,6 +478,18 @@ pub fn run_sweep_profiled<S: HostSink>(
             }
         }
     }
+
+    // Which plans still need struct-of-arrays lanes: one pivot serves
+    // every remaining direct config in its group and doubles as the
+    // stack-distance replay's line trace. Plans whose configs all went
+    // down the captured path skip the pivot — the capture walk reads the
+    // batch through the plan directly.
+    let mut needs_lanes = vec![false; n_plans];
+    for (ci, &path) in path_of.iter().enumerate() {
+        if matches!(path, ConfigPath::Direct | ConfigPath::Replay { .. }) {
+            needs_lanes[plan_of[ci]] = true;
+        }
+    }
     drop(path_span);
     if S::ENABLED {
         sink.count("sweep.captures", slots as u64);
@@ -463,104 +505,45 @@ pub fn run_sweep_profiled<S: HostSink>(
         }
     }
 
-    // Pivot the plans that still need struct-of-arrays lanes, in parallel:
-    // one pivot serves every remaining direct config in its group and
-    // doubles as the stack-distance replay's line trace. Plans whose
-    // configs all went down the captured path skip the pivot — the capture
-    // walk reads the batch through the plan directly.
-    let mut needs_lanes = vec![false; plans.len()];
-    for (ci, &path) in path_of.iter().enumerate() {
-        if matches!(path, ConfigPath::Direct | ConfigPath::Replay { .. }) {
-            needs_lanes[plan_of[ci]] = true;
-        }
-    }
-    let mut lanes: Vec<Option<PlanLanes>> = vec![None; plans.len()];
-    if let Some(batch) = batch {
-        let _s = sink.span("lane-pivot");
-        std::thread::scope(|scope| {
-            for ((slot, plan), _) in lanes
-                .iter_mut()
-                .zip(plans)
-                .zip(&needs_lanes)
-                .filter(|(_, &needed)| needed)
-            {
-                scope.spawn(move || {
-                    let _p = sink.span("pivot-plan");
-                    *slot = Some(PlanLanes::from_batch(batch, stream, plan));
-                });
-            }
-        });
-    }
-    let lanes = &lanes[..];
+    // Every shared artefact gets a preassigned write-once slot. Tasks (or
+    // the static pipeline's phases) fill them exactly once; the scheduler's
+    // dependency edges sequence every fill before its reads, whatever
+    // worker runs what — which is what keeps the reports byte-identical
+    // across schedules.
+    let plans: Vec<OnceLock<RoutingPlan>> = (0..n_plans).map(|_| OnceLock::new()).collect();
+    let lanes: Vec<OnceLock<PlanLanes>> = (0..n_plans).map(|_| OnceLock::new()).collect();
+    let captures: Vec<OnceLock<DirectCapture>> = (0..slots).map(|_| OnceLock::new()).collect();
+    let evals: Vec<OnceLock<TraceEvaluation>> = (0..n_plans).map(|_| OnceLock::new()).collect();
+    let out: Vec<OnceLock<RunReport>> = (0..configs.len()).map(|_| OnceLock::new()).collect();
 
-    let mut captures: Vec<Option<DirectCapture>> = vec![None; slots];
-    if slots > 0 {
-        let _s = sink.span("capture");
-        std::thread::scope(|scope| {
-            let mut free = captures.iter_mut();
-            for (k, &(pi, kind)) in capture_keys.iter().enumerate() {
-                if capture_slot[k] == usize::MAX {
-                    continue;
-                }
-                let slot = free.next().expect("one slot was reserved per used key");
-                let batch = batch.expect("captures only exist on batched sweeps");
-                let plan = &plans[pi];
-                scope.spawn(move || {
-                    let _c = sink.span("capture-model");
-                    *slot = Some(capture_direct(kind, batch, stream, plan));
-                });
-            }
-        });
-    }
-    let captures = &captures[..];
+    let build_plan = |pi: usize| {
+        let rep = &configs[plan_rep[pi]];
+        let plan = match batch {
+            Some(b) => RoutingPlan::build_from_batch(stream, b, &rep.distribution, rep.processors),
+            None => RoutingPlan::build(stream, &rep.distribution, rep.processors),
+        };
+        assert!(plans[pi].set(plan).is_ok(), "one build per plan group");
+    };
 
-    // Evaluate each plan's geometry grid from one captured trace, plans in
-    // parallel (each evaluation is independent).
-    let mut evals: Vec<Option<TraceEvaluation>> = vec![None; plans.len()];
-    if requests.iter().any(|r| !r.is_empty()) {
-        let _s = sink.span("trace-eval");
-        std::thread::scope(|scope| {
-            for (slot, ((plan, reqs), lane)) in evals
-                .iter_mut()
-                .zip(plans.iter().zip(&requests).zip(lanes))
-            {
-                if !reqs.is_empty() {
-                    scope.spawn(move || {
-                        let _e = sink.span("eval-plan");
-                        let trace = {
-                            let _t = sink.span("trace-capture");
-                            match lane {
-                                Some(l) => l.to_trace(),
-                                None => capture_line_trace(stream, plan),
-                            }
-                        };
-                        *slot = Some(evaluate_trace_auto_profiled(&trace, reqs, sink));
-                    });
-                }
-            }
-        });
-    }
-    let evals = &evals[..];
-
-    // Timing synthesis / direct simulation, one report per config. The
-    // profiled run times each config into a per-path histogram — the
-    // replay-speedup evidence in METRICS_sweep.json.
+    // Timing synthesis / direct simulation, one report per config — the
+    // single execution body both schedulers call. The profiled run times
+    // each config into a per-path histogram: the replay-speedup evidence
+    // in METRICS_sweep.json.
     let run_one = |config: &MachineConfig, pi: usize, path: ConfigPath| {
         let t0 = S::ENABLED.then(Instant::now);
+        let plan = plans[pi].get().expect("a config's plan is built before it runs");
         let report = match path {
-            ConfigPath::Direct => match &lanes[pi] {
-                Some(l) => {
-                    Machine::new(config.clone()).run_planned_with_lanes(stream, &plans[pi], l)
-                }
-                None => Machine::new(config.clone()).run_planned_scalar(stream, &plans[pi]),
+            ConfigPath::Direct => match lanes[pi].get() {
+                Some(l) => Machine::new(config.clone()).run_planned_with_lanes(stream, plan, l),
+                None => Machine::new(config.clone()).run_planned_scalar(stream, plan),
             },
             ConfigPath::Captured { slot } => {
-                let capture = captures[slot].as_ref().expect("captured path has a capture");
-                run_direct_captured(config, stream, &plans[pi], capture)
+                let capture = captures[slot].get().expect("captured path has a capture");
+                run_direct_captured(config, stream, plan, capture)
             }
             ConfigPath::Replay { geom, classify } => {
-                let eval = evals[pi].as_ref().expect("replay path has an evaluation");
-                run_replayed(config, stream, &plans[pi], eval, geom, classify)
+                let eval = evals[pi].get().expect("replay path has an evaluation");
+                run_replayed(config, stream, plan, eval, geom, classify)
             }
         };
         if let Some(t0) = t0 {
@@ -575,69 +558,341 @@ pub fn run_sweep_profiled<S: HostSink>(
     };
 
     let threads = options.threads.min(configs.len());
-    if threads <= 1 || configs.len() <= 1 {
-        // Sequential: the calling thread is worker 0 of the run-configs
-        // stage, so the utilization identity is reported the same way.
-        let _rc = sink.span("run-configs");
+    if options.static_schedule {
+        run_static(
+            stream, configs, sink, batch, &plan_rep, &plan_of, &path_of, &requests, &capture_keys,
+            &capture_slot, &needs_lanes, &plans, &lanes, &captures, &evals, &out, &build_plan,
+            &run_one, threads,
+        );
+    } else {
+        run_pooled(
+            stream, configs, sink, batch, &plan_rep, &plan_of, &path_of, &requests,
+            &capture_keys, &capture_slot, &needs_lanes, &plans, &lanes, &captures, &evals, &out,
+            &build_plan, &run_one, threads,
+        );
+    }
+    out.into_iter()
+        .map(|slot| slot.into_inner().expect("every config ran"))
+        .collect()
+}
+
+/// The work-stealing pipeline: every plan build, lane pivot, capture,
+/// trace evaluation and config run is one task on the
+/// [`crate::sched::run_graph`] pool, ordered by dependency edges and
+/// dispatched longest-estimated-first.
+#[allow(clippy::too_many_arguments)]
+fn run_pooled<S: HostSink>(
+    stream: &FragmentStream,
+    configs: &[MachineConfig],
+    sink: &S,
+    batch: Option<&FragBatch>,
+    plan_rep: &[usize],
+    plan_of: &[usize],
+    path_of: &[ConfigPath],
+    requests: &[Vec<GeometryRequest>],
+    capture_keys: &[(usize, CacheKind)],
+    capture_slot: &[usize],
+    needs_lanes: &[bool],
+    plans: &[OnceLock<RoutingPlan>],
+    lanes: &[OnceLock<PlanLanes>],
+    captures: &[OnceLock<DirectCapture>],
+    evals: &[OnceLock<TraceEvaluation>],
+    out: &[OnceLock<RunReport>],
+    build_plan: &(impl Fn(usize) + Sync),
+    run_one: &(impl Fn(&MachineConfig, usize, ConfigPath) -> RunReport + Sync),
+    workers: usize,
+) {
+    let n_plans = plan_rep.len();
+    let model = CostModel::for_stream(stream.fragments().len() as u64);
+    let mut graph = TaskGraph::with_capacity(3 * n_plans + captures.len() + configs.len());
+    let mut kinds: Vec<SweepTask> = Vec::with_capacity(3 * n_plans + captures.len() + configs.len());
+
+    // Tasks enter in pipeline order (plans, lanes, captures, evals, runs)
+    // so every dependency edge points backward — the DAG the scheduler
+    // requires holds by construction.
+    let plan_task: Vec<usize> = (0..n_plans)
+        .map(|pi| {
+            kinds.push(SweepTask::Plan(pi));
+            graph.add(model.plan_build())
+        })
+        .collect();
+    let mut lane_task: Vec<Option<usize>> = vec![None; n_plans];
+    if batch.is_some() {
+        for (pi, &needed) in needs_lanes.iter().enumerate() {
+            if needed {
+                kinds.push(SweepTask::Lanes(pi));
+                let t = graph.add(model.lane_pivot());
+                graph.depend(t, plan_task[pi]);
+                lane_task[pi] = Some(t);
+            }
+        }
+    }
+    let mut capture_task: Vec<usize> = vec![usize::MAX; captures.len()];
+    for (key, &(pi, _)) in capture_keys.iter().enumerate() {
+        if capture_slot[key] == usize::MAX {
+            continue;
+        }
+        kinds.push(SweepTask::Capture { key, slot: capture_slot[key] });
+        let t = graph.add(model.capture());
+        graph.depend(t, plan_task[pi]);
+        capture_task[capture_slot[key]] = t;
+    }
+    let mut eval_task: Vec<Option<usize>> = vec![None; n_plans];
+    for (pi, reqs) in requests.iter().enumerate() {
+        if reqs.is_empty() {
+            continue;
+        }
+        kinds.push(SweepTask::Eval(pi));
+        let t = graph.add(model.trace_eval(reqs.len()));
+        graph.depend(t, lane_task[pi].unwrap_or(plan_task[pi]));
+        eval_task[pi] = Some(t);
+    }
+    let mut run_cost = vec![0u64; configs.len()];
+    for (ci, &path) in path_of.iter().enumerate() {
+        let pi = plan_of[ci];
+        let (cost, dep) = match path {
+            ConfigPath::Direct => (model.run_direct(), lane_task[pi].unwrap_or(plan_task[pi])),
+            ConfigPath::Captured { slot } => (model.run_captured(), capture_task[slot]),
+            ConfigPath::Replay { .. } => (
+                model.run_replay(),
+                eval_task[pi].expect("replay path has an evaluation task"),
+            ),
+        };
+        run_cost[ci] = cost;
+        kinds.push(SweepTask::Run(ci));
+        let t = graph.add(cost);
+        graph.depend(t, dep);
+    }
+
+    // Per-worker accounting for the run-configs stage, over a *shared*
+    // window (first config started → last config finished), so the lane's
+    // utilization_imbalance compares schedulers fairly: a static chunk
+    // that finishes early reads as idle here, not as a shorter wall.
+    let t_origin = Instant::now();
+    let rc_busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let rc_items: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let window_start = AtomicU64::new(u64::MAX);
+    let window_end = AtomicU64::new(0);
+
+    let elapsed_ns = |origin: &Instant| origin.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let exec = |t: usize, widx: usize| match kinds[t] {
+        SweepTask::Plan(pi) => {
+            let _s = sink.span("plan-build");
+            build_plan(pi);
+        }
+        SweepTask::Lanes(pi) => {
+            let _s = sink.span("lane-pivot");
+            let batch = batch.expect("lane tasks only exist on batched sweeps");
+            let plan = plans[pi].get().expect("a plan precedes its lanes");
+            assert!(
+                lanes[pi].set(PlanLanes::from_batch(batch, stream, plan)).is_ok(),
+                "one pivot per plan"
+            );
+        }
+        SweepTask::Capture { key, slot } => {
+            let _s = sink.span("capture");
+            let (pi, kind) = capture_keys[key];
+            let batch = batch.expect("captures only exist on batched sweeps");
+            let plan = plans[pi].get().expect("a plan precedes its captures");
+            assert!(
+                captures[slot].set(capture_direct(kind, batch, stream, plan)).is_ok(),
+                "one capture per slot"
+            );
+        }
+        SweepTask::Eval(pi) => {
+            let _s = sink.span("trace-eval");
+            let plan = plans[pi].get().expect("a plan precedes its evaluation");
+            let trace = {
+                let _t = sink.span("trace-capture");
+                match lanes[pi].get() {
+                    Some(l) => l.to_trace(),
+                    None => capture_line_trace(stream, plan),
+                }
+            };
+            assert!(
+                evals[pi]
+                    .set(evaluate_trace_auto_profiled(&trace, &requests[pi], sink))
+                    .is_ok(),
+                "one evaluation per plan"
+            );
+        }
+        SweepTask::Run(ci) => {
+            let _s = sink.span("run-configs");
+            let start = S::ENABLED.then(|| elapsed_ns(&t_origin));
+            let report = run_one(&configs[ci], plan_of[ci], path_of[ci]);
+            assert!(out[ci].set(report).is_ok(), "each config runs once");
+            if let Some(start) = start {
+                let end = elapsed_ns(&t_origin);
+                window_start.fetch_min(start, Ordering::Relaxed);
+                window_end.fetch_max(end, Ordering::Relaxed);
+                rc_busy[widx].fetch_add(end.saturating_sub(start), Ordering::Relaxed);
+                rc_items[widx].fetch_add(1, Ordering::Relaxed);
+                // Cost-model feedback: per-config |predicted − actual| as a
+                // percentage of predicted, kept as a log2 histogram so the
+                // LPT estimates stay honest as the simulator evolves.
+                let predicted = run_cost[ci].max(1);
+                let err_pct = end.saturating_sub(start).abs_diff(predicted) * 100 / predicted;
+                sink.observe("sweep.cost_err_pct", err_pct);
+            }
+        }
+    };
+    run_graph(graph, workers, sink, &exec);
+
+    if S::ENABLED {
+        let start = window_start.load(Ordering::Relaxed);
+        let end = window_end.load(Ordering::Relaxed);
+        let wall = if start == u64::MAX { 0 } else { end.saturating_sub(start) };
+        for w in 0..workers {
+            sink.worker(
+                "run-configs",
+                w as u32,
+                wall,
+                rc_busy[w].load(Ordering::Relaxed),
+                rc_items[w].load(Ordering::Relaxed),
+            );
+        }
+    }
+}
+
+/// The legacy static pipeline behind [`SweepOptions::static_schedule`]:
+/// phase barriers between stages, ad-hoc `thread::scope` fan-out inside
+/// each, and a chunked per-config partition for the run stage — kept
+/// byte-identical to the pool as the scheduler's escape hatch and as the
+/// baseline its utilization metrics are compared against.
+#[allow(clippy::too_many_arguments)]
+fn run_static<S: HostSink>(
+    stream: &FragmentStream,
+    configs: &[MachineConfig],
+    sink: &S,
+    batch: Option<&FragBatch>,
+    plan_rep: &[usize],
+    plan_of: &[usize],
+    path_of: &[ConfigPath],
+    requests: &[Vec<GeometryRequest>],
+    capture_keys: &[(usize, CacheKind)],
+    capture_slot: &[usize],
+    needs_lanes: &[bool],
+    plans: &[OnceLock<RoutingPlan>],
+    lanes: &[OnceLock<PlanLanes>],
+    captures: &[OnceLock<DirectCapture>],
+    evals: &[OnceLock<TraceEvaluation>],
+    out: &[OnceLock<RunReport>],
+    build_plan: &(impl Fn(usize) + Sync),
+    run_one: &(impl Fn(&MachineConfig, usize, ConfigPath) -> RunReport + Sync),
+    threads: usize,
+) {
+    {
+        let _s = sink.span("plan-build");
+        for pi in 0..plan_rep.len() {
+            build_plan(pi);
+        }
+    }
+
+    if let Some(batch) = batch {
+        let _s = sink.span("lane-pivot");
+        std::thread::scope(|scope| {
+            for (pi, &needed) in needs_lanes.iter().enumerate() {
+                if !needed {
+                    continue;
+                }
+                let plan = plans[pi].get().expect("plans are built");
+                let slot = &lanes[pi];
+                scope.spawn(move || {
+                    let _p = sink.span("pivot-plan");
+                    assert!(
+                        slot.set(PlanLanes::from_batch(batch, stream, plan)).is_ok(),
+                        "one pivot per plan"
+                    );
+                });
+            }
+        });
+    }
+
+    if !captures.is_empty() {
+        let _s = sink.span("capture");
+        std::thread::scope(|scope| {
+            for (k, &(pi, kind)) in capture_keys.iter().enumerate() {
+                if capture_slot[k] == usize::MAX {
+                    continue;
+                }
+                let slot = &captures[capture_slot[k]];
+                let batch = batch.expect("captures only exist on batched sweeps");
+                let plan = plans[pi].get().expect("plans are built");
+                scope.spawn(move || {
+                    let _c = sink.span("capture-model");
+                    assert!(
+                        slot.set(capture_direct(kind, batch, stream, plan)).is_ok(),
+                        "one capture per slot"
+                    );
+                });
+            }
+        });
+    }
+
+    // Evaluate each plan's geometry grid from one captured trace, plans in
+    // parallel (each evaluation is independent).
+    if requests.iter().any(|r| !r.is_empty()) {
+        let _s = sink.span("trace-eval");
+        std::thread::scope(|scope| {
+            for (pi, reqs) in requests.iter().enumerate() {
+                if reqs.is_empty() {
+                    continue;
+                }
+                let plan = plans[pi].get().expect("plans are built");
+                let (lane, slot) = (&lanes[pi], &evals[pi]);
+                scope.spawn(move || {
+                    let _e = sink.span("eval-plan");
+                    let trace = {
+                        let _t = sink.span("trace-capture");
+                        match lane.get() {
+                            Some(l) => l.to_trace(),
+                            None => capture_line_trace(stream, plan),
+                        }
+                    };
+                    assert!(
+                        slot.set(evaluate_trace_auto_profiled(&trace, reqs, sink)).is_ok(),
+                        "one evaluation per plan"
+                    );
+                });
+            }
+        });
+    }
+
+    // Static chunked schedule: each worker owns a precomputed disjoint
+    // range of the output. One body serves the sequential and the spawned
+    // case — the calling thread is simply worker 0 of a one-chunk
+    // partition.
+    let _rc = sink.span("run-configs");
+    let worker_body = |widx: usize, range: std::ops::Range<usize>| {
         let _w = sink.span("worker-run");
         let t_start = S::ENABLED.then(Instant::now);
         let mut busy = 0u64;
-        let mut out = Vec::with_capacity(configs.len());
-        for (ci, c) in configs.iter().enumerate() {
+        let items = range.len() as u64;
+        for ci in range {
             let t0 = S::ENABLED.then(Instant::now);
-            out.push(run_one(c, plan_of[ci], path_of[ci]));
+            let report = run_one(&configs[ci], plan_of[ci], path_of[ci]);
+            assert!(out[ci].set(report).is_ok(), "each config runs once");
             if let Some(t0) = t0 {
                 busy += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             }
         }
         if let Some(t_start) = t_start {
             let wall = t_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            sink.worker("run-configs", 0, wall, busy, configs.len() as u64);
+            sink.worker("run-configs", widx as u32, wall, busy, items);
         }
-        return out;
+    };
+    if threads <= 1 {
+        worker_body(0, 0..configs.len());
+    } else {
+        let chunk = configs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let body = &worker_body;
+            for (widx, start) in (0..configs.len()).step_by(chunk).enumerate() {
+                let range = start..(start + chunk).min(configs.len());
+                scope.spawn(move || body(widx, range));
+            }
+        });
     }
-
-    // Static chunked schedule: each thread owns a disjoint slice of the
-    // output, so the writes need no locks — the borrow checker can see
-    // they never alias.
-    let _rc = sink.span("run-configs");
-    let mut out: Vec<Option<RunReport>> = vec![None; configs.len()];
-    let chunk = configs.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (widx, (((out_chunk, cfg_chunk), idx_chunk), path_chunk)) in out
-            .chunks_mut(chunk)
-            .zip(configs.chunks(chunk))
-            .zip(plan_of.chunks(chunk))
-            .zip(path_of.chunks(chunk))
-            .enumerate()
-        {
-            let run_one = &run_one;
-            scope.spawn(move || {
-                let _w = sink.span("worker-run");
-                let t_start = S::ENABLED.then(Instant::now);
-                let mut busy = 0u64;
-                for (((slot, config), &pi), &path) in out_chunk
-                    .iter_mut()
-                    .zip(cfg_chunk)
-                    .zip(idx_chunk)
-                    .zip(path_chunk)
-                {
-                    let t0 = S::ENABLED.then(Instant::now);
-                    *slot = Some(run_one(config, pi, path));
-                    if let Some(t0) = t0 {
-                        busy += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                    }
-                }
-                if let Some(t_start) = t_start {
-                    let wall = t_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                    sink.worker("run-configs", widx as u32, wall, busy, cfg_chunk.len() as u64);
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every chunk was processed"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -720,19 +975,19 @@ mod tests {
         let replayed = run_sweep_with_options(
             &stream,
             &configs,
-            SweepOptions { threads: 3, replay: true, batch: true },
+            SweepOptions { threads: 3, replay: true, batch: true, static_schedule: false },
         );
         let direct = run_sweep_with_options(
             &stream,
             &configs,
-            SweepOptions { threads: 3, replay: false, batch: true },
+            SweepOptions { threads: 3, replay: false, batch: true, static_schedule: false },
         );
         assert_eq!(replayed, direct);
         // The --scalar escape hatch must be an observational no-op too.
         let scalar = run_sweep_with_options(
             &stream,
             &configs,
-            SweepOptions { threads: 3, replay: false, batch: false },
+            SweepOptions { threads: 3, replay: false, batch: false, static_schedule: false },
         );
         assert_eq!(direct, scalar);
     }

@@ -162,7 +162,7 @@ impl Suite {
 
     /// Measures `f` (warmup, then N timed iterations) under `id`.
     pub fn bench<R>(&mut self, id: &str, f: impl FnMut() -> R) -> &BenchResult {
-        self.run(id, None, f)
+        self.run(id, None, 1, f)
     }
 
     /// Like [`Suite::bench`] with a declared per-iteration element count,
@@ -173,15 +173,36 @@ impl Suite {
         elements: u64,
         f: impl FnMut() -> R,
     ) -> &BenchResult {
-        self.run(id, Some(elements), f)
+        self.run(id, Some(elements), 1, f)
     }
 
-    fn run<R>(&mut self, id: &str, elements: Option<u64>, mut f: impl FnMut() -> R) -> &BenchResult {
+    /// Like [`Suite::bench_with_elements`] with the suite's sample count
+    /// multiplied by `scale` (0 behaves as 1). For lanes noisier than the
+    /// rest of the suite: extra samples tighten their median/MAD estimate
+    /// without slowing every other lane down.
+    pub fn bench_with_elements_scaled<R>(
+        &mut self,
+        id: &str,
+        elements: u64,
+        scale: u32,
+        f: impl FnMut() -> R,
+    ) -> &BenchResult {
+        self.run(id, Some(elements), scale.max(1), f)
+    }
+
+    fn run<R>(
+        &mut self,
+        id: &str,
+        elements: Option<u64>,
+        scale: u32,
+        mut f: impl FnMut() -> R,
+    ) -> &BenchResult {
         for _ in 0..self.config.warmup_iters {
             black_box(f());
         }
-        let mut samples_ns = Vec::with_capacity(self.config.samples as usize);
-        for _ in 0..self.config.samples {
+        let samples = self.config.samples.saturating_mul(scale);
+        let mut samples_ns = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
             let start = Instant::now();
             black_box(f());
             samples_ns.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
@@ -337,6 +358,17 @@ mod tests {
         dev.sort_unstable();
         assert_eq!(percentile(&dev, 50.0), 1);
         assert_eq!(sorted[0], 10);
+    }
+
+    #[test]
+    fn scaled_lanes_take_multiplied_samples() {
+        let mut suite = Suite::with_config("scaled", quiet_config());
+        let r = suite.bench_with_elements_scaled("noisy", 10, 3, || 1 + 1);
+        assert_eq!(r.samples_ns.len(), 15, "scale multiplies the suite sample count");
+        let r = suite.bench_with_elements_scaled("degenerate", 10, 0, || 1 + 1);
+        assert_eq!(r.samples_ns.len(), 5, "scale 0 behaves as 1");
+        let r = suite.bench_with_elements("plain", 10, || 1 + 1);
+        assert_eq!(r.samples_ns.len(), 5, "unscaled lanes are untouched");
     }
 
     #[test]

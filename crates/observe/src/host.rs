@@ -72,6 +72,11 @@ pub trait HostSink: Sync {
     /// Records `value` into the histogram metric `name`.
     fn observe(&self, name: &'static str, value: u64);
 
+    /// Raises the gauge metric `name` to at least `value` (a high-water
+    /// mark — the sweep scheduler reports per-worker queue depths this
+    /// way).
+    fn gauge_max(&self, name: &'static str, value: u64);
+
     /// Reports one worker thread's utilization for pipeline stage `lane`:
     /// `busy_ns` of item work inside a `wall_ns` window over `items`
     /// items. Implementations must preserve `busy <= wall` so the
@@ -117,6 +122,9 @@ impl HostSink for NullHostSink {
 
     #[inline(always)]
     fn observe(&self, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn gauge_max(&self, _name: &'static str, _value: u64) {}
 
     #[inline(always)]
     fn worker(&self, _lane: &'static str, _worker: u32, _wall_ns: u64, _busy_ns: u64, _items: u64) {
@@ -334,6 +342,10 @@ impl HostSink for HostProfiler {
         self.metrics.observe(name, value);
     }
 
+    fn gauge_max(&self, name: &'static str, value: u64) {
+        self.metrics.gauge_set_max(name, value);
+    }
+
     fn worker(&self, lane: &'static str, worker: u32, wall_ns: u64, busy_ns: u64, items: u64) {
         let mut state = self.state.lock().expect("host profiler poisoned");
         state.workers.push(WorkerStats {
@@ -397,6 +409,38 @@ impl HostProfile {
     /// The distinct phase names, name-sorted.
     pub fn phase_names(&self) -> Vec<&'static str> {
         self.phase_totals().into_keys().collect()
+    }
+
+    /// Per-lane worker-utilization imbalance: `(max − min busy) / max
+    /// wall` across the lane's workers (records of one worker summed
+    /// first), in `[0, 1]` by the `busy <= wall` identity.
+    ///
+    /// `0` means every worker carried the same load; a static chunked
+    /// schedule over heterogeneous work shows up as a large value (the
+    /// fast chunks idle while the slow chunk sets the wall), which is
+    /// exactly what the sweep's work-stealing scheduler is measured
+    /// against in `METRICS_sweep.json`.
+    pub fn utilization_imbalance(&self) -> BTreeMap<&'static str, f64> {
+        let mut lanes: BTreeMap<&'static str, BTreeMap<u32, (u64, u64)>> = BTreeMap::new();
+        for w in &self.workers {
+            let (busy, wall) = lanes.entry(w.lane).or_default().entry(w.worker).or_default();
+            *busy += w.busy_ns;
+            *wall += w.wall_ns;
+        }
+        lanes
+            .into_iter()
+            .map(|(lane, workers)| {
+                let max_wall = workers.values().map(|&(_, wall)| wall).max().unwrap_or(0);
+                let max_busy = workers.values().map(|&(busy, _)| busy).max().unwrap_or(0);
+                let min_busy = workers.values().map(|&(busy, _)| busy).min().unwrap_or(0);
+                let imbalance = if max_wall == 0 {
+                    0.0
+                } else {
+                    (max_busy - min_busy) as f64 / max_wall as f64
+                };
+                (lane, imbalance)
+            })
+            .collect()
     }
 
     /// Checks every structural invariant the artefact schema promises:
@@ -474,6 +518,7 @@ impl HostProfile {
     /// { "profile": "sweep", "peak_rss_bytes": N,
     ///   "spans": [{"name", "thread", "depth", "parent", "start_ns", "dur_ns"}],
     ///   "workers": [{"lane", "worker", "wall_ns", "busy_ns", "idle_ns", "items"}],
+    ///   "utilization_imbalance": {"<lane>": F},
     ///   "phases": [{"name", "count", "total_ns", "self_ns"}],
     ///   "metrics": {"counters": {}, "gauges": {}, "histograms": {}} }
     /// ```
@@ -509,6 +554,14 @@ impl HostProfile {
                         ("items", Json::U64(w.items)),
                     ])
                 })),
+            ),
+            (
+                "utilization_imbalance",
+                Json::obj(
+                    self.utilization_imbalance()
+                        .into_iter()
+                        .map(|(lane, v)| (lane, Json::F64(v))),
+                ),
             ),
             (
                 "phases",
@@ -656,6 +709,43 @@ mod tests {
     }
 
     #[test]
+    fn utilization_imbalance_is_the_per_lane_busy_spread() {
+        let prof = HostProfiler::new();
+        // A perfectly balanced lane and a lopsided one: imbalance is the
+        // busy spread over the longest wall, per lane.
+        prof.worker("balanced", 0, 100, 80, 4);
+        prof.worker("balanced", 1, 100, 80, 4);
+        prof.worker("lopsided", 0, 200, 200, 8);
+        prof.worker("lopsided", 1, 200, 40, 1);
+        // Repeated records of one worker aggregate before comparing:
+        // worker 1 sums to busy 50 over wall 210 (this record's wall is
+        // clamped up to its busy), so the spread is (200-50)/210.
+        prof.worker("lopsided", 1, 0, 10, 1);
+        let profile = prof.finish();
+        let imbalance = profile.utilization_imbalance();
+        assert_eq!(imbalance["balanced"], 0.0);
+        assert!((imbalance["lopsided"] - 150.0 / 210.0).abs() < 1e-12, "{imbalance:?}");
+        for v in imbalance.values() {
+            assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let prof = HostProfiler::new();
+        prof.gauge_max("sweep.queue_depth.w00", 3);
+        prof.gauge_max("sweep.queue_depth.w00", 7);
+        prof.gauge_max("sweep.queue_depth.w00", 5);
+        let profile = prof.finish();
+        let depth = profile
+            .metrics
+            .get("gauges")
+            .and_then(|g| g.get("sweep.queue_depth.w00"))
+            .and_then(Json::as_u64);
+        assert_eq!(depth, Some(7));
+    }
+
+    #[test]
     #[should_panic(expected = "open span")]
     fn finishing_with_an_open_span_panics() {
         let prof = HostProfiler::new();
@@ -693,6 +783,11 @@ mod tests {
         assert_eq!(busy + idle, wall);
         assert!(back.get("phases").and_then(Json::as_arr).is_some());
         assert!(back.get("metrics").and_then(|m| m.get("counters")).is_some());
+        let imbalance = back
+            .get("utilization_imbalance")
+            .and_then(|i| i.get("run-configs"))
+            .expect("per-lane imbalance is serialized");
+        assert!(matches!(imbalance, Json::F64(v) if (0.0..=1.0).contains(v)));
     }
 
     #[test]

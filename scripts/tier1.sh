@@ -42,9 +42,10 @@ fi
 # any worker breaks the exact `busy + idle == wall` identity.
 echo "==> sweep bench + trace/heatmap smoke + artefact schema check + regression gate"
 bench_dir=$(mktemp -d)
+threads_dir=$(mktemp -d)
 noreplay_dir=$(mktemp -d)
 scalar_dir=$(mktemp -d)
-trap 'rm -rf "$bench_dir" "$noreplay_dir" "$scalar_dir"' EXIT
+trap 'rm -rf "$bench_dir" "$threads_dir" "$noreplay_dir" "$scalar_dir"' EXIT
 SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$bench_dir" \
     cargo run -q --release --offline -p sortmid-bench --bin sweep
 test -f "$bench_dir/METRICS_sweep.json" || {
@@ -68,6 +69,17 @@ cargo run -q --release --offline -p sortmid-bench --bin sortmid-diff -- \
 cargo run -q --release --offline -p sortmid-bench --bin bench_check -- \
     "$bench_dir" --against "$repo/BENCH_baseline.json" --tolerance 15 \
     --explain --json "$bench_dir/DIFF_gate.json"
+
+# Scheduler determinism: the work-stealing pool must simulate identical
+# cycles at any thread count. Re-run the sweep pinned to 3 workers and
+# demand an exactly-zero diff against the default-thread artefact
+# (provenance comparison ignores host/build, so the cross-process diff
+# keys purely on simulated results).
+SORTMID_BENCH_SAMPLES=1 SORTMID_BENCH_WARMUP=0 SORTMID_BENCH_DIR="$threads_dir" \
+    cargo run -q --release --offline -p sortmid-bench --bin sweep -- --threads 3
+cargo run -q --release --offline -p sortmid-bench --bin sortmid-diff -- \
+    "$bench_dir/BENCH_sweep.json" "$threads_dir/BENCH_sweep.json" \
+    --expect-zero --json "$threads_dir/DIFF_threads.json"
 
 # The --no-replay escape hatch must produce byte-identical simulated
 # cycles: the same baseline gate has to pass on its artefact too. (The

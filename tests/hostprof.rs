@@ -44,6 +44,7 @@ fn profiled_run() -> HostProfile {
         threads: 3,
         replay: true,
         batch: true,
+        static_schedule: false,
     };
     let prof = HostProfiler::new();
     let profiled = run_sweep_profiled(&s, &configs, options, &prof);
@@ -177,16 +178,22 @@ fn sequential_sweep_still_reports_a_worker() {
         threads: 1,
         replay: true,
         batch: true,
+        static_schedule: false,
     };
     let prof = HostProfiler::new();
     let profiled = run_sweep_profiled(&s, &configs, options, &prof);
     assert_eq!(profiled, run_sweep_with_options(&s, &configs, options));
     let profile = prof.finish();
     profile.verify().unwrap();
-    assert_eq!(profile.workers.len(), 1);
-    let w = &profile.workers[0];
-    assert_eq!((w.lane, w.worker), ("run-configs", 0));
+    let rc: Vec<_> = profile.workers.iter().filter(|w| w.lane == "run-configs").collect();
+    assert_eq!(rc.len(), 1);
+    let w = rc[0];
+    assert_eq!(w.worker, 0);
     assert_eq!(w.items as usize, configs.len());
     assert_eq!(w.busy_ns + w.idle_ns(), w.wall_ns);
+    // The scheduler pool reports its own lane too, even single-threaded.
+    let pool: Vec<_> = profile.workers.iter().filter(|w| w.lane == "sched-pool").collect();
+    assert_eq!(pool.len(), 1);
+    assert!(pool[0].items >= w.items, "pool tasks include every config run");
     assert!(profile.phase_names().contains(&"worker-run"));
 }

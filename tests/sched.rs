@@ -1,0 +1,87 @@
+//! Scheduler determinism: the work-stealing sweep pipeline must emit
+//! reports byte-identical to the sequential reference for every thread
+//! count, across repeated runs (steal interleavings must not leak into
+//! results), and against the static-schedule escape hatch.
+
+use sortmid::{run_sweep_with_options, CacheKind, Distribution, SweepGrid, SweepOptions};
+use sortmid_cache::CacheGeometry;
+use sortmid_raster::FragmentStream;
+use sortmid_scene::{Benchmark, SceneBuilder};
+
+fn stream() -> FragmentStream {
+    SceneBuilder::benchmark(Benchmark::Quake)
+        .scale(0.1)
+        .build()
+        .rasterize()
+}
+
+/// A grid that exercises every scheduler task kind: two plan groups, a
+/// replay-eligible set-associative span, captured perfect/paper-L1 pairs,
+/// and a direct remainder.
+fn mixed_grid() -> Vec<sortmid::MachineConfig> {
+    let mut caches = vec![CacheKind::Perfect, CacheKind::PaperL1];
+    for log_size in 12..16 {
+        let g = CacheGeometry::new(1 << log_size, 4, 64).unwrap();
+        caches.push(CacheKind::SetAssoc(g));
+    }
+    SweepGrid::new()
+        .processors([4])
+        .distributions([Distribution::block(16), Distribution::sli(2)])
+        .caches(caches)
+        .buffers([8, 10_000])
+        .build()
+}
+
+fn options(threads: usize, static_schedule: bool) -> SweepOptions {
+    SweepOptions { threads, replay: true, batch: true, static_schedule }
+}
+
+#[test]
+fn work_stealing_reports_are_identical_across_thread_counts() {
+    let s = stream();
+    let configs = mixed_grid();
+    let reference = run_sweep_with_options(&s, &configs, options(1, false));
+    for threads in [2usize, 3, 8] {
+        let swept = run_sweep_with_options(&s, &configs, options(threads, false));
+        assert_eq!(swept, reference, "work-stealing schedule at {threads} threads");
+    }
+}
+
+#[test]
+fn work_stealing_reports_are_identical_across_repeated_runs() {
+    // Steal interleavings differ run to run; the reports must not.
+    let s = stream();
+    let configs = mixed_grid();
+    let reference = run_sweep_with_options(&s, &configs, options(3, false));
+    for round in 0..3 {
+        let swept = run_sweep_with_options(&s, &configs, options(3, false));
+        assert_eq!(swept, reference, "repeated work-stealing run {round}");
+    }
+}
+
+#[test]
+fn static_schedule_escape_hatch_matches_the_pool() {
+    let s = stream();
+    let configs = mixed_grid();
+    let pooled = run_sweep_with_options(&s, &configs, options(3, false));
+    for threads in [1usize, 3, 8] {
+        let chunked = run_sweep_with_options(&s, &configs, options(threads, true));
+        assert_eq!(chunked, pooled, "static schedule at {threads} threads");
+    }
+}
+
+#[test]
+fn scheduler_determinism_holds_on_the_escape_hatch_pipelines() {
+    // The pool also schedules the --no-replay and --scalar pipelines;
+    // their reports must stay schedule-independent too.
+    let s = stream();
+    let configs = mixed_grid();
+    for (replay, batch) in [(false, true), (false, false)] {
+        let opts = |threads, static_schedule| SweepOptions { threads, replay, batch, static_schedule };
+        let reference = run_sweep_with_options(&s, &configs, opts(1, false));
+        let pooled = run_sweep_with_options(&s, &configs, opts(3, false));
+        let chunked = run_sweep_with_options(&s, &configs, opts(3, true));
+        assert_eq!(pooled, reference, "pool, replay {replay} batch {batch}");
+        assert_eq!(chunked, reference, "static, replay {replay} batch {batch}");
+    }
+}

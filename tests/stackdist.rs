@@ -153,6 +153,7 @@ fn prop_stackdist_replay_equals_direct() {
                     threads: 1,
                     replay: true,
                     batch: true,
+                    static_schedule: false,
                 },
             );
             let direct = run_sweep_with_options(
@@ -162,6 +163,7 @@ fn prop_stackdist_replay_equals_direct() {
                     threads: 1,
                     replay: false,
                     batch: false,
+                    static_schedule: false,
                 },
             );
             prop_assert_eq!(replayed.len(), direct.len());
@@ -281,7 +283,7 @@ fn prop_mixed_grid_sweep_is_path_independent() {
                 run_sweep_with_options(
                     s,
                     &configs,
-                    SweepOptions { threads: 2, replay, batch },
+                    SweepOptions { threads: 2, replay, batch, static_schedule: false },
                 )
             };
             let replayed = run(true, true);
